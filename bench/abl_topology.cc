@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation: the three MC-DLA interconnect candidates of Section III-B —
+ * the naive Fig 7(a) derivative (star-A: 8/8/24-hop rings), the folded
+ * Fig 7(b) design (star: 8/12/20-hop rings, the evaluated MC-DLA(S)),
+ * and the proposed Fig 7(c) ring (16/16/16 stages, MC-DLA(B)).
+ *
+ * This quantifies the paper's design-space narrative: balanced rings
+ * plus full link utilization for virtualization win.
+ */
+
+#include <iostream>
+
+#include "core/mcdla.hh"
+
+using namespace mcdla;
+
+int
+main()
+{
+    LogConfig::verbose = false;
+    std::cout << "=== Section III-B topology ablation (batch "
+              << kDefaultBatch << ") ===\n\n";
+
+    const SystemDesign designs[] = {SystemDesign::McDlaSA,
+                                    SystemDesign::McDlaS,
+                                    SystemDesign::McDlaB};
+
+    for (ParallelMode mode : {ParallelMode::DataParallel,
+                              ParallelMode::ModelParallel}) {
+        TablePrinter table({"Workload", "Fig7a 8/8/24", "Fig7b 8/12/20",
+                            "Fig7c ring (B)"});
+        std::map<SystemDesign, std::vector<double>> perf;
+        for (const BenchmarkInfo &info : benchmarkCatalog()) {
+            const Network net = info.build();
+            std::vector<std::string> row{info.name};
+            double best = 0.0;
+            std::map<SystemDesign, double> t;
+            for (SystemDesign design : designs) {
+                RunSpec spec;
+                spec.design = design;
+                spec.mode = mode;
+                const IterationResult r = simulateIteration(spec, net);
+                t[design] = r.performance();
+                best = std::max(best, r.performance());
+            }
+            for (SystemDesign design : designs) {
+                row.push_back(TablePrinter::num(t[design] / best, 3));
+                perf[design].push_back(t[design]);
+            }
+            table.addRow(std::move(row));
+        }
+        std::cout << "-- " << parallelModeName(mode)
+                  << " (normalized performance) --\n";
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+    std::cout << "Paper: the ring design maximizes vmem bandwidth "
+                 "(150 GB/s vs 50 GB/s) while keeping balanced rings; "
+                 "Fig 7(a)'s 24-hop ring and idle memory-ring links "
+                 "waste resources.\n";
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 2 reproduction: single-device CNN training time across five
+ * accelerator generations (normalized to Kepler, left axis) and the
+ * memory-virtualization overhead over a fixed PCIe gen3 host interface
+ * (right axis).
+ *
+ * Paper shape: times drop 20-34x from Kepler to Volta/TPUv2 while the
+ * virtualization overhead percentage grows steadily, because device
+ * compute scaled ~30x over five years while PCIe gen3 stayed flat.
+ */
+
+#include <iostream>
+
+#include "core/mcdla.hh"
+
+using namespace mcdla;
+
+namespace
+{
+
+/** Batch sized to fit the 12 GB Kepler-generation card. */
+constexpr std::int64_t kBatch = 256;
+
+struct Cell
+{
+    double deviceSeconds = 0.0; ///< Raw execution time (left axis).
+    double virtSeconds = 0.0;   ///< With PCIe gen3 virtualization.
+    double overheadPct = 0.0;   ///< Right axis.
+};
+
+Cell
+evaluate(const Network &net, const DeviceConfig &device)
+{
+    Cell cell;
+    for (bool virtualized : {true, false}) {
+        EventQueue eq;
+        SystemConfig cfg;
+        cfg.design = virtualized ? SystemDesign::DcDla
+                                 : SystemDesign::DcDlaOracle;
+        cfg.device = device;
+        cfg.fabric.numDevices = 1;
+        cfg.fabric.numSockets = 1;
+        System system(eq, cfg);
+        TrainingSession session(system, net,
+                                ParallelMode::DataParallel, kBatch);
+        const IterationResult r = session.run();
+        (virtualized ? cell.virtSeconds : cell.deviceSeconds) =
+            r.iterationSeconds();
+    }
+    // overhead = (T_virt - T_device) / T_virt.
+    cell.overheadPct = 100.0
+        * (cell.virtSeconds - cell.deviceSeconds) / cell.virtSeconds;
+    return cell;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    LogConfig::verbose = false;
+    std::cout << "=== Figure 2: execution time across device "
+                 "generations (batch " << kBatch
+              << ", single device, PCIe gen3 vmem) ===\n\n";
+
+    const auto generations = deviceGenerationCatalog();
+
+    for (const std::string &workload : cnnBenchmarkNames()) {
+        const Network net = buildBenchmark(workload);
+        TablePrinter table({"Generation", "DeviceTime(ms)",
+                            "Time(norm)", "WithVirt(ms)",
+                            "VirtOverhead(%)"});
+        double kepler_seconds = 0.0;
+        double best_seconds = 1e30;
+        for (const DeviceGeneration &gen : generations) {
+            const Cell cell = evaluate(net, gen.config);
+            if (gen.name == "Kepler")
+                kepler_seconds = cell.deviceSeconds;
+            best_seconds = std::min(best_seconds, cell.deviceSeconds);
+            table.addRow({gen.name,
+                          TablePrinter::num(
+                              cell.deviceSeconds * 1e3, 2),
+                          TablePrinter::num(
+                              cell.deviceSeconds / kepler_seconds, 3),
+                          TablePrinter::num(cell.virtSeconds * 1e3, 2),
+                          TablePrinter::num(cell.overheadPct, 1)});
+        }
+        std::cout << "-- " << workload << " --\n";
+        table.print(std::cout);
+        std::cout << "Kepler -> newest device-time reduction: "
+                  << TablePrinter::num(kepler_seconds / best_seconds, 1)
+                  << "x (paper band: 20-34x)\n\n";
+    }
+    return 0;
+}

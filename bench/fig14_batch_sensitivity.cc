@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 14 reproduction: MC-DLA(B) speedup over DC-DLA as a function of
+ * the input batch size (128 / 256 / 1024 / 2048), per workload, for
+ * data- and model-parallel training, with harmonic means.
+ *
+ * Paper shape: the speedup is robust across batch sizes (average 2.17x
+ * over all batches).
+ */
+
+#include <iostream>
+
+#include "core/mcdla.hh"
+
+using namespace mcdla;
+
+int
+main()
+{
+    LogConfig::verbose = false;
+    const std::int64_t batches[] = {128, 256, 1024, 2048};
+
+    std::cout << "=== Figure 14: MC-DLA(B) speedup over DC-DLA vs "
+                 "batch size ===\n\n";
+
+    std::vector<double> all_speedups;
+    for (std::int64_t batch : batches) {
+        TablePrinter table({"Workload", "Data-parallel",
+                            "Model-parallel"});
+        std::vector<double> dp_speedups, mp_speedups;
+        for (const BenchmarkInfo &info : benchmarkCatalog()) {
+            const Network net = info.build();
+            std::vector<std::string> row{info.name};
+            for (ParallelMode mode : {ParallelMode::DataParallel,
+                                      ParallelMode::ModelParallel}) {
+                double dc = 0.0, mc = 0.0;
+                bool wall = false;
+                LogConfig::throwOnError = true;
+                try {
+                    for (SystemDesign design :
+                         {SystemDesign::DcDla, SystemDesign::McDlaB}) {
+                        RunSpec spec;
+                        spec.design = design;
+                        spec.mode = mode;
+                        spec.globalBatch = batch;
+                        const IterationResult r =
+                            simulateIteration(spec, net);
+                        (design == SystemDesign::DcDla ? dc : mc) =
+                            r.iterationSeconds();
+                    }
+                } catch (const FatalError &) {
+                    // Working set exceeds the 16 GiB device even with
+                    // virtualization: the capacity wall.
+                    wall = true;
+                }
+                LogConfig::throwOnError = false;
+                if (wall) {
+                    row.push_back("wall");
+                    continue;
+                }
+                const double speedup = dc / mc;
+                row.push_back(TablePrinter::num(speedup, 2));
+                (mode == ParallelMode::DataParallel ? dp_speedups
+                                                    : mp_speedups)
+                    .push_back(speedup);
+                all_speedups.push_back(speedup);
+            }
+            table.addRow(std::move(row));
+        }
+        std::cout << "-- Batch " << batch << " --\n";
+        table.print(std::cout);
+        std::cout << "HarMean: DP "
+                  << TablePrinter::num(harmonicMean(dp_speedups), 2)
+                  << "x, MP "
+                  << TablePrinter::num(harmonicMean(mp_speedups), 2)
+                  << "x\n\n";
+    }
+    std::cout << "Average speedup across all batch sizes: "
+              << TablePrinter::num(harmonicMean(all_speedups), 2)
+              << "x (paper: 2.17x)\n";
+    return 0;
+}

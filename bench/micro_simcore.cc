@@ -1,0 +1,107 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: event-queue
+ * throughput, channel transfer processing, collective execution, and a
+ * full training-iteration simulation. These document the cost of the
+ * simulation infrastructure (not the modelled system).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/mcdla.hh"
+
+using namespace mcdla;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t sum = 0;
+        for (std::uint64_t i = 0; i < n; ++i)
+            eq.schedule(i * 10, [&sum] { ++sum; });
+        eq.run();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * n));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void
+BM_ChannelChunkStream(benchmark::State &state)
+{
+    const auto chunks = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        EventQueue eq;
+        Channel ch(eq, "c", 25.0 * kGB, 500 * ticksPerNs);
+        for (std::uint64_t i = 0; i < chunks; ++i)
+            ch.submit(512e3, nullptr);
+        eq.run();
+        benchmark::DoNotOptimize(ch.bytesTransferred());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * chunks));
+}
+BENCHMARK(BM_ChannelChunkStream)->Arg(1000)->Arg(10000);
+
+void
+BM_RingAllReduce(benchmark::State &state)
+{
+    const int stages = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        EventQueue eq;
+        Fabric fab(eq, "bench");
+        RingPath ring;
+        for (int i = 0; i < stages; ++i) {
+            ring.stages.push_back(RingStage{true, i});
+            Channel &ch = fab.makeChannel("h" + std::to_string(i),
+                                          25.0 * kGB, 0);
+            ring.hops.push_back(Route{{&ch}});
+        }
+        fab.addRing(std::move(ring));
+        CollectiveEngine engine(eq, "nccl", fab);
+        engine.launch(CollectiveKind::AllReduce, 64e6, nullptr);
+        eq.run();
+        benchmark::DoNotOptimize(engine.opsCompleted());
+    }
+}
+BENCHMARK(BM_RingAllReduce)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_NetworkBuild(benchmark::State &state)
+{
+    for (auto _ : state) {
+        const Network net = builders::buildResNet34();
+        benchmark::DoNotOptimize(net.totalParams());
+    }
+}
+BENCHMARK(BM_NetworkBuild);
+
+void
+BM_TrainingIteration(benchmark::State &state)
+{
+    LogConfig::verbose = false;
+    const Network net = builders::buildAlexNet();
+    for (auto _ : state) {
+        EventQueue eq;
+        SystemConfig cfg;
+        cfg.design = SystemDesign::McDlaB;
+        System system(eq, cfg);
+        TrainingSession session(system, net,
+                                ParallelMode::DataParallel, 512);
+        const IterationResult r = session.run();
+        benchmark::DoNotOptimize(r.makespan);
+        state.counters["sim_events"] =
+            static_cast<double>(r.eventsExecuted);
+    }
+}
+BENCHMARK(BM_TrainingIteration)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

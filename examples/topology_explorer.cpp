@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Topology explorer: builds every fabric of Section III-B, prints its
+ * logical rings with their stage sequences and hop counts, and runs a
+ * microbenchmark of collective latency and vmem bandwidth on each —
+ * a textual rendition of Figures 5, 7, and 8.
+ */
+
+#include <iostream>
+
+#include "core/mcdla.hh"
+
+using namespace mcdla;
+
+namespace
+{
+
+std::string
+stageName(const RingStage &stage)
+{
+    return (stage.isDevice ? "D" : "M") + std::to_string(stage.index);
+}
+
+void
+describe(const char *title, Fabric &fabric, EventQueue &eq)
+{
+    std::cout << "== " << title << " ==\n";
+    int idx = 0;
+    for (const RingPath &ring : fabric.rings()) {
+        std::cout << "  ring " << idx++ << " (" << ring.stageCount()
+                  << " hops): ";
+        for (std::size_t i = 0; i < ring.stages.size(); ++i) {
+            if (i)
+                std::cout << "->";
+            std::cout << stageName(ring.stages[i]);
+            if (i == 11 && ring.stages.size() > 14) {
+                std::cout << "->...";
+                break;
+            }
+        }
+        std::cout << '\n';
+    }
+
+    // Collective microbenchmark: 8 MB all-reduce across all rings.
+    CollectiveEngine engine(eq, std::string(title) + ".nccl", fabric);
+    Tick done = 0;
+    const Tick start = eq.now();
+    engine.launch(CollectiveKind::AllReduce, 8e6,
+                  [&] { done = eq.now() - start; });
+    eq.run();
+    if (!fabric.rings().empty())
+        std::cout << "  8 MB all-reduce: " << formatTime(done) << '\n';
+
+    // vmem microbenchmark: 150 MB offload from device 0.
+    if (!fabric.vmemPaths(0).empty()) {
+        DmaEngine dma(eq, std::string(title) + ".dma",
+                      fabric.vmemPaths(0));
+        const Tick mark = eq.now();
+        Tick dma_done = 0;
+        dma.transfer(150e6, DmaDirection::LocalToRemote,
+                     [&] { dma_done = eq.now() - mark; });
+        eq.run();
+        std::cout << "  150 MB offload: " << formatTime(dma_done)
+                  << " ("
+                  << formatBandwidth(150e6 / ticksToSeconds(dma_done))
+                  << ")\n";
+    }
+    std::cout << '\n';
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    LogConfig::verbose = false;
+    FabricConfig cfg;
+
+    {
+        EventQueue eq;
+        auto fab = buildDcdlaFabric(eq, cfg);
+        describe("DC-DLA cube-mesh rings (Fig 5)", *fab, eq);
+    }
+    {
+        EventQueue eq;
+        auto fab = buildHcdlaFabric(eq, cfg);
+        describe("HC-DLA (half links to host)", *fab, eq);
+    }
+    {
+        EventQueue eq;
+        auto fab = buildMcdlaStarAFabric(eq, cfg);
+        describe("MC-DLA star-A (Fig 7a: 8/8/24)", *fab, eq);
+    }
+    {
+        EventQueue eq;
+        auto fab = buildMcdlaStarFabric(eq, cfg);
+        describe("MC-DLA star (Fig 7b: 8/12/20)", *fab, eq);
+    }
+    {
+        EventQueue eq;
+        auto fab = buildMcdlaRingFabric(eq, cfg);
+        describe("MC-DLA ring (Fig 7c/8: 16/16/16)", *fab, eq);
+    }
+
+    std::cout << "The ring design keeps every ring balanced and turns "
+                 "all six links into virtualization bandwidth "
+                 "(150 GB/s vs 50 GB/s for the star designs).\n";
+    return 0;
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * CollectiveEngine implementation.
+ */
+
+#include "collective/ring_collective.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+const char *
+collectiveKindName(CollectiveKind kind)
+{
+    switch (kind) {
+      case CollectiveKind::AllGather: return "all-gather";
+      case CollectiveKind::AllReduce: return "all-reduce";
+      case CollectiveKind::ReduceScatter: return "reduce-scatter";
+      case CollectiveKind::Broadcast: return "broadcast";
+    }
+    return "unknown";
+}
+
+CollectiveEngine::CollectiveEngine(EventQueue &eq, std::string name,
+                                   const Fabric &fabric,
+                                   CollectiveConfig cfg)
+    : SimObject(eq, std::move(name)), _fabric(fabric), _cfg(cfg)
+{
+    for (const RingPath &ring : fabric.rings())
+        _rings.push_back(&ring);
+    stats().scalar("ops", "collective operations completed");
+    stats().scalar("bytes", "collective payload bytes launched");
+    if (_cfg.chunkBytes <= 0.0)
+        fatal("collective chunk size must be positive");
+}
+
+void
+CollectiveEngine::launch(CollectiveKind kind, double total_bytes,
+                         Handler on_done, int root)
+{
+    _bytesLaunched += total_bytes;
+    stats().scalar("bytes") += total_bytes;
+
+    auto complete = [this, on_done = std::move(on_done)] {
+        ++_opsCompleted;
+        ++stats().scalar("ops");
+        if (on_done)
+            on_done();
+    };
+
+    if (total_bytes <= 0.0 || _rings.empty()) {
+        // Degenerate: nothing to move (or nowhere to move it).
+        eventQueue().scheduleAfter(0, complete, name() + ".noop");
+        return;
+    }
+
+    const double share = total_bytes / static_cast<double>(_rings.size());
+    auto rings_left = std::make_shared<std::size_t>(_rings.size());
+    auto ring_done = std::make_shared<Handler>(
+        [rings_left, complete = std::move(complete)] {
+            if (--*rings_left == 0)
+                complete();
+        });
+
+    for (const RingPath *ring : _rings) {
+        const int root_stage = std::max(ring->stageOfDevice(root), 0);
+        runOnRing(*ring, kind, share, root_stage, ring_done);
+    }
+}
+
+void
+CollectiveEngine::runOnRing(const RingPath &ring, CollectiveKind kind,
+                            double bytes, int root_stage,
+                            const std::shared_ptr<Handler> &ring_done)
+{
+    const int stages = ring.stageCount();
+    if (stages < 2 || bytes <= 0.0) {
+        eventQueue().scheduleAfter(0, [ring_done] { (*ring_done)(); },
+                                   name() + ".trivial_ring");
+        return;
+    }
+
+    int blocks = 0;
+    int hops = 0;
+    double block_bytes = 0.0;
+    switch (kind) {
+      case CollectiveKind::AllGather:
+      case CollectiveKind::ReduceScatter:
+        blocks = stages;
+        block_bytes = bytes / static_cast<double>(stages);
+        hops = stages - 1;
+        break;
+      case CollectiveKind::AllReduce:
+        blocks = stages;
+        block_bytes = bytes / static_cast<double>(stages);
+        hops = 2 * (stages - 1);
+        break;
+      case CollectiveKind::Broadcast:
+        blocks = 1;
+        block_bytes = bytes;
+        hops = stages - 1;
+        break;
+    }
+
+    const auto chunks_per_block = static_cast<std::uint64_t>(
+        std::ceil(block_bytes / _cfg.chunkBytes));
+    auto outstanding = std::make_shared<std::uint64_t>(
+        static_cast<std::uint64_t>(blocks) * chunks_per_block);
+
+    for (int b = 0; b < blocks; ++b) {
+        const int start =
+            (kind == CollectiveKind::Broadcast) ? root_stage : b;
+        double left = block_bytes;
+        for (std::uint64_t c = 0; c < chunks_per_block; ++c) {
+            const double this_chunk = std::min(_cfg.chunkBytes, left);
+            left -= this_chunk;
+            forwardChunk(ring, start, hops, this_chunk, outstanding,
+                         ring_done);
+        }
+    }
+}
+
+void
+CollectiveEngine::forwardChunk(const RingPath &ring, int stage,
+                               int hops_remaining, double bytes,
+                               std::shared_ptr<std::uint64_t> outstanding,
+                               std::shared_ptr<Handler> done)
+{
+    const Route &route =
+        ring.hops[static_cast<std::size_t>(stage)
+                  % ring.hops.size()];
+    sendChunk(route, bytes,
+              [this, &ring, stage, hops_remaining, bytes,
+               outstanding = std::move(outstanding),
+               done = std::move(done)]() mutable {
+                  if (hops_remaining > 1) {
+                      forwardChunk(ring,
+                                   (stage + 1) % ring.stageCount(),
+                                   hops_remaining - 1, bytes,
+                                   std::move(outstanding),
+                                   std::move(done));
+                  } else if (--*outstanding == 0) {
+                      (*done)();
+                  }
+              });
+}
+
+Tick
+analyticRingLatency(CollectiveKind kind, int stages, double bytes,
+                    double link_bandwidth, Tick hop_latency,
+                    double chunk_bytes)
+{
+    if (stages < 2 || bytes <= 0.0)
+        return 0;
+
+    const double block_bytes = (kind == CollectiveKind::Broadcast)
+        ? bytes
+        : bytes / static_cast<double>(stages);
+    const Tick block_time = transferTicks(block_bytes, link_bandwidth);
+
+    // Pipeline granularity never exceeds the block itself.
+    const double eff_chunk = std::min(chunk_bytes, block_bytes);
+    const Tick chunk_time = secondsToTicks(eff_chunk / link_bandwidth);
+
+    int steps = 0;
+    switch (kind) {
+      case CollectiveKind::AllGather:
+      case CollectiveKind::ReduceScatter:
+        steps = stages - 1;
+        break;
+      case CollectiveKind::AllReduce:
+        steps = 2 * (stages - 1);
+        break;
+      case CollectiveKind::Broadcast:
+        // Pipelined: the wire streams the whole payload once, trailing
+        // chunks ripple through the remaining hops.
+        return block_time
+            + static_cast<Tick>(stages - 2)
+            * (chunk_time + hop_latency)
+            + hop_latency;
+    }
+
+    // Steady state: every channel carries `steps` blocks back-to-back;
+    // the pipeline head needs (steps-1) chunk-hops to fill.
+    return static_cast<Tick>(steps) * block_time
+        + static_cast<Tick>(steps - 1) * (chunk_time + hop_latency)
+        + hop_latency;
+}
+
+} // namespace mcdla

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Experiment helper implementation.
+ */
+
+#include "core/experiment.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+IterationResult
+simulateIteration(const RunSpec &spec, const Network &net)
+{
+    EventQueue eq;
+    SystemConfig cfg = spec.base;
+    cfg.design = spec.design;
+    System system(eq, cfg);
+    TrainingSession session(system, net, spec.mode, spec.globalBatch);
+    return session.run();
+}
+
+IterationResult
+simulateIteration(const RunSpec &spec)
+{
+    const Network net = buildBenchmark(spec.workload);
+    return simulateIteration(spec, net);
+}
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double denom = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            return 0.0;
+        denom += 1.0 / v;
+    }
+    return static_cast<double>(values.size()) / denom;
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            return 0.0;
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : _headers(std::move(headers))
+{}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != _headers.size())
+        panic("table row has %zu cells, expected %zu", cells.size(),
+              _headers.size());
+    _rows.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::num(double v, int digits)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << v;
+    return os.str();
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(_headers.size());
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        widths[c] = _headers[c].size();
+    for (const auto &row : _rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << cells[c];
+        }
+        os << '\n';
+    };
+    emit(_headers);
+    std::vector<std::string> rule;
+    for (std::size_t w : widths)
+        rule.push_back(std::string(w, '-'));
+    emit(rule);
+    for (const auto &row : _rows)
+        emit(row);
+}
+
+} // namespace mcdla

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Experiment helpers shared by the benchmark harness and examples:
+ * one-call "simulate design X on workload W" plumbing, means, and
+ * fixed-width table printing matching the paper's reporting style.
+ */
+
+#ifndef MCDLA_CORE_EXPERIMENT_HH
+#define MCDLA_CORE_EXPERIMENT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "system/training_session.hh"
+#include "workloads/benchmarks.hh"
+
+namespace mcdla
+{
+
+/** Parameters of one simulation run. */
+struct RunSpec
+{
+    SystemDesign design = SystemDesign::McDlaB;
+    std::string workload = "ResNet";
+    ParallelMode mode = ParallelMode::DataParallel;
+    std::int64_t globalBatch = kDefaultBatch;
+    /** Base configuration; design/topology fields are overridden. */
+    SystemConfig base;
+};
+
+/** Simulate one training iteration for a run spec. */
+IterationResult simulateIteration(const RunSpec &spec);
+
+/** Simulate with an already-built network (avoids rebuild cost). */
+IterationResult simulateIteration(const RunSpec &spec,
+                                  const Network &net);
+
+/** Harmonic mean (the paper's averaging convention, Section V). */
+double harmonicMean(const std::vector<double> &values);
+
+/** Geometric mean. */
+double geometricMean(const std::vector<double> &values);
+
+/** Simple fixed-width text table. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p digits decimals. */
+    static std::string num(double v, int digits = 3);
+
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace mcdla
+
+#endif // MCDLA_CORE_EXPERIMENT_HH

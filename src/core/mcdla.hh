@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Umbrella public header of the mcdla-sim library.
+ *
+ * Including this header gives access to the full public API:
+ *
+ *  - mcdla::builders — the eight Table III benchmark networks;
+ *  - mcdla::SystemConfig / System — the six design points of Figure 13;
+ *  - mcdla::TrainingSession — event-driven training-iteration simulation
+ *    with latency breakdowns, host-bandwidth, and makespan metrics;
+ *  - mcdla::VmemRuntime — the Table I cudaMallocRemote /
+ *    cudaFreeRemote / cudaMemcpyAsync(LocalToRemote|RemoteToLocal) API;
+ *  - mcdla::CollectiveEngine — ring all-gather / all-reduce / broadcast;
+ *  - experiment helpers (simulateIteration, harmonicMean, TablePrinter).
+ */
+
+#ifndef MCDLA_CORE_MCDLA_HH
+#define MCDLA_CORE_MCDLA_HH
+
+#include "collective/ring_collective.hh"
+#include "core/experiment.hh"
+#include "device/compute_model.hh"
+#include "device/device_config.hh"
+#include "device/device_node.hh"
+#include "dnn/builders.hh"
+#include "dnn/layer.hh"
+#include "dnn/network.hh"
+#include "dnn/tensor.hh"
+#include "interconnect/channel.hh"
+#include "interconnect/fabric.hh"
+#include "interconnect/fabrics.hh"
+#include "interconnect/flow.hh"
+#include "memory/address_map.hh"
+#include "memory/dimm.hh"
+#include "memory/memory_node.hh"
+#include "parallel/strategy.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+#include "sim/units.hh"
+#include "system/analytic_model.hh"
+#include "system/energy_model.hh"
+#include "system/system.hh"
+#include "system/system_config.hh"
+#include "system/training_session.hh"
+#include "vmem/dma_engine.hh"
+#include "vmem/offload_plan.hh"
+#include "vmem/runtime.hh"
+#include "workloads/benchmarks.hh"
+#include "workloads/synthetic.hh"
+
+#endif // MCDLA_CORE_MCDLA_HH

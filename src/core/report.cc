@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Reporting backends implementation.
+ */
+
+#include "core/report.hh"
+
+#include <iomanip>
+
+#include "sim/logging.hh"
+#include "system/system.hh"
+
+namespace mcdla
+{
+
+ResultSet::ResultSet(std::vector<std::string> columns)
+    : _columns(std::move(columns))
+{
+    if (_columns.empty())
+        panic("result set requires at least one column");
+}
+
+void
+ResultSet::addRow(std::vector<ReportValue> row)
+{
+    if (row.size() != _columns.size())
+        panic("result row has %zu cells, expected %zu", row.size(),
+              _columns.size());
+    _rows.push_back(std::move(row));
+}
+
+const ReportValue &
+ResultSet::cell(std::size_t row, std::size_t col) const
+{
+    if (row >= _rows.size() || col >= _columns.size())
+        panic("result cell (%zu, %zu) out of range", row, col);
+    return _rows[row][col];
+}
+
+void
+ResultSet::emitCsvField(std::ostream &os, const ReportValue &v)
+{
+    if (std::holds_alternative<std::string>(v)) {
+        const std::string &s = std::get<std::string>(v);
+        const bool quote = s.find_first_of(",\"\n") != std::string::npos;
+        if (!quote) {
+            os << s;
+            return;
+        }
+        os << '"';
+        for (char c : s) {
+            if (c == '"')
+                os << '"';
+            os << c;
+        }
+        os << '"';
+    } else if (std::holds_alternative<double>(v)) {
+        os << std::setprecision(10) << std::get<double>(v);
+    } else {
+        os << std::get<std::int64_t>(v);
+    }
+}
+
+void
+ResultSet::writeCsv(std::ostream &os) const
+{
+    for (std::size_t c = 0; c < _columns.size(); ++c) {
+        if (c)
+            os << ',';
+        emitCsvField(os, ReportValue{_columns[c]});
+    }
+    os << '\n';
+    for (const auto &row : _rows) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            emitCsvField(os, row[c]);
+        }
+        os << '\n';
+    }
+}
+
+void
+ResultSet::emitJsonValue(std::ostream &os, const ReportValue &v)
+{
+    if (std::holds_alternative<std::string>(v)) {
+        os << '"';
+        for (char c : std::get<std::string>(v)) {
+            switch (c) {
+              case '"': os << "\\\""; break;
+              case '\\': os << "\\\\"; break;
+              case '\n': os << "\\n"; break;
+              default: os << c;
+            }
+        }
+        os << '"';
+    } else if (std::holds_alternative<double>(v)) {
+        os << std::setprecision(10) << std::get<double>(v);
+    } else {
+        os << std::get<std::int64_t>(v);
+    }
+}
+
+void
+ResultSet::writeJson(std::ostream &os) const
+{
+    os << "[\n";
+    for (std::size_t r = 0; r < _rows.size(); ++r) {
+        os << "  {";
+        for (std::size_t c = 0; c < _columns.size(); ++c) {
+            if (c)
+                os << ", ";
+            emitJsonValue(os, ReportValue{_columns[c]});
+            os << ": ";
+            emitJsonValue(os, _rows[r][c]);
+        }
+        os << '}' << (r + 1 < _rows.size() ? "," : "") << '\n';
+    }
+    os << "]\n";
+}
+
+void
+dumpSystemStats(System &system, std::ostream &os)
+{
+    os << "---------- Begin Simulation Statistics ----------\n";
+    for (int d = 0; d < system.numDevices(); ++d) {
+        system.device(d).stats().dump(os);
+        system.dma(d).stats().dump(os);
+    }
+    system.collectives().stats().dump(os);
+    for (Channel *ch : system.fabric().channels())
+        ch->stats().dump(os);
+    os << "---------- End Simulation Statistics ----------\n";
+}
+
+} // namespace mcdla

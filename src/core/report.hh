@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Result-reporting backends: CSV and JSON writers for experiment
+ * sweeps and a system-wide statistics dump. The Chrome-tracing sink
+ * lives in sim/trace.hh so lower layers can emit events.
+ *
+ * Every bench binary prints human-readable tables; these writers give
+ * downstream users machine-readable output and visual timelines for
+ * debugging schedules.
+ */
+
+#ifndef MCDLA_CORE_REPORT_HH
+#define MCDLA_CORE_REPORT_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sim/trace.hh"
+#include "sim/units.hh"
+
+namespace mcdla
+{
+
+class System;
+
+/** A heterogeneous table cell. */
+using ReportValue = std::variant<std::string, double, std::int64_t>;
+
+/**
+ * A rectangular result set with named columns, writable as CSV or a
+ * JSON array of row objects.
+ */
+class ResultSet
+{
+  public:
+    explicit ResultSet(std::vector<std::string> columns);
+
+    const std::vector<std::string> &columns() const { return _columns; }
+    std::size_t rowCount() const { return _rows.size(); }
+
+    /** Append one row; must match the column count. */
+    void addRow(std::vector<ReportValue> row);
+
+    /** RFC-4180-style CSV with a header row. */
+    void writeCsv(std::ostream &os) const;
+
+    /** JSON array of objects keyed by column name. */
+    void writeJson(std::ostream &os) const;
+
+    /** Fetch a cell (row-major); panics when out of range. */
+    const ReportValue &cell(std::size_t row, std::size_t col) const;
+
+  private:
+    static void emitCsvField(std::ostream &os, const ReportValue &v);
+    static void emitJsonValue(std::ostream &os, const ReportValue &v);
+
+    std::vector<std::string> _columns;
+    std::vector<std::vector<ReportValue>> _rows;
+};
+
+/**
+ * Dump the statistics of every component of a system (devices, DMA
+ * engines, channels, collective engine) in gem5-style text form.
+ */
+void dumpSystemStats(System &system, std::ostream &os);
+
+} // namespace mcdla
+
+#endif // MCDLA_CORE_REPORT_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * ComputeModel implementation.
+ */
+
+#include "device/compute_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+namespace
+{
+
+std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // anonymous namespace
+
+std::int64_t
+ComputeModel::gemmCycles(std::int64_t m, std::int64_t n,
+                         std::int64_t k) const
+{
+    if (m <= 0 || n <= 0 || k <= 0)
+        return 0;
+    // Output-stationary mapping: the M x N output tile is spread across
+    // the PE grid; each PE reduces up to macsPerPe operands per cycle
+    // along K. Both dimensions quantize.
+    const std::int64_t output_waves = ceilDiv(m * n, _cfg.numPes);
+    const std::int64_t k_waves = ceilDiv(k, _cfg.macsPerPe);
+    const double ideal = static_cast<double>(output_waves)
+        * static_cast<double>(k_waves);
+    return static_cast<std::int64_t>(
+        std::ceil(ideal / _cfg.dataflowEfficiency));
+}
+
+Tick
+ComputeModel::gemmComputeTime(const GemmShape &gemm,
+                              const LayerScaling &scaling) const
+{
+    const std::int64_t m = ceilDiv(gemm.m, scaling.modelShards);
+    const std::int64_t n = gemm.nPerSample * scaling.batch;
+    const std::int64_t cycles = gemmCycles(m, n, gemm.k);
+    return secondsToTicks(static_cast<double>(cycles)
+                          / (_cfg.freqGhz * 1e9));
+}
+
+double
+ComputeModel::gemmUtilization(const GemmShape &gemm,
+                              const LayerScaling &scaling) const
+{
+    const std::int64_t m = ceilDiv(gemm.m, scaling.modelShards);
+    const std::int64_t n = gemm.nPerSample * scaling.batch;
+    const std::int64_t cycles = gemmCycles(m, n, gemm.k);
+    if (cycles == 0)
+        return 0.0;
+    const double ideal = static_cast<double>(m) * static_cast<double>(n)
+        * static_cast<double>(gemm.k);
+    const double issued = static_cast<double>(cycles)
+        * static_cast<double>(_cfg.numPes)
+        * static_cast<double>(_cfg.macsPerPe);
+    return ideal / issued;
+}
+
+double
+ComputeModel::forwardMemBytes(const Layer &layer,
+                              const LayerScaling &scaling) const
+{
+    const double shard = 1.0 / static_cast<double>(scaling.modelShards);
+    const double batch = static_cast<double>(scaling.batch);
+    // Weights stream in once per layer execution (model-parallel shards
+    // stream only their slice); activations stream in/out per sample.
+    double bytes = static_cast<double>(layer.weightBytes()) * shard;
+    bytes += static_cast<double>(layer.inBytesPerSample()) * batch;
+    bytes += (static_cast<double>(layer.outBytesPerSample()) * shard
+              + static_cast<double>(layer.auxStashBytesPerSample()) * shard)
+        * batch;
+    return bytes;
+}
+
+LayerTiming
+ComputeModel::layerTiming(const Layer &layer,
+                          const LayerScaling &scaling) const
+{
+    if (scaling.batch <= 0 || scaling.modelShards <= 0)
+        fatal("layer '%s': invalid scaling (batch=%lld shards=%lld)",
+              layer.name().c_str(),
+              static_cast<long long>(scaling.batch),
+              static_cast<long long>(scaling.modelShards));
+
+    LayerTiming t;
+    if (layer.kind() == LayerKind::Input)
+        return t;
+
+    // MAC-limited side: GEMMs plus element-wise work at peak lane rate.
+    Tick mac_time = 0;
+    double weighted_util = 0.0;
+    double total_macs = 0.0;
+    for (const GemmShape &g : layer.gemms()) {
+        mac_time += gemmComputeTime(g, scaling);
+        const double macs = static_cast<double>(g.macs(scaling.batch))
+            / static_cast<double>(scaling.modelShards);
+        weighted_util += gemmUtilization(g, scaling) * macs;
+        total_macs += macs;
+    }
+    const double elt_ops =
+        static_cast<double>(layer.fwdEltOpsPerSample())
+        * static_cast<double>(scaling.batch)
+        / static_cast<double>(scaling.modelShards);
+    if (elt_ops > 0.0)
+        mac_time += secondsToTicks(elt_ops / _cfg.peakMacsPerSec());
+
+    // Memory-limited side.
+    const double mem_bytes = forwardMemBytes(layer, scaling);
+    const Tick mem_time = secondsToTicks(mem_bytes / _cfg.memBandwidth);
+
+    const Tick body = std::max(mac_time, mem_time);
+    t.memoryBound = mem_time > mac_time;
+    t.forward = body + _cfg.launchOverhead + _cfg.memLatency();
+    t.fwdUtilization = total_macs > 0.0 ? weighted_util / total_macs : 0.0;
+
+    // Backward: dX and dW GEMMs (2x forward for weighted layers); the
+    // memory side scales the same way. Launch overhead charged once.
+    const double bwd_factor = layer.bwdMacFactor();
+    if (bwd_factor > 0.0) {
+        t.backward = static_cast<Tick>(static_cast<double>(body)
+                                       * bwd_factor)
+            + _cfg.launchOverhead + _cfg.memLatency();
+    }
+
+    // Weight update: read W and dW, write W (3x weight bytes), purely
+    // bandwidth-bound. Model-parallel shards update only their slice.
+    if (layer.hasWeights()) {
+        const double w_bytes = 3.0
+            * static_cast<double>(layer.weightBytes())
+            / static_cast<double>(scaling.modelShards);
+        t.weightUpdate = secondsToTicks(w_bytes / _cfg.memBandwidth)
+            + _cfg.launchOverhead;
+    }
+    return t;
+}
+
+} // namespace mcdla

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Per-layer execution-time model of the abstract DL accelerator.
+ *
+ * The model follows the paper's methodology (Section IV): an
+ * output-stationary spatial PE array with double-buffered SRAM, a
+ * fixed-bandwidth/fixed-latency local memory, and coarse-grain layer
+ * execution. Per layer, the time is the roofline maximum of
+ *
+ *   - MAC-limited time: GEMM cycles with PE-grid and K-lane quantization
+ *     (outputs are tiled across 1024 PEs; each PE reduces 125 MACs/cycle),
+ *   - memory-limited time: weight + activation traffic at HBM bandwidth,
+ *
+ * plus a fixed launch overhead and one memory-latency fill. Backward is
+ * scaled by the layer's dX+dW MAC factor; weight update is pure bandwidth.
+ */
+
+#ifndef MCDLA_DEVICE_COMPUTE_MODEL_HH
+#define MCDLA_DEVICE_COMPUTE_MODEL_HH
+
+#include <cstdint>
+
+#include "device/device_config.hh"
+#include "dnn/layer.hh"
+#include "sim/units.hh"
+
+namespace mcdla
+{
+
+/**
+ * Workload scaling applied by a parallelization strategy: output-dimension
+ * split (model parallel divides every GEMM's M) and per-device batch.
+ */
+struct LayerScaling
+{
+    std::int64_t batch = 1;     ///< Per-device batch (N multiplier).
+    std::int64_t modelShards = 1; ///< M divided across this many devices.
+};
+
+/** Per-layer timing estimates for one execution on one device. */
+struct LayerTiming
+{
+    Tick forward = 0;        ///< Forward-pass time.
+    Tick backward = 0;       ///< Backward-pass time (dX + dW).
+    Tick weightUpdate = 0;   ///< Optimizer step time.
+    double fwdUtilization = 0.0; ///< Achieved/peak MAC ratio (forward).
+    bool memoryBound = false;    ///< Forward limited by HBM bandwidth.
+};
+
+/** Stateless timing model bound to one device configuration. */
+class ComputeModel
+{
+  public:
+    explicit ComputeModel(const DeviceConfig &cfg) : _cfg(cfg) {}
+
+    const DeviceConfig &config() const { return _cfg; }
+
+    /** Full timing for one layer under @p scaling. */
+    LayerTiming layerTiming(const Layer &layer,
+                            const LayerScaling &scaling) const;
+
+    /** Forward-only convenience. */
+    Tick
+    forwardTime(const Layer &layer, const LayerScaling &scaling) const
+    {
+        return layerTiming(layer, scaling).forward;
+    }
+
+    /**
+     * MAC-limited time of a single GEMM on the PE array (exposed for
+     * validation tests).
+     */
+    Tick gemmComputeTime(const GemmShape &gemm,
+                         const LayerScaling &scaling) const;
+
+    /** Achieved utilization of a single GEMM in [0, 1]. */
+    double gemmUtilization(const GemmShape &gemm,
+                           const LayerScaling &scaling) const;
+
+  private:
+    /** Quantized PE-array cycle count for an M x N x K GEMM. */
+    std::int64_t gemmCycles(std::int64_t m, std::int64_t n,
+                            std::int64_t k) const;
+
+    /** Bytes moved to/from local memory by one forward execution. */
+    double forwardMemBytes(const Layer &layer,
+                           const LayerScaling &scaling) const;
+
+    DeviceConfig _cfg;
+};
+
+} // namespace mcdla
+
+#endif // MCDLA_DEVICE_COMPUTE_MODEL_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Accelerator generation catalog.
+ *
+ * Peak throughput and memory bandwidth are scaled from public datasheet
+ * figures (K40, M40, P100 fp16, V100 tensor-core, TPUv2 per-chip), mapped
+ * onto the paper's abstract 1024-PE array by varying MACs-per-PE. Absolute
+ * values are intentionally approximate; the Fig 2 experiment only needs
+ * the relative compute-vs-PCIe scaling trend.
+ */
+
+#include "device/device_config.hh"
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+std::vector<DeviceGeneration>
+deviceGenerationCatalog()
+{
+    std::vector<DeviceGeneration> catalog;
+
+    auto make = [](std::string name, std::int64_t macs_per_pe,
+                   double mem_bw_gb, std::uint64_t capacity) {
+        DeviceGeneration gen;
+        gen.name = name;
+        gen.config.name = std::move(name);
+        gen.config.macsPerPe = macs_per_pe;
+        gen.config.memBandwidth = mem_bw_gb * kGB;
+        gen.config.memCapacity = capacity;
+        return gen;
+    };
+
+    // name, MACs/PE, HBM/GDDR GB/s, capacity.
+    catalog.push_back(make("Kepler", 4, 288.0, 12 * kGiB));
+    catalog.push_back(make("Maxwell", 6, 288.0, 24 * kGiB));
+    catalog.push_back(make("Pascal", 24, 732.0, 16 * kGiB));
+    catalog.push_back(make("Volta", 125, 900.0, 16 * kGiB));
+    catalog.push_back(make("TPUv2", 96, 600.0, 16 * kGiB));
+    return catalog;
+}
+
+const DeviceConfig &
+deviceGeneration(const std::string &name)
+{
+    static const std::vector<DeviceGeneration> catalog =
+        deviceGenerationCatalog();
+    for (const auto &gen : catalog)
+        if (gen.name == name)
+            return gen.config;
+    fatal("unknown device generation '%s'", name.c_str());
+}
+
+} // namespace mcdla

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * AlexNet builder (Krizhevsky et al., NIPS 2012).
+ *
+ * Layer dimensions follow the single-tower formulation with the original
+ * two-tower grouping preserved as grouped convolutions on conv2/4/5,
+ * yielding the canonical ~61M parameters.
+ */
+
+#include "dnn/builders.hh"
+
+namespace mcdla::builders
+{
+
+Network
+buildAlexNet()
+{
+    Network net("AlexNet");
+
+    const auto in_shape = TensorShape::chw(3, 227, 227);
+    LayerId x = net.addLayer(Layer::input("data", in_shape));
+
+    // conv1: 96 x 11x11 / 4.
+    x = net.addAfter(Layer::conv2d("conv1", in_shape, 96, 11, 4, 0), x);
+    TensorShape s = net.layer(x).outShape(); // 96x55x55
+    x = net.addAfter(Layer::lrn("norm1", s), x);
+    x = net.addAfter(Layer::pool("pool1", s, 3, 2), x);
+    s = net.layer(x).outShape(); // 96x27x27
+
+    // conv2: 256 x 5x5, pad 2, groups 2.
+    x = net.addAfter(Layer::conv2d("conv2", s, 256, 5, 1, 2, 2), x);
+    s = net.layer(x).outShape(); // 256x27x27
+    x = net.addAfter(Layer::lrn("norm2", s), x);
+    x = net.addAfter(Layer::pool("pool2", s, 3, 2), x);
+    s = net.layer(x).outShape(); // 256x13x13
+
+    // conv3/4/5: 3x3 stack.
+    x = net.addAfter(Layer::conv2d("conv3", s, 384, 3, 1, 1), x);
+    s = net.layer(x).outShape(); // 384x13x13
+    x = net.addAfter(Layer::conv2d("conv4", s, 384, 3, 1, 1, 2), x);
+    s = net.layer(x).outShape();
+    x = net.addAfter(Layer::conv2d("conv5", s, 256, 3, 1, 1, 2), x);
+    s = net.layer(x).outShape(); // 256x13x13
+    x = net.addAfter(Layer::pool("pool5", s, 3, 2), x);
+    s = net.layer(x).outShape(); // 256x6x6
+
+    // Classifier.
+    x = net.addAfter(Layer::fullyConnected("fc6", s.elems(), 4096), x);
+    x = net.addAfter(Layer::dropout("drop6", net.layer(x).outShape()), x);
+    x = net.addAfter(Layer::fullyConnected("fc7", 4096, 4096), x);
+    x = net.addAfter(Layer::dropout("drop7", net.layer(x).outShape()), x);
+    x = net.addAfter(Layer::fullyConnected("fc8", 4096, 1000), x);
+    net.addAfter(Layer::softmaxLoss("loss", 1000), x);
+
+    net.validate();
+    return net;
+}
+
+} // namespace mcdla::builders

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * GoogLeNet builder (Szegedy et al., CVPR 2015).
+ *
+ * Stem (conv7x7, conv1x1, conv3x3) + nine inception modules + classifier
+ * FC. Each inception module contributes six convolutions (1x1, 3x3-reduce,
+ * 3x3, 5x5-reduce, 5x5, pool-projection): 3 + 9*6 + 1 = 58 weighted
+ * layers, matching Table III. The auxiliary classifiers used only during
+ * early training are omitted, as is conventional for performance studies.
+ */
+
+#include "dnn/builders.hh"
+
+#include <array>
+
+#include "sim/logging.hh"
+
+namespace mcdla::builders
+{
+
+namespace
+{
+
+/** Channel plan of one inception module. */
+struct InceptionCfg
+{
+    const char *name;
+    std::int64_t c1;      ///< #1x1
+    std::int64_t r3;      ///< #3x3 reduce
+    std::int64_t c3;      ///< #3x3
+    std::int64_t r5;      ///< #5x5 reduce
+    std::int64_t c5;      ///< #5x5
+    std::int64_t pp;      ///< pool projection
+};
+
+/** Emit one inception module; returns the concat layer id. */
+LayerId
+addInception(Network &net, LayerId in, const TensorShape &s,
+             const InceptionCfg &cfg)
+{
+    const std::string p = cfg.name;
+    const std::int64_t h = s.dim(1);
+    const std::int64_t w = s.dim(2);
+
+    // Branch 1: 1x1.
+    LayerId b1 = net.addAfter(
+        Layer::conv2d(p + "/1x1", s, cfg.c1, 1, 1, 0), in);
+
+    // Branch 2: 1x1 reduce -> 3x3.
+    LayerId b2 = net.addAfter(
+        Layer::conv2d(p + "/3x3_reduce", s, cfg.r3, 1, 1, 0), in);
+    b2 = net.addAfter(
+        Layer::conv2d(p + "/3x3", net.layer(b2).outShape(), cfg.c3, 3, 1,
+                      1), b2);
+
+    // Branch 3: 1x1 reduce -> 5x5.
+    LayerId b3 = net.addAfter(
+        Layer::conv2d(p + "/5x5_reduce", s, cfg.r5, 1, 1, 0), in);
+    b3 = net.addAfter(
+        Layer::conv2d(p + "/5x5", net.layer(b3).outShape(), cfg.c5, 5, 1,
+                      2), b3);
+
+    // Branch 4: 3x3 max pool -> 1x1 projection.
+    LayerId b4 = net.addAfter(Layer::pool(p + "/pool", s, 3, 1, 1), in);
+    b4 = net.addAfter(
+        Layer::conv2d(p + "/pool_proj", net.layer(b4).outShape(), cfg.pp,
+                      1, 1, 0), b4);
+
+    const std::int64_t out_c = cfg.c1 + cfg.c3 + cfg.c5 + cfg.pp;
+    return net.addLayer(Layer::concat(p + "/concat", out_c, h, w),
+                        {b1, b2, b3, b4});
+}
+
+} // anonymous namespace
+
+Network
+buildGoogLeNet()
+{
+    Network net("GoogLeNet");
+
+    const auto in_shape = TensorShape::chw(3, 224, 224);
+    LayerId x = net.addLayer(Layer::input("data", in_shape));
+
+    // Stem.
+    x = net.addAfter(Layer::conv2d("conv1/7x7_s2", in_shape, 64, 7, 2, 3),
+                     x);
+    TensorShape s = net.layer(x).outShape(); // 64x112x112
+    x = net.addAfter(Layer::pool("pool1/3x3_s2", s, 3, 2, 1), x);
+    s = net.layer(x).outShape(); // 64x56x56
+    x = net.addAfter(Layer::lrn("pool1/norm1", s), x);
+    x = net.addAfter(Layer::conv2d("conv2/3x3_reduce", s, 64, 1, 1, 0), x);
+    s = net.layer(x).outShape();
+    x = net.addAfter(Layer::conv2d("conv2/3x3", s, 192, 3, 1, 1), x);
+    s = net.layer(x).outShape(); // 192x56x56
+    x = net.addAfter(Layer::lrn("conv2/norm2", s), x);
+    x = net.addAfter(Layer::pool("pool2/3x3_s2", s, 3, 2, 1), x);
+    s = net.layer(x).outShape(); // 192x28x28
+
+    // Inception 3a/3b @28x28.
+    constexpr std::array<InceptionCfg, 9> cfgs{{
+        {"inception_3a", 64, 96, 128, 16, 32, 32},
+        {"inception_3b", 128, 128, 192, 32, 96, 64},
+        {"inception_4a", 192, 96, 208, 16, 48, 64},
+        {"inception_4b", 160, 112, 224, 24, 64, 64},
+        {"inception_4c", 128, 128, 256, 24, 64, 64},
+        {"inception_4d", 112, 144, 288, 32, 64, 64},
+        {"inception_4e", 256, 160, 320, 32, 128, 128},
+        {"inception_5a", 256, 160, 320, 32, 128, 128},
+        {"inception_5b", 384, 192, 384, 48, 128, 128},
+    }};
+
+    x = addInception(net, x, s, cfgs[0]);
+    s = net.layer(x).outShape(); // 256x28x28
+    x = addInception(net, x, s, cfgs[1]);
+    s = net.layer(x).outShape(); // 480x28x28
+    x = net.addAfter(Layer::pool("pool3/3x3_s2", s, 3, 2, 1), x);
+    s = net.layer(x).outShape(); // 480x14x14
+
+    for (int i = 2; i <= 6; ++i) {
+        x = addInception(net, x, s, cfgs[static_cast<std::size_t>(i)]);
+        s = net.layer(x).outShape();
+    }
+    // 832x14x14 after 4e.
+    x = net.addAfter(Layer::pool("pool4/3x3_s2", s, 3, 2, 1), x);
+    s = net.layer(x).outShape(); // 832x7x7
+
+    x = addInception(net, x, s, cfgs[7]);
+    s = net.layer(x).outShape();
+    x = addInception(net, x, s, cfgs[8]);
+    s = net.layer(x).outShape(); // 1024x7x7
+
+    x = net.addAfter(Layer::globalPool("pool5/7x7_s1", s), x);
+    x = net.addAfter(Layer::dropout("pool5/drop", net.layer(x).outShape()),
+                     x);
+    x = net.addAfter(Layer::fullyConnected("loss3/classifier", 1024, 1000),
+                     x);
+    net.addAfter(Layer::softmaxLoss("loss", 1000), x);
+
+    net.validate();
+    if (net.weightedLayerCount() != 58)
+        panic("GoogLeNet builder produced %lld weighted layers, expected "
+              "58",
+              static_cast<long long>(net.weightedLayerCount()));
+    return net;
+}
+
+} // namespace mcdla::builders

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * ResNet-34 builder (He et al., CVPR 2016).
+ *
+ * conv1 (7x7/2) + four stages of basic blocks {3,4,6,3} (two 3x3 convs
+ * each) + FC classifier = 1 + 32 + 1 = 34 weighted layers. Projection
+ * shortcuts (1x1, stride 2) are modelled but excluded from the depth count
+ * to match the paper's "34". Batch norms are modelled as cheap
+ * (recomputable) layers after every convolution.
+ */
+
+#include "dnn/builders.hh"
+
+#include <array>
+
+#include "sim/logging.hh"
+
+namespace mcdla::builders
+{
+
+namespace
+{
+
+/**
+ * Emit one basic residual block.
+ *
+ * @param net Target network.
+ * @param in Producer layer id.
+ * @param s In/out: running feature-map shape.
+ * @param channels Block width.
+ * @param stride Stride of the first conv (2 on stage transitions).
+ * @param name Block name prefix.
+ * @return Final (post-add) layer id.
+ */
+LayerId
+addBasicBlock(Network &net, LayerId in, TensorShape &s,
+              std::int64_t channels, std::int64_t stride,
+              const std::string &name)
+{
+    LayerId shortcut = in;
+
+    LayerId x = net.addAfter(
+        Layer::conv2d(name + "/conv1", s, channels, 3, stride, 1), in);
+    TensorShape mid = net.layer(x).outShape();
+    x = net.addAfter(Layer::batchNorm(name + "/bn1", mid), x);
+    x = net.addAfter(
+        Layer::conv2d(name + "/conv2", mid, channels, 3, 1, 1), x);
+    mid = net.layer(x).outShape();
+    x = net.addAfter(Layer::batchNorm(name + "/bn2", mid), x);
+
+    if (stride != 1 || s.dim(0) != channels) {
+        // Projection shortcut; weighted but not part of the canonical
+        // depth count.
+        LayerId proj = net.addAfter(
+            Layer::conv2d(name + "/proj", s, channels, 1, stride, 0)
+                .setCountsTowardDepth(false),
+            shortcut);
+        shortcut = net.addAfter(
+            Layer::batchNorm(name + "/proj_bn",
+                             net.layer(proj).outShape()),
+            proj);
+    }
+
+    x = net.addLayer(Layer::eltwiseAdd(name + "/add", mid), {x, shortcut});
+    s = mid;
+    return x;
+}
+
+} // anonymous namespace
+
+Network
+buildResNet34()
+{
+    Network net("ResNet");
+
+    const auto in_shape = TensorShape::chw(3, 224, 224);
+    LayerId x = net.addLayer(Layer::input("data", in_shape));
+
+    x = net.addAfter(Layer::conv2d("conv1", in_shape, 64, 7, 2, 3), x);
+    TensorShape s = net.layer(x).outShape(); // 64x112x112
+    x = net.addAfter(Layer::batchNorm("bn1", s), x);
+    x = net.addAfter(Layer::pool("pool1", s, 3, 2, 1), x);
+    s = net.layer(x).outShape(); // 64x56x56
+
+    struct Stage { std::int64_t channels; int blocks; };
+    constexpr std::array<Stage, 4> stages{{
+        {64, 3}, {128, 4}, {256, 6}, {512, 3},
+    }};
+
+    for (std::size_t stage = 0; stage < stages.size(); ++stage) {
+        for (int b = 0; b < stages[stage].blocks; ++b) {
+            const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+            const std::string name = "layer" + std::to_string(stage + 1)
+                + "." + std::to_string(b);
+            x = addBasicBlock(net, x, s, stages[stage].channels, stride,
+                              name);
+        }
+    }
+
+    x = net.addAfter(Layer::globalPool("avgpool", s), x);
+    x = net.addAfter(Layer::fullyConnected("fc", 512, 1000), x);
+    net.addAfter(Layer::softmaxLoss("loss", 1000), x);
+
+    net.validate();
+    if (net.weightedLayerCount() != 34)
+        panic("ResNet-34 builder produced %lld weighted layers, expected "
+              "34",
+              static_cast<long long>(net.weightedLayerCount()));
+    return net;
+}
+
+} // namespace mcdla::builders

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Recurrent-network builders (Table III rows 5-8).
+ *
+ * Each network is the full unrolled sequence: one cell layer per timestep
+ * chained through the hidden state, bracketed by an input layer and a
+ * softmax classifier. Hidden sizes follow Baidu DeepBench entries; the
+ * timestep counts are the ones printed in Table III (50 / 25 / 25 / 187).
+ * Inputs are hidden-width vectors (DeepBench convention), so x_t and
+ * h_{t-1} GEMMs share dimensions.
+ */
+
+#include "dnn/builders.hh"
+
+#include <functional>
+
+#include "sim/logging.hh"
+
+namespace mcdla::builders
+{
+
+namespace
+{
+
+using CellFactory =
+    std::function<Layer(const std::string &, std::int64_t)>;
+
+/**
+ * Build an unrolled single-layer recurrent network.
+ *
+ * @param name Network name (Table III).
+ * @param timesteps Sequence length.
+ * @param hidden Hidden width.
+ * @param make_cell Factory producing one cell layer per timestep.
+ */
+Network
+buildUnrolled(const std::string &name, std::int64_t timesteps,
+              std::int64_t hidden, const CellFactory &make_cell)
+{
+    if (timesteps <= 0)
+        fatal("recurrent network '%s' needs at least one timestep",
+              name.c_str());
+    Network net(name);
+    net.setTimesteps(timesteps);
+
+    // The whole input sequence arrives at once (timesteps x hidden).
+    LayerId seq_in = net.addLayer(
+        Layer::input("sequence", TensorShape{timesteps, hidden}));
+
+    LayerId h = seq_in;
+    for (std::int64_t t = 0; t < timesteps; ++t) {
+        const std::string cell_name = "t" + std::to_string(t);
+        Layer cell = make_cell(cell_name, hidden);
+        if (t > 0)
+            cell.markWeightsTied(); // one weight tensor, T readers
+        // Every cell consumes the input sequence and (after t=0) the
+        // previous hidden state.
+        std::vector<LayerId> inputs{seq_in};
+        if (t > 0)
+            inputs.push_back(h);
+        h = net.addLayer(std::move(cell), std::move(inputs));
+    }
+
+    LayerId fc = net.addAfter(
+        Layer::fullyConnected("classifier", hidden, hidden), h);
+    net.layer(fc).setCountsTowardDepth(false);
+    net.addAfter(Layer::softmaxLoss("loss", hidden), fc);
+
+    net.validate();
+    return net;
+}
+
+} // anonymous namespace
+
+Network
+buildRnnGemv(std::int64_t timesteps, std::int64_t hidden)
+{
+    return buildUnrolled("RNN-GEMV", timesteps, hidden,
+                         [](const std::string &n, std::int64_t h) {
+                             return Layer::rnnCell(n, h);
+                         });
+}
+
+Network
+buildRnnLstm1(std::int64_t timesteps, std::int64_t hidden)
+{
+    return buildUnrolled("RNN-LSTM-1", timesteps, hidden,
+                         [](const std::string &n, std::int64_t h) {
+                             return Layer::lstmCell(n, h);
+                         });
+}
+
+Network
+buildRnnLstm2(std::int64_t timesteps, std::int64_t hidden)
+{
+    return buildUnrolled("RNN-LSTM-2", timesteps, hidden,
+                         [](const std::string &n, std::int64_t h) {
+                             return Layer::lstmCell(n, h);
+                         });
+}
+
+Network
+buildRnnGru(std::int64_t timesteps, std::int64_t hidden)
+{
+    return buildUnrolled("RNN-GRU", timesteps, hidden,
+                         [](const std::string &n, std::int64_t h) {
+                             return Layer::gruCell(n, h);
+                         });
+}
+
+} // namespace mcdla::builders

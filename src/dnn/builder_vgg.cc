@@ -1,0 +1,63 @@
+/**
+ * @file
+ * VGG-E builder (Simonyan & Zisserman, ICLR 2015, configuration E).
+ *
+ * 16 convolution layers in five 3x3 stacks separated by 2x2 max pools,
+ * followed by the standard 4096-4096-1000 classifier: 19 weighted layers
+ * and ~143.7M parameters.
+ */
+
+#include "dnn/builders.hh"
+
+#include <array>
+
+#include "sim/logging.hh"
+
+namespace mcdla::builders
+{
+
+Network
+buildVggE()
+{
+    Network net("VGG-E");
+
+    // {channels, convs-in-stage} for the five stages of configuration E.
+    struct Stage { std::int64_t channels; int convs; };
+    constexpr std::array<Stage, 5> stages{{
+        {64, 2}, {128, 2}, {256, 4}, {512, 4}, {512, 4},
+    }};
+
+    const auto in_shape = TensorShape::chw(3, 224, 224);
+    LayerId x = net.addLayer(Layer::input("data", in_shape));
+    TensorShape s = in_shape;
+
+    int conv_idx = 0;
+    for (std::size_t stage = 0; stage < stages.size(); ++stage) {
+        for (int c = 0; c < stages[stage].convs; ++c) {
+            const std::string name = "conv" + std::to_string(stage + 1)
+                + "_" + std::to_string(c + 1);
+            x = net.addAfter(
+                Layer::conv2d(name, s, stages[stage].channels, 3, 1, 1),
+                x);
+            s = net.layer(x).outShape();
+            ++conv_idx;
+        }
+        x = net.addAfter(
+            Layer::pool("pool" + std::to_string(stage + 1), s, 2, 2), x);
+        s = net.layer(x).outShape();
+    }
+    if (conv_idx != 16)
+        panic("VGG-E builder produced %d convs, expected 16", conv_idx);
+
+    x = net.addAfter(Layer::fullyConnected("fc6", s.elems(), 4096), x);
+    x = net.addAfter(Layer::dropout("drop6", net.layer(x).outShape()), x);
+    x = net.addAfter(Layer::fullyConnected("fc7", 4096, 4096), x);
+    x = net.addAfter(Layer::dropout("drop7", net.layer(x).outShape()), x);
+    x = net.addAfter(Layer::fullyConnected("fc8", 4096, 1000), x);
+    net.addAfter(Layer::softmaxLoss("loss", 1000), x);
+
+    net.validate();
+    return net;
+}
+
+} // namespace mcdla::builders

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Builders for the eight benchmark networks of Table III.
+ *
+ * CNN topologies follow the original publications:
+ *  - AlexNet (Krizhevsky et al., NIPS 2012): 5 conv + 3 FC, grouped
+ *    conv2/4/5, LRN after conv1/conv2.
+ *  - VGG-E (Simonyan & Zisserman, ICLR 2015, configuration E = VGG-19):
+ *    16 conv + 3 FC.
+ *  - GoogLeNet (Szegedy et al., CVPR 2015): 3-conv stem + 9 inception
+ *    modules + 1 FC = 58 weighted layers.
+ *  - ResNet (He et al., CVPR 2016, ResNet-34): 1 conv + 32 block convs +
+ *    1 FC = 34 weighted layers (projection shortcuts excluded from the
+ *    depth count, as in the original paper).
+ *
+ * RNN workloads mirror Baidu DeepBench entries (Table III rows 5-8):
+ * timestep counts are the ones Table III prints (50/25/25/187); hidden
+ * widths are drawn from the DeepBench training-suite range (1024-1760)
+ * and calibrated so the virtualization-traffic-to-compute balance of the
+ * RNN rows matches the paper's Figure 11 shape (see DESIGN.md).
+ */
+
+#ifndef MCDLA_DNN_BUILDERS_HH
+#define MCDLA_DNN_BUILDERS_HH
+
+#include <cstdint>
+
+#include "dnn/network.hh"
+
+namespace mcdla::builders
+{
+
+/** AlexNet for 227x227x3 ImageNet inputs. 8 weighted layers. */
+Network buildAlexNet();
+
+/** VGG-E (VGG-19) for 224x224x3 inputs. 19 weighted layers. */
+Network buildVggE();
+
+/** GoogLeNet (inception v1) for 224x224x3 inputs. 58 weighted layers. */
+Network buildGoogLeNet();
+
+/** ResNet-34 for 224x224x3 inputs. 34 weighted layers. */
+Network buildResNet34();
+
+/**
+ * Vanilla RNN (speech recognition), GEMV-bound when the per-device batch
+ * is small. DeepBench-style hidden=1760.
+ *
+ * @param timesteps Unrolled sequence length (Table III: 50).
+ * @param hidden Hidden/input width (default 1760).
+ */
+Network buildRnnGemv(std::int64_t timesteps = 50,
+                     std::int64_t hidden = 1760);
+
+/** LSTM for machine translation (Table III: 25 steps; hidden 1024). */
+Network buildRnnLstm1(std::int64_t timesteps = 25,
+                      std::int64_t hidden = 1024);
+
+/** LSTM for language modeling (Table III: 25 steps; hidden 1536). */
+Network buildRnnLstm2(std::int64_t timesteps = 25,
+                      std::int64_t hidden = 1536);
+
+/** GRU for speech recognition (Table III: 187 steps; hidden 1536). */
+Network buildRnnGru(std::int64_t timesteps = 187,
+                    std::int64_t hidden = 1536);
+
+} // namespace mcdla::builders
+
+#endif // MCDLA_DNN_BUILDERS_HH

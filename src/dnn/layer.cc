@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Layer named constructors and derived-quantity computation.
+ */
+
+#include "dnn/layer.hh"
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Input: return "input";
+      case LayerKind::Conv2D: return "conv2d";
+      case LayerKind::FullyConnected: return "fc";
+      case LayerKind::Pool: return "pool";
+      case LayerKind::Activation: return "activation";
+      case LayerKind::LRN: return "lrn";
+      case LayerKind::BatchNorm: return "batchnorm";
+      case LayerKind::Concat: return "concat";
+      case LayerKind::EltwiseAdd: return "add";
+      case LayerKind::Dropout: return "dropout";
+      case LayerKind::RnnCell: return "rnn_cell";
+      case LayerKind::LstmCell: return "lstm_cell";
+      case LayerKind::GruCell: return "gru_cell";
+      case LayerKind::SoftmaxLoss: return "softmax_loss";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+/** Output spatial size of a strided window op. */
+std::int64_t
+convOutDim(std::int64_t in, std::int64_t kernel, std::int64_t stride,
+           std::int64_t pad)
+{
+    const std::int64_t out = (in + 2 * pad - kernel) / stride + 1;
+    if (out <= 0)
+        fatal("window op produces non-positive output dim "
+              "(in=%lld k=%lld s=%lld p=%lld)",
+              static_cast<long long>(in), static_cast<long long>(kernel),
+              static_cast<long long>(stride), static_cast<long long>(pad));
+    return out;
+}
+
+} // anonymous namespace
+
+Layer
+Layer::input(std::string name, TensorShape out)
+{
+    Layer l(LayerKind::Input, std::move(name), CostClass::Structural,
+            std::move(out));
+    l._bwdMacFactor = 0.0;
+    return l;
+}
+
+Layer
+Layer::conv2d(std::string name, const TensorShape &in, std::int64_t out_c,
+              std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+              std::int64_t groups)
+{
+    if (in.rank() != 3)
+        fatal("conv2d '%s' requires a CHW input, got %s", name.c_str(),
+              in.str().c_str());
+    const std::int64_t in_c = in.dim(0);
+    if (in_c % groups != 0 || out_c % groups != 0)
+        fatal("conv2d '%s': channels (%lld->%lld) not divisible by "
+              "groups (%lld)", name.c_str(),
+              static_cast<long long>(in_c),
+              static_cast<long long>(out_c),
+              static_cast<long long>(groups));
+    const std::int64_t out_h = convOutDim(in.dim(1), kernel, stride, pad);
+    const std::int64_t out_w = convOutDim(in.dim(2), kernel, stride, pad);
+
+    Layer l(LayerKind::Conv2D, std::move(name), CostClass::Heavy,
+            TensorShape::chw(out_c, out_h, out_w));
+    // Lowered GEMM view: M=out_c, K=(in_c/groups)*k*k, N=out_h*out_w*batch.
+    GemmShape g;
+    g.m = out_c;
+    g.k = (in_c / groups) * kernel * kernel;
+    g.nPerSample = out_h * out_w;
+    l._gemms.push_back(g);
+    l._paramCount = g.params() + out_c; // + bias
+    l._inBytes = in.bytes();
+    l._countsTowardDepth = true;
+    return l;
+}
+
+Layer
+Layer::fullyConnected(std::string name, std::int64_t in_f,
+                      std::int64_t out_f)
+{
+    Layer l(LayerKind::FullyConnected, std::move(name), CostClass::Heavy,
+            TensorShape::vec(out_f));
+    GemmShape g;
+    g.m = out_f;
+    g.k = in_f;
+    g.nPerSample = 1;
+    l._gemms.push_back(g);
+    l._paramCount = g.params() + out_f;
+    l._inBytes = static_cast<std::uint64_t>(in_f) * kElemBytes;
+    l._countsTowardDepth = true;
+    return l;
+}
+
+Layer
+Layer::pool(std::string name, const TensorShape &in, std::int64_t kernel,
+            std::int64_t stride, std::int64_t pad)
+{
+    if (in.rank() != 3)
+        fatal("pool '%s' requires a CHW input", name.c_str());
+    const std::int64_t out_h = convOutDim(in.dim(1), kernel, stride, pad);
+    const std::int64_t out_w = convOutDim(in.dim(2), kernel, stride, pad);
+    Layer l(LayerKind::Pool, std::move(name), CostClass::Cheap,
+            TensorShape::chw(in.dim(0), out_h, out_w));
+    l._fwdEltOpsPerSample = l._outShape.elems() * kernel * kernel;
+    l._inBytes = in.bytes();
+    l._bwdMacFactor = 1.0;
+    return l;
+}
+
+Layer
+Layer::globalPool(std::string name, const TensorShape &in)
+{
+    if (in.rank() != 3)
+        fatal("globalPool '%s' requires a CHW input", name.c_str());
+    Layer l(LayerKind::Pool, std::move(name), CostClass::Cheap,
+            TensorShape::vec(in.dim(0)));
+    l._fwdEltOpsPerSample = in.elems();
+    l._inBytes = in.bytes();
+    l._bwdMacFactor = 1.0;
+    return l;
+}
+
+Layer
+Layer::activation(std::string name, const TensorShape &in)
+{
+    Layer l(LayerKind::Activation, std::move(name), CostClass::Cheap, in);
+    l._fwdEltOpsPerSample = in.elems();
+    l._inBytes = in.bytes();
+    l._bwdMacFactor = 1.0;
+    return l;
+}
+
+Layer
+Layer::lrn(std::string name, const TensorShape &in)
+{
+    Layer l(LayerKind::LRN, std::move(name), CostClass::Cheap, in);
+    // Cross-channel normalization touches a 5-wide channel window.
+    l._fwdEltOpsPerSample = in.elems() * 5;
+    l._inBytes = in.bytes();
+    l._bwdMacFactor = 1.0;
+    return l;
+}
+
+Layer
+Layer::batchNorm(std::string name, const TensorShape &in)
+{
+    Layer l(LayerKind::BatchNorm, std::move(name), CostClass::Cheap, in);
+    l._fwdEltOpsPerSample = in.elems() * 2;
+    l._inBytes = in.bytes();
+    l._paramCount = in.rank() == 3 ? in.dim(0) * 2 : in.elems() * 2;
+    l._bwdMacFactor = 1.0;
+    return l;
+}
+
+Layer
+Layer::dropout(std::string name, const TensorShape &in)
+{
+    Layer l(LayerKind::Dropout, std::move(name), CostClass::Cheap, in);
+    l._fwdEltOpsPerSample = in.elems();
+    l._inBytes = in.bytes();
+    l._bwdMacFactor = 1.0;
+    return l;
+}
+
+Layer
+Layer::concat(std::string name, std::int64_t out_c, std::int64_t h,
+              std::int64_t w)
+{
+    Layer l(LayerKind::Concat, std::move(name), CostClass::Structural,
+            TensorShape::chw(out_c, h, w));
+    l._bwdMacFactor = 0.0;
+    return l;
+}
+
+Layer
+Layer::eltwiseAdd(std::string name, const TensorShape &in)
+{
+    Layer l(LayerKind::EltwiseAdd, std::move(name), CostClass::Cheap, in);
+    l._fwdEltOpsPerSample = in.elems();
+    l._inBytes = in.bytes() * 2;
+    l._bwdMacFactor = 1.0;
+    return l;
+}
+
+Layer
+Layer::rnnCell(std::string name, std::int64_t hidden)
+{
+    Layer l(LayerKind::RnnCell, std::move(name), CostClass::Heavy,
+            TensorShape::vec(hidden));
+    l._gemms.push_back(GemmShape{hidden, hidden, 1}); // W x_t
+    l._gemms.push_back(GemmShape{hidden, hidden, 1}); // U h_{t-1}
+    l._paramCount = 2 * hidden * hidden + hidden;
+    l._inBytes = static_cast<std::uint64_t>(2 * hidden) * kElemBytes;
+    // Pre-activation plus the x_t input slice saved for backward.
+    l._auxStash = static_cast<std::uint64_t>(2 * hidden) * kElemBytes;
+    return l;
+}
+
+Layer
+Layer::lstmCell(std::string name, std::int64_t hidden)
+{
+    Layer l(LayerKind::LstmCell, std::move(name), CostClass::Heavy,
+            TensorShape::vec(hidden));
+    l._gemms.push_back(GemmShape{4 * hidden, hidden, 1}); // W [i,f,o,g] x_t
+    l._gemms.push_back(GemmShape{4 * hidden, hidden, 1}); // U [..] h_{t-1}
+    l._paramCount = 8 * hidden * hidden + 4 * hidden;
+    l._inBytes = static_cast<std::uint64_t>(3 * hidden) * kElemBytes;
+    // Saved for backward: gate activations i,f,o,g (4H), cell states
+    // c_{t-1} and c_t (2H), tanh(c_t) (1H), and the x_t slice (1H).
+    l._auxStash = static_cast<std::uint64_t>(8 * hidden) * kElemBytes;
+    return l;
+}
+
+Layer
+Layer::gruCell(std::string name, std::int64_t hidden)
+{
+    Layer l(LayerKind::GruCell, std::move(name), CostClass::Heavy,
+            TensorShape::vec(hidden));
+    l._gemms.push_back(GemmShape{3 * hidden, hidden, 1}); // W [r,z,n] x_t
+    l._gemms.push_back(GemmShape{3 * hidden, hidden, 1}); // U [..] h_{t-1}
+    l._paramCount = 6 * hidden * hidden + 3 * hidden;
+    l._inBytes = static_cast<std::uint64_t>(2 * hidden) * kElemBytes;
+    // Saved for backward: gate activations r,z,n (3H), the candidate
+    // pre-activation (1H), and the x_t slice (1H).
+    l._auxStash = static_cast<std::uint64_t>(5 * hidden) * kElemBytes;
+    return l;
+}
+
+Layer
+Layer::softmaxLoss(std::string name, std::int64_t classes)
+{
+    Layer l(LayerKind::SoftmaxLoss, std::move(name), CostClass::Cheap,
+            TensorShape::vec(classes));
+    l._fwdEltOpsPerSample = classes * 3;
+    l._inBytes = static_cast<std::uint64_t>(classes) * kElemBytes;
+    l._bwdMacFactor = 1.0;
+    return l;
+}
+
+} // namespace mcdla

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Layer descriptor for DNN training simulation.
+ *
+ * A Layer carries everything the timing and memory models need:
+ *  - the GEMM decomposition of its forward pass (M, K, and per-sample N),
+ *  - parameter (weight) footprint,
+ *  - per-sample output and auxiliary stash footprints,
+ *  - a cost class driving the vDNN offload-vs-recompute policy.
+ *
+ * Layers are created through named constructors (Layer::conv2d, ...);
+ * the Network owns them and wires the DAG.
+ */
+
+#ifndef MCDLA_DNN_LAYER_HH
+#define MCDLA_DNN_LAYER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/tensor.hh"
+
+namespace mcdla
+{
+
+/** Dense layer identifier within one Network. */
+using LayerId = std::int32_t;
+constexpr LayerId invalidLayerId = -1;
+
+/** Layer taxonomy. */
+enum class LayerKind
+{
+    Input,          ///< Source of training samples.
+    Conv2D,         ///< Convolution (optionally grouped), bias+ReLU fused.
+    FullyConnected, ///< Dense GEMM layer, bias+ReLU fused.
+    Pool,           ///< Max/avg pooling.
+    Activation,     ///< Standalone activation (ReLU/tanh/sigmoid).
+    LRN,            ///< Local response normalization (AlexNet/GoogLeNet).
+    BatchNorm,      ///< Batch normalization (ResNet).
+    Concat,         ///< Channel concatenation (GoogLeNet inception).
+    EltwiseAdd,     ///< Residual addition (ResNet).
+    Dropout,        ///< Dropout (mask stored as recomputable state).
+    RnnCell,        ///< Vanilla recurrent cell (one timestep).
+    LstmCell,       ///< LSTM cell (one timestep).
+    GruCell,        ///< GRU cell (one timestep).
+    SoftmaxLoss,    ///< Classifier + loss.
+};
+
+/** Human-readable kind name. */
+const char *layerKindName(LayerKind kind);
+
+/**
+ * Cost class controlling the vDNN memory-overlaying policy
+ * (Section IV of the paper, footnote 4).
+ */
+enum class CostClass
+{
+    /**
+     * Convolution/GEMM/recurrent layers: stash-for-backward tensors are
+     * offloaded to the backing store after their last forward use.
+     */
+    Heavy,
+    /**
+     * Activation/pool/normalization layers: cheaper to recompute during
+     * backprop than to migrate (the MXNet-style optimization the paper
+     * adopts), so they generate no virtualization traffic.
+     */
+    Cheap,
+    /** Zero-cost graph structure (input, concat views). */
+    Structural,
+};
+
+/** One forward-pass GEMM: out[M x N] += W[M x K] * in[K x N]. */
+struct GemmShape
+{
+    std::int64_t m = 0;          ///< Output rows (output channels/units).
+    std::int64_t k = 0;          ///< Reduction depth.
+    std::int64_t nPerSample = 1; ///< N contribution per batch sample.
+
+    /** Forward multiply-accumulates for a given batch size. */
+    std::int64_t
+    macs(std::int64_t batch) const
+    {
+        return m * k * nPerSample * batch;
+    }
+
+    /** Weight parameter count (excludes bias). */
+    std::int64_t params() const { return m * k; }
+};
+
+/** A single layer of a Network. */
+class Layer
+{
+  public:
+    /// @name Named constructors
+    /// @{
+    static Layer input(std::string name, TensorShape out);
+
+    /**
+     * 2-D convolution with fused bias + ReLU.
+     *
+     * @param in Input feature-map shape {C,H,W}.
+     * @param out_c Output channels.
+     * @param kernel Square kernel size.
+     * @param stride Stride.
+     * @param pad Zero padding.
+     * @param groups Filter groups (AlexNet uses 2).
+     */
+    static Layer conv2d(std::string name, const TensorShape &in,
+                        std::int64_t out_c, std::int64_t kernel,
+                        std::int64_t stride, std::int64_t pad,
+                        std::int64_t groups = 1);
+
+    static Layer fullyConnected(std::string name, std::int64_t in_f,
+                                std::int64_t out_f);
+
+    static Layer pool(std::string name, const TensorShape &in,
+                      std::int64_t kernel, std::int64_t stride,
+                      std::int64_t pad = 0);
+
+    /** Global average pool collapsing HxW to 1x1. */
+    static Layer globalPool(std::string name, const TensorShape &in);
+
+    static Layer activation(std::string name, const TensorShape &in);
+    static Layer lrn(std::string name, const TensorShape &in);
+    static Layer batchNorm(std::string name, const TensorShape &in);
+    static Layer dropout(std::string name, const TensorShape &in);
+
+    /** Channel concat of @p channel_sums inputs (shapes share HxW). */
+    static Layer concat(std::string name, std::int64_t out_c,
+                        std::int64_t h, std::int64_t w);
+
+    static Layer eltwiseAdd(std::string name, const TensorShape &in);
+
+    /**
+     * Vanilla RNN cell: h_t = act(W x_t + U h_{t-1}).
+     * Input and hidden width are both @p hidden (DeepBench convention).
+     */
+    static Layer rnnCell(std::string name, std::int64_t hidden);
+
+    /** LSTM cell: 4 gates, 2 GEMMs of M=4H. */
+    static Layer lstmCell(std::string name, std::int64_t hidden);
+
+    /** GRU cell: 3 gates, 2 GEMMs of M=3H. */
+    static Layer gruCell(std::string name, std::int64_t hidden);
+
+    static Layer softmaxLoss(std::string name, std::int64_t classes);
+    /// @}
+
+    LayerKind kind() const { return _kind; }
+    const std::string &name() const { return _name; }
+    CostClass costClass() const { return _costClass; }
+    const TensorShape &outShape() const { return _outShape; }
+    const std::vector<GemmShape> &gemms() const { return _gemms; }
+
+    /** Whether this layer counts toward the paper's Table III depth. */
+    bool countsTowardDepth() const { return _countsTowardDepth; }
+    Layer &setCountsTowardDepth(bool v) { _countsTowardDepth = v;
+                                          return *this; }
+
+    /**
+     * Weight tying: unrolled recurrent cells share one weight tensor.
+     * Tied layers still *read* the shared weights every execution, but
+     * contribute no extra model storage, no extra dW synchronization,
+     * and no extra optimizer work.
+     */
+    bool weightsTied() const { return _weightsTied; }
+    Layer &markWeightsTied() { _weightsTied = true; return *this; }
+
+    /** Weight parameter count (including bias terms). */
+    std::int64_t paramCount() const { return _paramCount; }
+
+    /** Weight bytes. */
+    std::uint64_t
+    weightBytes() const
+    {
+        return static_cast<std::uint64_t>(_paramCount) * kElemBytes;
+    }
+
+    /** Forward MACs for @p batch samples. */
+    std::int64_t
+    fwdMacs(std::int64_t batch) const
+    {
+        std::int64_t total = 0;
+        for (const auto &g : _gemms)
+            total += g.macs(batch);
+        return total + _fwdEltOpsPerSample * batch;
+    }
+
+    /**
+     * Backward-pass MAC multiplier relative to forward. Weighted layers
+     * run both the dX and dW GEMMs (2x); the input layer has no dX (1x);
+     * element-wise layers roughly mirror their forward cost (1x).
+     */
+    double bwdMacFactor() const { return _bwdMacFactor; }
+
+    /** Per-sample bytes of the output tensor. */
+    std::uint64_t outBytesPerSample() const { return _outShape.bytes(); }
+
+    /** Per-sample bytes read from input tensors during forward. */
+    std::uint64_t inBytesPerSample() const { return _inBytes; }
+
+    /**
+     * Per-sample bytes of *internal* tensors saved for backward on top of
+     * the output (e.g. LSTM gate activations and cell state).
+     */
+    std::uint64_t auxStashBytesPerSample() const { return _auxStash; }
+
+    /** Element-wise forward ops per sample (cheap layers). */
+    std::int64_t fwdEltOpsPerSample() const { return _fwdEltOpsPerSample; }
+
+    /** Whether the layer owns trainable parameters. */
+    bool hasWeights() const { return _paramCount > 0; }
+
+    /** Recurrent cells process one timestep each. */
+    bool
+    isRecurrent() const
+    {
+        return _kind == LayerKind::RnnCell || _kind == LayerKind::LstmCell
+            || _kind == LayerKind::GruCell;
+    }
+
+  private:
+    Layer(LayerKind kind, std::string name, CostClass cost_class,
+          TensorShape out_shape)
+        : _kind(kind), _name(std::move(name)), _costClass(cost_class),
+          _outShape(std::move(out_shape))
+    {}
+
+    LayerKind _kind;
+    std::string _name;
+    CostClass _costClass;
+    TensorShape _outShape;
+    std::vector<GemmShape> _gemms;
+    std::int64_t _paramCount = 0;
+    std::int64_t _fwdEltOpsPerSample = 0;
+    std::uint64_t _inBytes = 0;
+    std::uint64_t _auxStash = 0;
+    double _bwdMacFactor = 2.0;
+    bool _countsTowardDepth = false;
+    bool _weightsTied = false;
+};
+
+} // namespace mcdla
+
+#endif // MCDLA_DNN_LAYER_HH

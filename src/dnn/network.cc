@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Network implementation.
+ */
+
+#include "dnn/network.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/units.hh"
+
+namespace mcdla
+{
+
+LayerId
+Network::addLayer(Layer layer, std::vector<LayerId> inputs)
+{
+    const LayerId id = static_cast<LayerId>(_layers.size());
+    for (LayerId in : inputs) {
+        if (in < 0 || in >= id)
+            fatal("network '%s': layer '%s' consumes layer %d which does "
+                  "not precede it", _name.c_str(), layer.name().c_str(),
+                  in);
+        _consumers[static_cast<std::size_t>(in)].push_back(id);
+    }
+    _layers.push_back(std::move(layer));
+    _inputs.push_back(std::move(inputs));
+    _consumers.emplace_back();
+    _topo.push_back(id);
+    return id;
+}
+
+const Layer &
+Network::layer(LayerId id) const
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= _layers.size())
+        panic("network '%s': layer id %d out of range", _name.c_str(), id);
+    return _layers[static_cast<std::size_t>(id)];
+}
+
+Layer &
+Network::layer(LayerId id)
+{
+    return const_cast<Layer &>(
+        static_cast<const Network *>(this)->layer(id));
+}
+
+const std::vector<LayerId> &
+Network::inputsOf(LayerId id) const
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= _inputs.size())
+        panic("network '%s': layer id %d out of range", _name.c_str(), id);
+    return _inputs[static_cast<std::size_t>(id)];
+}
+
+const std::vector<LayerId> &
+Network::consumersOf(LayerId id) const
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= _consumers.size())
+        panic("network '%s': layer id %d out of range", _name.c_str(), id);
+    return _consumers[static_cast<std::size_t>(id)];
+}
+
+void
+Network::validate() const
+{
+    if (_layers.empty())
+        fatal("network '%s' is empty", _name.c_str());
+    bool have_input = false;
+    for (std::size_t i = 0; i < _layers.size(); ++i) {
+        const Layer &l = _layers[i];
+        if (l.kind() == LayerKind::Input) {
+            have_input = true;
+            if (!_inputs[i].empty())
+                fatal("network '%s': input layer '%s' has producers",
+                      _name.c_str(), l.name().c_str());
+        } else if (_inputs[i].empty()) {
+            fatal("network '%s': non-input layer '%s' has no producers",
+                  _name.c_str(), l.name().c_str());
+        }
+    }
+    if (!have_input)
+        fatal("network '%s' has no input layer", _name.c_str());
+}
+
+std::int64_t
+Network::weightedLayerCount() const
+{
+    std::int64_t n = 0;
+    for (const Layer &l : _layers)
+        if (l.countsTowardDepth())
+            ++n;
+    return n;
+}
+
+std::int64_t
+Network::totalParams() const
+{
+    std::int64_t n = 0;
+    for (const Layer &l : _layers)
+        if (!l.weightsTied())
+            n += l.paramCount();
+    return n;
+}
+
+std::uint64_t
+Network::totalWeightBytes() const
+{
+    std::uint64_t n = 0;
+    for (const Layer &l : _layers)
+        if (!l.weightsTied())
+            n += l.weightBytes();
+    return n;
+}
+
+std::int64_t
+Network::fwdMacs(std::int64_t batch) const
+{
+    std::int64_t n = 0;
+    for (const Layer &l : _layers)
+        n += l.fwdMacs(batch);
+    return n;
+}
+
+bool
+Network::outputStashedForBackward(LayerId id) const
+{
+    const Layer &l = layer(id);
+    // Recurrent inputs are stashed slice-by-slice as part of each cell's
+    // auxiliary state, not as one monolithic tensor.
+    if (l.kind() == LayerKind::Input && isRecurrent())
+        return false;
+    if (l.costClass() == CostClass::Heavy)
+        return true;
+    for (LayerId c : consumersOf(id)) {
+        if (layer(c).costClass() == CostClass::Heavy)
+            return true;
+    }
+    return false;
+}
+
+std::uint64_t
+Network::stashBytesPerSample() const
+{
+    std::uint64_t total = 0;
+    for (LayerId id = 0; id < static_cast<LayerId>(_layers.size()); ++id) {
+        const Layer &l = layer(id);
+        if (outputStashedForBackward(id)
+            && l.costClass() != CostClass::Structural) {
+            total += l.outBytesPerSample();
+        }
+        total += l.auxStashBytesPerSample();
+    }
+    return total;
+}
+
+std::uint64_t
+Network::residentFeatureBytesPerSample() const
+{
+    // Every layer's output lives until its backward pass touches it, so
+    // without offloading the footprint is the sum of all outputs + stash.
+    std::uint64_t total = 0;
+    for (LayerId id = 0; id < static_cast<LayerId>(_layers.size()); ++id) {
+        const Layer &l = layer(id);
+        if (l.costClass() == CostClass::Structural
+            && l.kind() != LayerKind::Input) {
+            continue; // views, no storage
+        }
+        total += l.outBytesPerSample() + l.auxStashBytesPerSample();
+    }
+    return total;
+}
+
+std::string
+Network::summary() const
+{
+    std::ostringstream os;
+    os << "network " << _name << ": " << _layers.size() << " nodes, "
+       << weightedLayerCount() << " weighted layers, "
+       << totalParams() << " params ("
+       << formatBytes(static_cast<double>(totalWeightBytes())) << ")";
+    if (isRecurrent())
+        os << ", " << _timesteps << " timesteps";
+    os << '\n';
+    for (LayerId id : _topo) {
+        const Layer &l = layer(id);
+        os << "  [" << id << "] " << layerKindName(l.kind()) << ' '
+           << l.name() << " -> " << l.outShape().str();
+        if (l.hasWeights())
+            os << " (params " << l.paramCount() << ")";
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace mcdla

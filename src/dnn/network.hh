@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Network: a DAG of layers plus aggregate model/memory queries.
+ *
+ * The network is built once per benchmark (batch-agnostic); the training
+ * session and parallelization strategy scale per-sample quantities by the
+ * per-device batch. The DAG (not just a chain) matters: GoogLeNet's
+ * inception branches and ResNet's skip connections change tensor liveness,
+ * which drives the vDNN offload schedule.
+ */
+
+#ifndef MCDLA_DNN_NETWORK_HH
+#define MCDLA_DNN_NETWORK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/layer.hh"
+
+namespace mcdla
+{
+
+/** A directed acyclic graph of layers. */
+class Network
+{
+  public:
+    explicit Network(std::string name) : _name(std::move(name)) {}
+
+    const std::string &name() const { return _name; }
+
+    /**
+     * Add a layer fed by @p inputs (already-added layer ids).
+     *
+     * @return The new layer's id.
+     */
+    LayerId addLayer(Layer layer, std::vector<LayerId> inputs = {});
+
+    /** Convenience: add a layer fed by a single producer. */
+    LayerId
+    addAfter(Layer layer, LayerId input)
+    {
+        return addLayer(std::move(layer), {input});
+    }
+
+    std::size_t size() const { return _layers.size(); }
+    const Layer &layer(LayerId id) const;
+    Layer &layer(LayerId id);
+
+    const std::vector<LayerId> &inputsOf(LayerId id) const;
+    const std::vector<LayerId> &consumersOf(LayerId id) const;
+
+    /**
+     * Layers in a deterministic topological order (insertion order is
+     * required to already be topological; this is validated).
+     */
+    const std::vector<LayerId> &topoOrder() const { return _topo; }
+
+    /** Verify DAG consistency; fatal on dangling edges. */
+    void validate() const;
+
+    /// @name Aggregate model queries
+    /// @{
+
+    /** Layers counting toward the paper's Table III depth. */
+    std::int64_t weightedLayerCount() const;
+
+    /** Total trainable parameters. */
+    std::int64_t totalParams() const;
+
+    /** Total weight bytes (model size). */
+    std::uint64_t totalWeightBytes() const;
+
+    /** Forward MACs for @p batch samples. */
+    std::int64_t fwdMacs(std::int64_t batch) const;
+
+    /**
+     * Bytes per sample of every tensor a training pass must keep until
+     * backward (heavy-layer outputs feeding heavy consumers plus internal
+     * stash); this is the traffic base for vDNN offloading.
+     */
+    std::uint64_t stashBytesPerSample() const;
+
+    /**
+     * Peak per-sample feature-map footprint if *nothing* is offloaded,
+     * i.e. every stashed tensor resident simultaneously (the O(N) memory
+     * cost of training in Section II-B).
+     */
+    std::uint64_t residentFeatureBytesPerSample() const;
+    /// @}
+
+    /// @name Recurrent metadata
+    /// @{
+    void setTimesteps(std::int64_t t) { _timesteps = t; }
+    std::int64_t timesteps() const { return _timesteps; }
+    bool isRecurrent() const { return _timesteps > 0; }
+    /// @}
+
+    /**
+     * Whether @p id's output must be stashed for the backward pass: true
+     * when the layer is Heavy (its own backward needs saved state) or when
+     * any consumer is Heavy (dW of the consumer needs this tensor).
+     */
+    bool outputStashedForBackward(LayerId id) const;
+
+    /** Single-line per-layer summary (debugging/reporting). */
+    std::string summary() const;
+
+  private:
+    std::string _name;
+    std::vector<Layer> _layers;
+    std::vector<std::vector<LayerId>> _inputs;
+    std::vector<std::vector<LayerId>> _consumers;
+    std::vector<LayerId> _topo;
+    std::int64_t _timesteps = 0;
+};
+
+} // namespace mcdla
+
+#endif // MCDLA_DNN_NETWORK_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tensor shape descriptor.
+ *
+ * Shapes describe a *per-sample* tensor: the batch dimension is never part
+ * of a TensorShape. All batch scaling is applied by the parallelization
+ * strategy and the training session, which lets one Network instance serve
+ * every batch size and partitioning in the evaluation.
+ */
+
+#ifndef MCDLA_DNN_TENSOR_HH
+#define MCDLA_DNN_TENSOR_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace mcdla
+{
+
+/** Bytes per element for the single supported datatype (fp32 training). */
+constexpr std::uint64_t kElemBytes = 4;
+
+/** A per-sample tensor shape (e.g. {C,H,W} for images, {H} for vectors). */
+class TensorShape
+{
+  public:
+    TensorShape() = default;
+    TensorShape(std::initializer_list<std::int64_t> dims) : _dims(dims) {}
+    explicit TensorShape(std::vector<std::int64_t> dims)
+        : _dims(std::move(dims))
+    {}
+
+    /** Convenience for CHW feature maps. */
+    static TensorShape
+    chw(std::int64_t c, std::int64_t h, std::int64_t w)
+    {
+        return TensorShape{c, h, w};
+    }
+
+    /** Convenience for flat vectors. */
+    static TensorShape vec(std::int64_t n) { return TensorShape{n}; }
+
+    const std::vector<std::int64_t> &dims() const { return _dims; }
+    std::size_t rank() const { return _dims.size(); }
+    std::int64_t dim(std::size_t i) const { return _dims.at(i); }
+
+    /** Number of elements per sample. */
+    std::int64_t
+    elems() const
+    {
+        if (_dims.empty())
+            return 0;
+        return std::accumulate(_dims.begin(), _dims.end(),
+                               std::int64_t{1},
+                               [](auto a, auto b) { return a * b; });
+    }
+
+    /** Bytes per sample. */
+    std::uint64_t
+    bytes() const
+    {
+        return static_cast<std::uint64_t>(elems()) * kElemBytes;
+    }
+
+    bool operator==(const TensorShape &o) const { return _dims == o._dims; }
+    bool operator!=(const TensorShape &o) const { return !(*this == o); }
+
+    /** "64x56x56"-style rendering. */
+    std::string
+    str() const
+    {
+        std::string out;
+        for (std::size_t i = 0; i < _dims.size(); ++i) {
+            if (i)
+                out += 'x';
+            out += std::to_string(_dims[i]);
+        }
+        return out.empty() ? "scalar" : out;
+    }
+
+  private:
+    std::vector<std::int64_t> _dims;
+};
+
+} // namespace mcdla
+
+#endif // MCDLA_DNN_TENSOR_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Channel implementation.
+ */
+
+#include "interconnect/channel.hh"
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+Channel::Channel(EventQueue &eq, std::string name, double bandwidth,
+                 Tick latency)
+    : SimObject(eq, std::move(name)), _bandwidth(bandwidth),
+      _latency(latency)
+{
+    if (bandwidth <= 0.0)
+        fatal("channel '%s' requires positive bandwidth",
+              this->name().c_str());
+    stats().scalar("bytes", "payload bytes delivered");
+    stats().scalar("transfers", "transfer count");
+    stats().formula("busy_seconds",
+                    [this] { return ticksToSeconds(_busyTicks); },
+                    "occupied time");
+}
+
+void
+Channel::submit(double bytes, Handler on_delivered)
+{
+    if (bytes <= 0.0)
+        panic("channel '%s': non-positive transfer size", name().c_str());
+    _queue.push_back(Pending{bytes, std::move(on_delivered)});
+    if (!_busy)
+        startNext();
+}
+
+void
+Channel::startNext()
+{
+    if (_queue.empty()) {
+        _busy = false;
+        return;
+    }
+    _busy = true;
+    Pending req = std::move(_queue.front());
+    _queue.pop_front();
+
+    const Tick occupancy = transferTicks(req.bytes, _bandwidth);
+    _busyTicks += occupancy;
+    _bytesTransferred += req.bytes;
+    stats().scalar("bytes") += req.bytes;
+    ++stats().scalar("transfers");
+
+    const double bytes = req.bytes;
+    Handler handler = std::move(req.onDelivered);
+    after(occupancy,
+          [this, bytes, handler = std::move(handler)]() mutable {
+              recordWindowBytes(now(), bytes);
+              // Wire latency delays delivery but not the next transfer.
+              if (handler) {
+                  if (_latency == 0) {
+                      handler();
+                  } else {
+                      eventQueue().scheduleAfter(_latency,
+                                                 std::move(handler),
+                                                 name() + ".deliver");
+                  }
+              }
+              startNext();
+          },
+          "xfer_done");
+}
+
+void
+Channel::enablePeakTracking(Tick window)
+{
+    if (window == 0)
+        fatal("channel '%s': peak-tracking window must be positive",
+              name().c_str());
+    _peakWindow = window;
+    _currentWindowStart = now();
+    _currentWindowBytes = 0.0;
+    _maxWindowBytes = 0.0;
+}
+
+void
+Channel::recordWindowBytes(Tick at, double bytes)
+{
+    if (_peakWindow == 0)
+        return;
+    if (at >= _currentWindowStart + _peakWindow) {
+        _maxWindowBytes = std::max(_maxWindowBytes, _currentWindowBytes);
+        // Jump to the window containing `at`.
+        const Tick windows_ahead = (at - _currentWindowStart) / _peakWindow;
+        _currentWindowStart += windows_ahead * _peakWindow;
+        _currentWindowBytes = 0.0;
+    }
+    _currentWindowBytes += bytes;
+}
+
+double
+Channel::peakBandwidth() const
+{
+    if (_peakWindow == 0)
+        return 0.0;
+    const double peak = std::max(_maxWindowBytes, _currentWindowBytes);
+    return peak / ticksToSeconds(_peakWindow);
+}
+
+void
+Channel::resetStats()
+{
+    SimObject::resetStats();
+    _bytesTransferred = 0.0;
+    _busyTicks = 0;
+    _currentWindowStart = now();
+    _currentWindowBytes = 0.0;
+    _maxWindowBytes = 0.0;
+}
+
+} // namespace mcdla

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Channel: a unidirectional bandwidth server with FIFO queueing.
+ *
+ * Every physical link direction, memory-node DIMM bus, PCIe lane bundle,
+ * and host-socket DRAM interface is one Channel. Transfers submitted to a
+ * channel serialize in submission order and occupy it for
+ * bytes/bandwidth; delivery fires one propagation latency after the
+ * occupancy ends (so back-to-back transfers pipeline through the wire
+ * latency). Contention between flows that share a link — MC-DLA's
+ * defining modelling requirement, where ring-collective traffic and
+ * memory-virtualization DMAs ride the same NVLINK-class channels — falls
+ * out of the queueing naturally.
+ */
+
+#ifndef MCDLA_INTERCONNECT_CHANNEL_HH
+#define MCDLA_INTERCONNECT_CHANNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/sim_object.hh"
+
+namespace mcdla
+{
+
+/** A unidirectional, FIFO, fixed-bandwidth communication resource. */
+class Channel : public SimObject
+{
+  public:
+    using Handler = std::function<void()>;
+
+    /**
+     * @param eq Driving event queue.
+     * @param name Instance name.
+     * @param bandwidth Bytes per second; must be positive.
+     * @param latency Propagation delay added after occupancy.
+     */
+    Channel(EventQueue &eq, std::string name, double bandwidth,
+            Tick latency);
+
+    double bandwidth() const { return _bandwidth; }
+    Tick latency() const { return _latency; }
+
+    /**
+     * Enqueue a transfer.
+     *
+     * @param bytes Payload size; must be positive.
+     * @param on_delivered Invoked when the payload fully arrives at the
+     *                     far end (occupancy end + latency).
+     */
+    void submit(double bytes, Handler on_delivered);
+
+    /** Total payload bytes delivered so far. */
+    double bytesTransferred() const { return _bytesTransferred; }
+
+    /** Total ticks the channel was occupied. */
+    Tick busyTicks() const { return _busyTicks; }
+
+    /** Occupied fraction of [0, horizon]. */
+    double
+    utilization(Tick horizon) const
+    {
+        return horizon == 0
+            ? 0.0
+            : static_cast<double>(_busyTicks)
+                / static_cast<double>(horizon);
+    }
+
+    /** Transfers currently waiting (excludes the in-flight one). */
+    std::size_t queueDepth() const { return _queue.size(); }
+
+    /**
+     * Enable peak-bandwidth tracking with the given averaging window
+     * (used by host-socket channels for the Figure 12 "max" series).
+     */
+    void enablePeakTracking(Tick window);
+
+    /** Peak windowed bandwidth observed (bytes/sec); 0 if not tracked. */
+    double peakBandwidth() const;
+
+    /** Clear statistics (not queued work). */
+    void resetStats() override;
+
+  private:
+    void startNext();
+    void recordWindowBytes(Tick at, double bytes);
+
+    struct Pending
+    {
+        double bytes;
+        Handler onDelivered;
+    };
+
+    double _bandwidth;
+    Tick _latency;
+    bool _busy = false;
+    std::deque<Pending> _queue;
+
+    double _bytesTransferred = 0.0;
+    Tick _busyTicks = 0;
+
+    // Peak tracking: bytes accumulated per fixed window.
+    Tick _peakWindow = 0;
+    Tick _currentWindowStart = 0;
+    double _currentWindowBytes = 0.0;
+    double _maxWindowBytes = 0.0;
+};
+
+} // namespace mcdla
+
+#endif // MCDLA_INTERCONNECT_CHANNEL_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared configuration for fabric builders.
+ */
+
+#ifndef MCDLA_INTERCONNECT_FABRIC_CONFIG_HH
+#define MCDLA_INTERCONNECT_FABRIC_CONFIG_HH
+
+#include "sim/units.hh"
+
+namespace mcdla
+{
+
+/** Parameters shared by every fabric builder. */
+struct FabricConfig
+{
+    /** Device-node count (paper: 8). Must be even and >= 2 for rings. */
+    int numDevices = 8;
+
+    /** Bidirectional device-side rings (N/2 with N=6 links). */
+    int numRings = 3;
+
+    /// @name High-bandwidth link (NVLINK-class)
+    /// @{
+    double linkBandwidth = 25.0 * kGB; ///< Per direction (Table II: B).
+    Tick linkLatency = 500 * ticksPerNs;
+    /// @}
+
+    /// @name Host interface (PCIe)
+    /// @{
+    double pcieRawBandwidth = 16.0 * kGB; ///< gen3 x16 per direction.
+    double pcieEfficiency = 0.8125;       ///< Protocol overhead -> 13 GB/s.
+    Tick pcieLatency = 1300 * ticksPerNs;
+    /// @}
+
+    /// @name Host sockets
+    /// @{
+    int numSockets = 2;
+    /**
+     * Socket DRAM bandwidth cap (bytes/s). 0 means unconstrained — the
+     * paper's conservative assumption — in which case traffic is tracked
+     * but never throttled.
+     */
+    double socketBandwidth = 0.0;
+    Tick socketLatency = 100 * ticksPerNs;
+    /// @}
+
+    /// @name Memory-node (Table II)
+    /// @{
+    double memNodeBandwidth = 256.0 * kGB;
+    Tick memNodeLatency = 100 * ticksPerNs;
+    /// @}
+
+    /** Averaging window for peak host-bandwidth tracking (Fig 12). */
+    Tick peakWindow = 100 * ticksPerUs;
+
+    /// @name Device-side switch (Fig 15 scale-out plane)
+    /// @{
+    /**
+     * Ports per switch plane (NVSwitch: 18). One plane serves link r of
+     * every node, so a plane must have at least numDevices + numMemNodes
+     * ports.
+     */
+    int switchRadix = 18;
+    /** Store-and-forward latency through a switch plane. */
+    Tick switchLatency = 300 * ticksPerNs;
+    /// @}
+
+    /** Effective PCIe data bandwidth per direction. */
+    double pcieBandwidth() const { return pcieRawBandwidth
+                                       * pcieEfficiency; }
+};
+
+} // namespace mcdla
+
+#endif // MCDLA_INTERCONNECT_FABRIC_CONFIG_HH

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Host-attached fabric builders: DC-DLA (Fig 5) and HC-DLA.
+ */
+
+#include <string>
+
+#include "interconnect/fabrics.hh"
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+namespace
+{
+
+/** Socket index serving a device. */
+int
+socketOf(int device, int num_devices, int num_sockets)
+{
+    return device * num_sockets / num_devices;
+}
+
+/**
+ * Create one DRAM channel per host socket with peak tracking enabled.
+ *
+ * @param socket_bw Socket DRAM service rate. The paper's conservative
+ *        "no host interference" assumption corresponds to passing the
+ *        saturation rate of the attached device links, so the socket can
+ *        never throttle below what the devices can pull.
+ * @return Channel pointers, one per socket.
+ */
+std::vector<Channel *>
+makeSockets(Fabric &fab, const FabricConfig &cfg, double socket_bw)
+{
+    std::vector<Channel *> sockets;
+    for (int s = 0; s < cfg.numSockets; ++s) {
+        Channel &ch = fab.makeChannel(
+            "socket" + std::to_string(s) + ".dram", socket_bw,
+            cfg.socketLatency);
+        ch.enablePeakTracking(cfg.peakWindow);
+        fab.registerSocketChannel(&ch);
+        sockets.push_back(&ch);
+    }
+    return sockets;
+}
+
+/** Build the numRings parallel bidirectional device rings of DC-DLA. */
+void
+addDeviceRings(Fabric &fab, const FabricConfig &cfg)
+{
+    const int n = cfg.numDevices;
+    if (n < 2)
+        return;
+    for (int r = 0; r < cfg.numRings; ++r) {
+        std::vector<Channel *> fwd(static_cast<std::size_t>(n));
+        std::vector<Channel *> bwd(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            const int j = (i + 1) % n;
+            const std::string base = "r" + std::to_string(r) + ".d"
+                + std::to_string(i) + (i < j ? "-d" : "-d")
+                + std::to_string(j);
+            fwd[static_cast<std::size_t>(i)] = &fab.makeChannel(
+                base + ".fwd", cfg.linkBandwidth, cfg.linkLatency);
+            bwd[static_cast<std::size_t>(i)] = &fab.makeChannel(
+                base + ".bwd", cfg.linkBandwidth, cfg.linkLatency);
+        }
+        RingPath f;
+        RingPath b;
+        for (int i = 0; i < n; ++i) {
+            f.stages.push_back(RingStage{true, i});
+            f.hops.push_back(Route{{fwd[static_cast<std::size_t>(i)]}});
+            // Reverse ring: 0, n-1, n-2, ..., 1.
+            const int m = (n - i) % n;
+            const int prev = (m - 1 + n) % n;
+            b.stages.push_back(RingStage{true, m});
+            b.hops.push_back(Route{{bwd[static_cast<std::size_t>(prev)]}});
+        }
+        fab.addRing(std::move(f));
+        fab.addRing(std::move(b));
+    }
+}
+
+} // anonymous namespace
+
+std::unique_ptr<Fabric>
+buildDcdlaFabric(EventQueue &eq, const FabricConfig &cfg,
+                 bool with_host_vmem)
+{
+    if (cfg.numDevices < 1)
+        fatal("DC-DLA fabric requires at least one device");
+    auto fab = std::make_unique<Fabric>(eq, "dcdla");
+
+    addDeviceRings(*fab, cfg);
+
+    const int devices_per_socket =
+        (cfg.numDevices + cfg.numSockets - 1) / cfg.numSockets;
+    const double socket_bw = cfg.socketBandwidth > 0.0
+        ? cfg.socketBandwidth
+        : static_cast<double>(devices_per_socket) * cfg.pcieBandwidth();
+    std::vector<Channel *> sockets = makeSockets(*fab, cfg, socket_bw);
+
+    for (int d = 0; d < cfg.numDevices; ++d) {
+        Channel &up = fab->makeChannel(
+            "d" + std::to_string(d) + ".pcie.up", cfg.pcieBandwidth(),
+            cfg.pcieLatency);
+        Channel &down = fab->makeChannel(
+            "d" + std::to_string(d) + ".pcie.down", cfg.pcieBandwidth(),
+            cfg.pcieLatency);
+        if (!with_host_vmem)
+            continue;
+        Channel *sock = sockets[static_cast<std::size_t>(
+            socketOf(d, cfg.numDevices, cfg.numSockets))];
+        VmemPath path;
+        path.targetIndex = -1;
+        path.writeRoutes.push_back(Route{{&up, sock}});
+        path.readRoutes.push_back(Route{{sock, &down}});
+        fab->setVmemPaths(d, {std::move(path)});
+    }
+    return fab;
+}
+
+std::unique_ptr<Fabric>
+buildHcdlaFabric(EventQueue &eq, const FabricConfig &cfg)
+{
+    if (cfg.numDevices < 2)
+        fatal("HC-DLA fabric requires at least two devices");
+    if (cfg.numDevices % 2 != 0)
+        fatal("HC-DLA fabric requires an even device count");
+    auto fab = std::make_unique<Fabric>(eq, "hcdla");
+    const int n = cfg.numDevices;
+
+    // Half the links (numRings of them) go to the host; the device side
+    // keeps 12 links for n=8: double links on even ring edges, single on
+    // odd edges.
+    std::vector<Channel *> fa(static_cast<std::size_t>(n));
+    std::vector<Channel *> fb(static_cast<std::size_t>(n));
+    std::vector<Channel *> ba(static_cast<std::size_t>(n));
+    std::vector<Channel *> bb(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        const std::string base = "ring.d" + std::to_string(i) + "-d"
+            + std::to_string((i + 1) % n);
+        fa[static_cast<std::size_t>(i)] = &fab->makeChannel(
+            base + ".a.fwd", cfg.linkBandwidth, cfg.linkLatency);
+        ba[static_cast<std::size_t>(i)] = &fab->makeChannel(
+            base + ".a.bwd", cfg.linkBandwidth, cfg.linkLatency);
+        if (i % 2 == 0) {
+            fb[static_cast<std::size_t>(i)] = &fab->makeChannel(
+                base + ".b.fwd", cfg.linkBandwidth, cfg.linkLatency);
+            bb[static_cast<std::size_t>(i)] = &fab->makeChannel(
+                base + ".b.bwd", cfg.linkBandwidth, cfg.linkLatency);
+        } else {
+            // Odd edges have a single physical link; the second logical
+            // ring multiplexes onto it.
+            fb[static_cast<std::size_t>(i)] =
+                fa[static_cast<std::size_t>(i)];
+            bb[static_cast<std::size_t>(i)] =
+                ba[static_cast<std::size_t>(i)];
+        }
+    }
+
+    auto add_rings = [&](const std::vector<Channel *> &fwd,
+                         const std::vector<Channel *> &rev) {
+        RingPath f;
+        RingPath b;
+        for (int i = 0; i < n; ++i) {
+            f.stages.push_back(RingStage{true, i});
+            f.hops.push_back(Route{{fwd[static_cast<std::size_t>(i)]}});
+            const int m = (n - i) % n;
+            const int prev = (m - 1 + n) % n;
+            b.stages.push_back(RingStage{true, m});
+            b.hops.push_back(Route{{rev[static_cast<std::size_t>(prev)]}});
+        }
+        fab->addRing(std::move(f));
+        fab->addRing(std::move(b));
+    };
+    add_rings(fa, ba);
+    add_rings(fb, bb);
+
+    // Host attachment: numRings (=3) links per device to its socket.
+    const int devices_per_socket =
+        (n + cfg.numSockets - 1) / cfg.numSockets;
+    const double socket_bw = cfg.socketBandwidth > 0.0
+        ? cfg.socketBandwidth
+        : static_cast<double>(devices_per_socket)
+            * static_cast<double>(cfg.numRings) * cfg.linkBandwidth;
+    std::vector<Channel *> sockets = makeSockets(*fab, cfg, socket_bw);
+
+    for (int d = 0; d < n; ++d) {
+        Channel *sock =
+            sockets[static_cast<std::size_t>(socketOf(d, n,
+                                                      cfg.numSockets))];
+        VmemPath path;
+        path.targetIndex = -1;
+        for (int l = 0; l < cfg.numRings; ++l) {
+            Channel &up = fab->makeChannel(
+                "d" + std::to_string(d) + ".host" + std::to_string(l)
+                    + ".up",
+                cfg.linkBandwidth, cfg.linkLatency);
+            Channel &down = fab->makeChannel(
+                "d" + std::to_string(d) + ".host" + std::to_string(l)
+                    + ".down",
+                cfg.linkBandwidth, cfg.linkLatency);
+            path.writeRoutes.push_back(Route{{&up, sock}});
+            path.readRoutes.push_back(Route{{sock, &down}});
+        }
+        fab->setVmemPaths(d, {std::move(path)});
+    }
+    return fab;
+}
+
+} // namespace mcdla

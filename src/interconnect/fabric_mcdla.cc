@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Memory-centric fabric builders: MC-DLA ring (Fig 7c), star (Fig 7b),
+ * and the naive star-A derivative (Fig 7a).
+ */
+
+#include <string>
+
+#include "interconnect/fabrics.hh"
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+namespace
+{
+
+std::string
+segName(const char *kind, int ring, int i, const char *dir)
+{
+    return std::string(kind) + std::to_string(ring) + ".seg"
+        + std::to_string(i) + "." + dir;
+}
+
+/** Create the per-memory-node DIMM-bus channels. */
+std::vector<Channel *>
+makeMemNodes(Fabric &fab, const FabricConfig &cfg, int count)
+{
+    std::vector<Channel *> mem;
+    for (int m = 0; m < count; ++m) {
+        Channel &ch = fab.makeChannel("m" + std::to_string(m) + ".dimms",
+                                      cfg.memNodeBandwidth,
+                                      cfg.memNodeLatency);
+        fab.registerMemNodeChannel(m, &ch);
+        mem.push_back(&ch);
+    }
+    return mem;
+}
+
+} // anonymous namespace
+
+std::unique_ptr<Fabric>
+buildMcdlaRingFabric(EventQueue &eq, const FabricConfig &cfg)
+{
+    if (cfg.numDevices < 1)
+        fatal("MC-DLA ring fabric requires at least one device");
+    auto fab = std::make_unique<Fabric>(eq, "mcdla_ring");
+    const int n = cfg.numDevices;
+
+    std::vector<Channel *> mem = makeMemNodes(*fab, cfg, n);
+
+    // Per ring r and position i, four channels around memory-node M_i:
+    //   d2m[r][i]    : D_i     -> M_i      (right-bound write / ring fwd)
+    //   m2dn[r][i]   : M_i     -> D_{i+1}  (ring fwd)
+    //   dn2m[r][i]   : D_{i+1} -> M_i      (left-bound write / ring bwd)
+    //   m2d[r][i]    : M_i     -> D_i      (right read / ring bwd)
+    const auto R = static_cast<std::size_t>(cfg.numRings);
+    const auto N = static_cast<std::size_t>(n);
+    std::vector<std::vector<Channel *>> d2m(R), m2dn(R), dn2m(R), m2d(R);
+    for (std::size_t r = 0; r < R; ++r) {
+        d2m[r].resize(N);
+        m2dn[r].resize(N);
+        dn2m[r].resize(N);
+        m2d[r].resize(N);
+        for (int i = 0; i < n; ++i) {
+            const auto ri = static_cast<int>(r);
+            d2m[r][static_cast<std::size_t>(i)] = &fab->makeChannel(
+                segName("ring", ri, i, "d2m"), cfg.linkBandwidth,
+                cfg.linkLatency);
+            m2dn[r][static_cast<std::size_t>(i)] = &fab->makeChannel(
+                segName("ring", ri, i, "m2dn"), cfg.linkBandwidth,
+                cfg.linkLatency);
+            dn2m[r][static_cast<std::size_t>(i)] = &fab->makeChannel(
+                segName("ring", ri, i, "dn2m"), cfg.linkBandwidth,
+                cfg.linkLatency);
+            m2d[r][static_cast<std::size_t>(i)] = &fab->makeChannel(
+                segName("ring", ri, i, "m2d"), cfg.linkBandwidth,
+                cfg.linkLatency);
+        }
+    }
+
+    // Collective rings (only meaningful with >= 2 devices). Stages
+    // alternate D and M: every memory-node is a full ring participant
+    // (2n stages), which is the paper's Figure 9 cost model.
+    if (n >= 2) {
+        for (std::size_t r = 0; r < R; ++r) {
+            RingPath f;
+            for (int i = 0; i < n; ++i) {
+                const auto ui = static_cast<std::size_t>(i);
+                f.stages.push_back(RingStage{true, i});
+                f.hops.push_back(Route{{d2m[r][ui]}});
+                f.stages.push_back(RingStage{false, i});
+                f.hops.push_back(Route{{m2dn[r][ui]}});
+            }
+            fab->addRing(std::move(f));
+
+            // Reverse traversal: D0, M_{n-1}, D_{n-1}, M_{n-2}, ...
+            RingPath b;
+            for (int s = 0; s < n; ++s) {
+                const int d = (n - s) % n;
+                const int m = (d - 1 + n) % n;
+                const auto um = static_cast<std::size_t>(m);
+                b.stages.push_back(RingStage{true, d});
+                b.hops.push_back(Route{{dn2m[r][um]}});
+                b.stages.push_back(RingStage{false, m});
+                b.hops.push_back(Route{{m2d[r][um]}});
+            }
+            fab->addRing(std::move(b));
+        }
+    }
+
+    // Memory-virtualization paths: right target M_i, left target M_{i-1}.
+    for (int d = 0; d < n; ++d) {
+        const auto ud = static_cast<std::size_t>(d);
+        const int left = (d - 1 + n) % n;
+        const auto ul = static_cast<std::size_t>(left);
+
+        VmemPath right;
+        right.targetIndex = d;
+        for (std::size_t r = 0; r < R; ++r) {
+            right.writeRoutes.push_back(
+                Route{{d2m[r][ud], mem[ud]}});
+            right.readRoutes.push_back(
+                Route{{mem[ud], m2d[r][ud]}});
+        }
+
+        if (left == d) {
+            // Single-device degenerate system: all N links land on the
+            // one memory-node, so both channel groups serve it.
+            for (std::size_t r = 0; r < R; ++r) {
+                right.writeRoutes.push_back(
+                    Route{{dn2m[r][ud], mem[ud]}});
+                right.readRoutes.push_back(
+                    Route{{mem[ud], m2dn[r][ud]}});
+            }
+            fab->setVmemPaths(d, {std::move(right)});
+            continue;
+        }
+
+        VmemPath left_path;
+        left_path.targetIndex = left;
+        for (std::size_t r = 0; r < R; ++r) {
+            // D_d -> M_{d-1} is the "dn2m" channel at position d-1.
+            left_path.writeRoutes.push_back(
+                Route{{dn2m[r][ul], mem[ul]}});
+            left_path.readRoutes.push_back(
+                Route{{mem[ul], m2dn[r][ul]}});
+        }
+        fab->setVmemPaths(d, {std::move(right), std::move(left_path)});
+    }
+    return fab;
+}
+
+std::unique_ptr<Fabric>
+buildMcdlaStarFabric(EventQueue &eq, const FabricConfig &cfg)
+{
+    if (cfg.numDevices < 2 || cfg.numDevices % 2 != 0)
+        fatal("MC-DLA star fabric requires an even device count >= 2");
+    auto fab = std::make_unique<Fabric>(eq, "mcdla_star");
+    const int n = cfg.numDevices;
+    const auto N = static_cast<std::size_t>(n);
+
+    std::vector<Channel *> mem = makeMemNodes(*fab, cfg, n);
+
+    // Ring 1: direct device ring.
+    std::vector<Channel *> r1f(N), r1b(N);
+    // Gray direct links exist on odd edges only.
+    std::vector<Channel *> gf(N, nullptr), gb(N, nullptr);
+    // Designated device<->memory links (x2 per pair).
+    std::vector<Channel *> dm1f(N), dm1b(N), dm2f(N), dm2b(N);
+    // Cross links M_i <-> D_{i+1}.
+    std::vector<Channel *> xf(N), xb(N);
+    // Memory-to-memory links M_i <-> M_{i+1}.
+    std::vector<Channel *> mmf(N), mmb(N);
+
+    for (int i = 0; i < n; ++i) {
+        const auto ui = static_cast<std::size_t>(i);
+        r1f[ui] = &fab->makeChannel(segName("r1", 0, i, "fwd"),
+                                    cfg.linkBandwidth, cfg.linkLatency);
+        r1b[ui] = &fab->makeChannel(segName("r1", 0, i, "bwd"),
+                                    cfg.linkBandwidth, cfg.linkLatency);
+        if (i % 2 == 1) {
+            gf[ui] = &fab->makeChannel(segName("gray", 0, i, "fwd"),
+                                       cfg.linkBandwidth, cfg.linkLatency);
+            gb[ui] = &fab->makeChannel(segName("gray", 0, i, "bwd"),
+                                       cfg.linkBandwidth, cfg.linkLatency);
+        }
+        dm1f[ui] = &fab->makeChannel(segName("dm1", 0, i, "d2m"),
+                                     cfg.linkBandwidth, cfg.linkLatency);
+        dm1b[ui] = &fab->makeChannel(segName("dm1", 0, i, "m2d"),
+                                     cfg.linkBandwidth, cfg.linkLatency);
+        dm2f[ui] = &fab->makeChannel(segName("dm2", 0, i, "d2m"),
+                                     cfg.linkBandwidth, cfg.linkLatency);
+        dm2b[ui] = &fab->makeChannel(segName("dm2", 0, i, "m2d"),
+                                     cfg.linkBandwidth, cfg.linkLatency);
+        xf[ui] = &fab->makeChannel(segName("x", 0, i, "m2dn"),
+                                   cfg.linkBandwidth, cfg.linkLatency);
+        xb[ui] = &fab->makeChannel(segName("x", 0, i, "dn2m"),
+                                   cfg.linkBandwidth, cfg.linkLatency);
+        mmf[ui] = &fab->makeChannel(segName("mm", 0, i, "fwd"),
+                                    cfg.linkBandwidth, cfg.linkLatency);
+        mmb[ui] = &fab->makeChannel(segName("mm", 0, i, "bwd"),
+                                    cfg.linkBandwidth, cfg.linkLatency);
+    }
+
+    auto next = [n](int i) { return (i + 1) % n; };
+
+    // Ring 1 (8 stages): direct device ring.
+    {
+        RingPath f;
+        RingPath b;
+        for (int i = 0; i < n; ++i) {
+            f.stages.push_back(RingStage{true, i});
+            f.hops.push_back(Route{{r1f[static_cast<std::size_t>(i)]}});
+            const int m = (n - i) % n;
+            const int prev = (m - 1 + n) % n;
+            b.stages.push_back(RingStage{true, m});
+            b.hops.push_back(Route{{r1b[static_cast<std::size_t>(prev)]}});
+        }
+        fab->addRing(std::move(f));
+        fab->addRing(std::move(b));
+    }
+
+    // Ring 2 (gray, 12 stages): even hops route through M_i, odd hops
+    // use the direct gray link.
+    {
+        RingPath f;
+        for (int i = 0; i < n; ++i) {
+            const auto ui = static_cast<std::size_t>(i);
+            f.stages.push_back(RingStage{true, i});
+            if (i % 2 == 0) {
+                f.hops.push_back(Route{{dm1f[ui]}});
+                f.stages.push_back(RingStage{false, i});
+                f.hops.push_back(Route{{xf[ui]}});
+            } else {
+                f.hops.push_back(Route{{gf[ui]}});
+            }
+        }
+        fab->addRing(std::move(f));
+
+        RingPath b;
+        for (int s = 0; s < n; ++s) {
+            const int d = (n - s) % n;       // 0, n-1, n-2, ...
+            const int prev = (d - 1 + n) % n;
+            const auto up = static_cast<std::size_t>(prev);
+            b.stages.push_back(RingStage{true, d});
+            if (prev % 2 == 0) {
+                b.hops.push_back(Route{{xb[up]}});
+                b.stages.push_back(RingStage{false, prev});
+                b.hops.push_back(Route{{dm1b[up]}});
+            } else {
+                b.hops.push_back(Route{{gb[up]}});
+            }
+        }
+        fab->addRing(std::move(b));
+    }
+
+    // Ring 3 (dotted, 20 stages): even hops D->M->M->D, odd hops
+    // D->M->D (sharing the designated and cross links).
+    {
+        RingPath f;
+        for (int i = 0; i < n; ++i) {
+            const auto ui = static_cast<std::size_t>(i);
+            const auto un = static_cast<std::size_t>(next(i));
+            f.stages.push_back(RingStage{true, i});
+            if (i % 2 == 0) {
+                f.hops.push_back(Route{{dm2f[ui]}});
+                f.stages.push_back(RingStage{false, i});
+                f.hops.push_back(Route{{mmf[ui]}});
+                f.stages.push_back(RingStage{false, next(i)});
+                f.hops.push_back(Route{{dm2b[un]}});
+            } else {
+                f.hops.push_back(Route{{dm1f[ui]}});
+                f.stages.push_back(RingStage{false, i});
+                f.hops.push_back(Route{{xf[ui]}});
+            }
+        }
+        fab->addRing(std::move(f));
+
+        RingPath b;
+        for (int s = 0; s < n; ++s) {
+            const int d = (n - s) % n;
+            const int prev = (d - 1 + n) % n;
+            const auto up = static_cast<std::size_t>(prev);
+            const auto upn = static_cast<std::size_t>(next(prev));
+            b.stages.push_back(RingStage{true, d});
+            if (prev % 2 == 0) {
+                b.hops.push_back(Route{{dm2f[upn]}});
+                b.stages.push_back(RingStage{false, next(prev)});
+                b.hops.push_back(Route{{mmb[up]}});
+                b.stages.push_back(RingStage{false, prev});
+                b.hops.push_back(Route{{dm2b[up]}});
+            } else {
+                b.hops.push_back(Route{{xb[up]}});
+                b.stages.push_back(RingStage{false, prev});
+                b.hops.push_back(Route{{dm1b[up]}});
+            }
+        }
+        fab->addRing(std::move(b));
+    }
+
+    // vmem: each device reaches only its designated memory-node over the
+    // two dm links (2 x 25 = 50 GB/s).
+    for (int d = 0; d < n; ++d) {
+        const auto ud = static_cast<std::size_t>(d);
+        VmemPath path;
+        path.targetIndex = d;
+        path.writeRoutes.push_back(Route{{dm1f[ud], mem[ud]}});
+        path.writeRoutes.push_back(Route{{dm2f[ud], mem[ud]}});
+        path.readRoutes.push_back(Route{{mem[ud], dm1b[ud]}});
+        path.readRoutes.push_back(Route{{mem[ud], dm2b[ud]}});
+        fab->setVmemPaths(d, {std::move(path)});
+    }
+    return fab;
+}
+
+std::unique_ptr<Fabric>
+buildMcdlaStarAFabric(EventQueue &eq, const FabricConfig &cfg)
+{
+    if (cfg.numDevices < 2)
+        fatal("MC-DLA star-A fabric requires at least two devices");
+    auto fab = std::make_unique<Fabric>(eq, "mcdla_star_a");
+    const int n = cfg.numDevices;
+    const auto N = static_cast<std::size_t>(n);
+
+    std::vector<Channel *> mem = makeMemNodes(*fab, cfg, n);
+
+    // Two direct device rings (gray, dotted).
+    std::vector<Channel *> g1f(N), g1b(N), g2f(N), g2b(N);
+    // Designated device<->memory links (x2) and M<->M links.
+    std::vector<Channel *> dm1f(N), dm1b(N), dm2f(N), dm2b(N);
+    std::vector<Channel *> mmf(N), mmb(N);
+    // Second M<->M link set: forms the unused memory-only 4th ring.
+    std::vector<Channel *> mm2f(N), mm2b(N);
+
+    for (int i = 0; i < n; ++i) {
+        const auto ui = static_cast<std::size_t>(i);
+        g1f[ui] = &fab->makeChannel(segName("g1", 0, i, "fwd"),
+                                    cfg.linkBandwidth, cfg.linkLatency);
+        g1b[ui] = &fab->makeChannel(segName("g1", 0, i, "bwd"),
+                                    cfg.linkBandwidth, cfg.linkLatency);
+        g2f[ui] = &fab->makeChannel(segName("g2", 0, i, "fwd"),
+                                    cfg.linkBandwidth, cfg.linkLatency);
+        g2b[ui] = &fab->makeChannel(segName("g2", 0, i, "bwd"),
+                                    cfg.linkBandwidth, cfg.linkLatency);
+        dm1f[ui] = &fab->makeChannel(segName("dm1", 0, i, "d2m"),
+                                     cfg.linkBandwidth, cfg.linkLatency);
+        dm1b[ui] = &fab->makeChannel(segName("dm1", 0, i, "m2d"),
+                                     cfg.linkBandwidth, cfg.linkLatency);
+        dm2f[ui] = &fab->makeChannel(segName("dm2", 0, i, "d2m"),
+                                     cfg.linkBandwidth, cfg.linkLatency);
+        dm2b[ui] = &fab->makeChannel(segName("dm2", 0, i, "m2d"),
+                                     cfg.linkBandwidth, cfg.linkLatency);
+        mmf[ui] = &fab->makeChannel(segName("mm", 0, i, "fwd"),
+                                    cfg.linkBandwidth, cfg.linkLatency);
+        mmb[ui] = &fab->makeChannel(segName("mm", 0, i, "bwd"),
+                                    cfg.linkBandwidth, cfg.linkLatency);
+        mm2f[ui] = &fab->makeChannel(segName("mm2", 0, i, "fwd"),
+                                     cfg.linkBandwidth, cfg.linkLatency);
+        mm2b[ui] = &fab->makeChannel(segName("mm2", 0, i, "bwd"),
+                                     cfg.linkBandwidth, cfg.linkLatency);
+    }
+
+    auto add_direct_rings = [&](const std::vector<Channel *> &fwd,
+                                const std::vector<Channel *> &rev) {
+        RingPath f;
+        RingPath b;
+        for (int i = 0; i < n; ++i) {
+            f.stages.push_back(RingStage{true, i});
+            f.hops.push_back(Route{{fwd[static_cast<std::size_t>(i)]}});
+            const int m = (n - i) % n;
+            const int prev = (m - 1 + n) % n;
+            b.stages.push_back(RingStage{true, m});
+            b.hops.push_back(Route{{rev[static_cast<std::size_t>(prev)]}});
+        }
+        fab->addRing(std::move(f));
+        fab->addRing(std::move(b));
+    };
+    add_direct_rings(g1f, g1b);
+    add_direct_rings(g2f, g2b);
+
+    // Black ring (24 stages): descending device order, each device hop
+    // D_i -> M_i -> M_{i-1} -> D_{i-1} (footnote 1: every memory-node is
+    // visited twice around the full traversal).
+    {
+        RingPath f;
+        for (int s = 0; s < n; ++s) {
+            const int i = (n - s) % n;          // 0, n-1, n-2, ...
+            const int prev = (i - 1 + n) % n;
+            const auto ui = static_cast<std::size_t>(i);
+            const auto up = static_cast<std::size_t>(prev);
+            f.stages.push_back(RingStage{true, i});
+            f.hops.push_back(Route{{dm1f[ui]}});
+            f.stages.push_back(RingStage{false, i});
+            f.hops.push_back(Route{{mmb[up]}});
+            f.stages.push_back(RingStage{false, prev});
+            f.hops.push_back(Route{{dm1b[up]}});
+        }
+        fab->addRing(std::move(f));
+
+        // Reverse black ring: ascending, D_j -> M_j -> M_{j+1} -> D_{j+1}.
+        RingPath b;
+        for (int j = 0; j < n; ++j) {
+            const auto uj = static_cast<std::size_t>(j);
+            const int jn = (j + 1) % n;
+            const auto ujn = static_cast<std::size_t>(jn);
+            b.stages.push_back(RingStage{true, j});
+            b.hops.push_back(Route{{dm2f[uj]}});
+            b.stages.push_back(RingStage{false, j});
+            b.hops.push_back(Route{{mmf[uj]}});
+            b.stages.push_back(RingStage{false, jn});
+            b.hops.push_back(Route{{dm2b[ujn]}});
+        }
+        fab->addRing(std::move(b));
+    }
+
+    for (int d = 0; d < n; ++d) {
+        const auto ud = static_cast<std::size_t>(d);
+        VmemPath path;
+        path.targetIndex = d;
+        path.writeRoutes.push_back(Route{{dm1f[ud], mem[ud]}});
+        path.writeRoutes.push_back(Route{{dm2f[ud], mem[ud]}});
+        path.readRoutes.push_back(Route{{mem[ud], dm1b[ud]}});
+        path.readRoutes.push_back(Route{{mem[ud], dm2b[ud]}});
+        fab->setVmemPaths(d, {std::move(path)});
+    }
+    return fab;
+}
+
+} // namespace mcdla

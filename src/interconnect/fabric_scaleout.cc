@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Switched (scale-out) MC-DLA fabric builder — Section VI / Figure 15.
+ *
+ * One switch plane per link index: plane r connects link r of every
+ * device-node and memory-node through a non-blocking crossbar with a
+ * store-and-forward latency. The collective rings and vmem neighbor
+ * structure of the Fig 7(c) design are preserved logically — the switch
+ * merely re-routes each segment — so the design point scales to any
+ * node count the switch radix can seat.
+ */
+
+#include <string>
+
+#include "interconnect/fabrics.hh"
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+std::unique_ptr<Fabric>
+buildMcdlaSwitchFabric(EventQueue &eq, const FabricConfig &cfg)
+{
+    const int n = cfg.numDevices;
+    if (n < 1)
+        fatal("switched MC-DLA fabric requires at least one device");
+    if (2 * n > cfg.switchRadix)
+        fatal("switch radix %d cannot seat %d device-nodes plus %d "
+              "memory-nodes per plane; use a larger switch or fewer "
+              "nodes",
+              cfg.switchRadix, n, n);
+
+    auto fab = std::make_unique<Fabric>(eq, "mcdla_switch");
+
+    // Memory-node DIMM buses.
+    std::vector<Channel *> mem;
+    for (int m = 0; m < n; ++m) {
+        Channel &ch = fab->makeChannel("m" + std::to_string(m)
+                                           + ".dimms",
+                                       cfg.memNodeBandwidth,
+                                       cfg.memNodeLatency);
+        fab->registerMemNodeChannel(m, &ch);
+        mem.push_back(&ch);
+    }
+
+    // One plane per physical link (the DGX-2 pattern: N=6 links, six
+    // switch planes). Per plane and node: an up (node -> switch) and a
+    // down (switch -> node) channel; the switch's forwarding latency is
+    // charged on the down channel.
+    const auto P = static_cast<std::size_t>(2 * cfg.numRings);
+    const auto N = static_cast<std::size_t>(n);
+    std::vector<std::vector<Channel *>> dUp(P), dDown(P), mUp(P),
+        mDown(P);
+    for (std::size_t p = 0; p < P; ++p) {
+        dUp[p].resize(N);
+        dDown[p].resize(N);
+        mUp[p].resize(N);
+        mDown[p].resize(N);
+        for (int i = 0; i < n; ++i) {
+            const std::string plane = "plane" + std::to_string(p);
+            const auto ui = static_cast<std::size_t>(i);
+            dUp[p][ui] = &fab->makeChannel(
+                plane + ".d" + std::to_string(i) + ".up",
+                cfg.linkBandwidth, cfg.linkLatency);
+            dDown[p][ui] = &fab->makeChannel(
+                plane + ".d" + std::to_string(i) + ".down",
+                cfg.linkBandwidth, cfg.linkLatency + cfg.switchLatency);
+            mUp[p][ui] = &fab->makeChannel(
+                plane + ".m" + std::to_string(i) + ".up",
+                cfg.linkBandwidth, cfg.linkLatency);
+            mDown[p][ui] = &fab->makeChannel(
+                plane + ".m" + std::to_string(i) + ".down",
+                cfg.linkBandwidth, cfg.linkLatency + cfg.switchLatency);
+        }
+    }
+
+    // Logical rings: one unidirectional ring per plane, forward on even
+    // planes and reverse on odd planes, stages alternating D and M.
+    if (n >= 2) {
+        for (std::size_t p = 0; p < P; ++p) {
+            RingPath ring;
+            if (p % 2 == 0) {
+                for (int i = 0; i < n; ++i) {
+                    const auto ui = static_cast<std::size_t>(i);
+                    const auto un =
+                        static_cast<std::size_t>((i + 1) % n);
+                    ring.stages.push_back(RingStage{true, i});
+                    ring.hops.push_back(
+                        Route{{dUp[p][ui], mDown[p][ui]}});
+                    ring.stages.push_back(RingStage{false, i});
+                    ring.hops.push_back(
+                        Route{{mUp[p][ui], dDown[p][un]}});
+                }
+            } else {
+                for (int s = 0; s < n; ++s) {
+                    const int d = (n - s) % n;
+                    const int m = (d - 1 + n) % n;
+                    const auto ud = static_cast<std::size_t>(d);
+                    const auto um = static_cast<std::size_t>(m);
+                    ring.stages.push_back(RingStage{true, d});
+                    ring.hops.push_back(
+                        Route{{dUp[p][ud], mDown[p][um]}});
+                    ring.stages.push_back(RingStage{false, m});
+                    ring.hops.push_back(
+                        Route{{mUp[p][um], dDown[p][um]}});
+                }
+            }
+            fab->addRing(std::move(ring));
+        }
+    }
+
+    // vmem paths: logical right (M_d) and left (M_{d-1}) neighbors as
+    // in the direct ring design; the right target rides the first half
+    // of the planes, the left target the second half, so BW_AWARE
+    // engages all N links and LOCAL uses N/2 (Fig 10 semantics).
+    const std::size_t half = P / 2;
+    for (int d = 0; d < n; ++d) {
+        const auto ud = static_cast<std::size_t>(d);
+        const int left = (d - 1 + n) % n;
+        const auto ul = static_cast<std::size_t>(left);
+
+        VmemPath right;
+        right.targetIndex = d;
+        for (std::size_t p = 0; p < half; ++p) {
+            right.writeRoutes.push_back(
+                Route{{dUp[p][ud], mDown[p][ud], mem[ud]}});
+            right.readRoutes.push_back(
+                Route{{mem[ud], mUp[p][ud], dDown[p][ud]}});
+        }
+        if (left == d) {
+            for (std::size_t p = half; p < P; ++p) {
+                right.writeRoutes.push_back(
+                    Route{{dUp[p][ud], mDown[p][ud], mem[ud]}});
+                right.readRoutes.push_back(
+                    Route{{mem[ud], mUp[p][ud], dDown[p][ud]}});
+            }
+            fab->setVmemPaths(d, {std::move(right)});
+            continue;
+        }
+        VmemPath left_path;
+        left_path.targetIndex = left;
+        for (std::size_t p = half; p < P; ++p) {
+            left_path.writeRoutes.push_back(
+                Route{{dUp[p][ud], mDown[p][ul], mem[ul]}});
+            left_path.readRoutes.push_back(
+                Route{{mem[ul], mUp[p][ul], dDown[p][ud]}});
+        }
+        fab->setVmemPaths(d, {std::move(right), std::move(left_path)});
+    }
+    return fab;
+}
+
+} // namespace mcdla

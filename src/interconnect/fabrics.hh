@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fabric builders for every system design point in the evaluation.
+ *
+ * Hop-count properties asserted by the test suite (paper Section III-B):
+ *  - DC-DLA (Fig 5): 3 bidirectional device rings, 8 physical hops each.
+ *  - MC-DLA star-A (Fig 7a): device rings of 8/8 hops plus a 24-hop ring
+ *    visiting every memory-node twice.
+ *  - MC-DLA star (Fig 7b, the evaluated MC-DLA(S)): rings of 8/12/20 hops.
+ *  - MC-DLA ring (Fig 7c): 3 rings of 16 hops (devices and memory-nodes
+ *    alternate).
+ */
+
+#ifndef MCDLA_INTERCONNECT_FABRICS_HH
+#define MCDLA_INTERCONNECT_FABRICS_HH
+
+#include <memory>
+
+#include "interconnect/fabric.hh"
+#include "interconnect/fabric_config.hh"
+
+namespace mcdla
+{
+
+/**
+ * DC-DLA: DGX-style cube-mesh flattened into numRings bidirectional
+ * device rings; memory virtualization over per-device PCIe to the host
+ * sockets.
+ *
+ * @param with_host_vmem When false (the DC-DLA(O) oracle), no vmem paths
+ *                       are published.
+ */
+std::unique_ptr<Fabric> buildDcdlaFabric(EventQueue &eq,
+                                         const FabricConfig &cfg,
+                                         bool with_host_vmem = true);
+
+/**
+ * HC-DLA: half of each device's links (3) connect to its host socket for
+ * memory virtualization; the device-side ring budget drops to 12 links
+ * (alternating double/single hops), so one full-rate ring plus one
+ * partially link-sharing ring per direction remain.
+ *
+ * The socket bandwidth defaults to the paper's overprovisioned
+ * (numDevices/numSockets) * 3 * linkBandwidth unless cfg.socketBandwidth
+ * is non-zero.
+ */
+std::unique_ptr<Fabric> buildHcdlaFabric(EventQueue &eq,
+                                         const FabricConfig &cfg);
+
+/**
+ * MC-DLA ring (Fig 7c / Fig 8): numRings bidirectional 2*numDevices-node
+ * rings alternating D and M. Each device reaches its left and right
+ * memory-nodes with numRings links each; vmem paths carry both targets so
+ * the page-allocation policy (LOCAL vs BW_AWARE) picks the split.
+ */
+std::unique_ptr<Fabric> buildMcdlaRingFabric(EventQueue &eq,
+                                             const FabricConfig &cfg);
+
+/** MC-DLA star (Fig 7b): the evaluated MC-DLA(S) design point. */
+std::unique_ptr<Fabric> buildMcdlaStarFabric(EventQueue &eq,
+                                             const FabricConfig &cfg);
+
+/** MC-DLA star-A (Fig 7a): the naive derivative design (ablations). */
+std::unique_ptr<Fabric> buildMcdlaStarAFabric(EventQueue &eq,
+                                              const FabricConfig &cfg);
+
+/**
+ * Switched MC-DLA (Fig 15 / Section VI): every device- and memory-node
+ * link lands on an NVSwitch-class switch plane (one plane per link
+ * index, the DGX-2 pattern), which lets the node count scale beyond
+ * the fixed-ring designs. The logical rings and vmem neighbor
+ * assignments match the Fig 7(c) design; each ring hop traverses a
+ * node-to-switch and a switch-to-node channel.
+ *
+ * Fatal if a plane's radix cannot seat every node.
+ */
+std::unique_ptr<Fabric> buildMcdlaSwitchFabric(EventQueue &eq,
+                                               const FabricConfig &cfg);
+
+} // namespace mcdla
+
+#endif // MCDLA_INTERCONNECT_FABRICS_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Flow helper implementation.
+ */
+
+#include "interconnect/flow.hh"
+
+#include <cmath>
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+namespace
+{
+
+/** Forward a chunk from hop @p index onward. */
+void
+forwardChunk(std::shared_ptr<const Route> route, std::size_t index,
+             double bytes, std::shared_ptr<std::function<void()>> done)
+{
+    Channel *ch = route->hops[index];
+    ch->submit(bytes, [route, index, bytes, done] {
+        if (index + 1 < route->hops.size()) {
+            forwardChunk(route, index + 1, bytes, done);
+        } else if (*done) {
+            (*done)();
+        }
+    });
+}
+
+} // anonymous namespace
+
+void
+sendChunk(const Route &route, double bytes,
+          std::function<void()> on_delivered)
+{
+    if (!route.valid())
+        panic("sendChunk: empty route");
+    auto route_copy = std::make_shared<const Route>(route);
+    auto done = std::make_shared<std::function<void()>>(
+        std::move(on_delivered));
+    forwardChunk(std::move(route_copy), 0, bytes, std::move(done));
+}
+
+void
+sendFlow(const std::vector<Route> &routes, double bytes,
+         double chunk_bytes, std::function<void()> on_done)
+{
+    if (routes.empty())
+        panic("sendFlow: no routes");
+    if (chunk_bytes <= 0.0)
+        panic("sendFlow: non-positive chunk size");
+    if (bytes <= 0.0) {
+        if (on_done)
+            on_done();
+        return;
+    }
+
+    const auto chunks = static_cast<std::uint64_t>(
+        std::ceil(bytes / chunk_bytes));
+    auto remaining = std::make_shared<std::uint64_t>(chunks);
+    auto done = std::make_shared<std::function<void()>>(
+        std::move(on_done));
+
+    double left = bytes;
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+        const double this_chunk = std::min(chunk_bytes, left);
+        left -= this_chunk;
+        const Route &route = routes[c % routes.size()];
+        sendChunk(route, this_chunk, [remaining, done] {
+            if (--*remaining == 0 && *done)
+                (*done)();
+        });
+    }
+}
+
+} // namespace mcdla

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * DeviceAddressSpace implementation.
+ */
+
+#include "memory/address_map.hh"
+
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+const char *
+pagePolicyName(PagePolicy policy)
+{
+    switch (policy) {
+      case PagePolicy::Local: return "LOCAL";
+      case PagePolicy::BwAware: return "BW_AWARE";
+    }
+    return "unknown";
+}
+
+DeviceAddressSpace::DeviceAddressSpace(std::string name,
+                                       std::uint64_t local_capacity,
+                                       std::vector<RemoteRegion> regions,
+                                       std::uint64_t page_bytes)
+    : _name(std::move(name)), _localCapacity(local_capacity),
+      _pageBytes(page_bytes), _regions(std::move(regions)),
+      _regionUsed(_regions.size(), 0)
+{
+    if (_pageBytes == 0)
+        fatal("address space '%s': page size must be positive",
+              _name.c_str());
+}
+
+std::uint64_t
+DeviceAddressSpace::remoteCapacity() const
+{
+    std::uint64_t total = 0;
+    for (const RemoteRegion &r : _regions)
+        total += r.capacity;
+    return total;
+}
+
+std::uint64_t
+DeviceAddressSpace::remoteUsed() const
+{
+    return std::accumulate(_regionUsed.begin(), _regionUsed.end(),
+                           std::uint64_t{0});
+}
+
+const RemoteRegion &
+DeviceAddressSpace::region(std::size_t i) const
+{
+    if (i >= _regions.size())
+        panic("address space '%s': region %zu out of range",
+              _name.c_str(), i);
+    return _regions[i];
+}
+
+std::uint64_t
+DeviceAddressSpace::roundToPages(std::uint64_t bytes) const
+{
+    return (bytes + _pageBytes - 1) / _pageBytes * _pageBytes;
+}
+
+Placement
+DeviceAddressSpace::mallocLocal(std::uint64_t bytes)
+{
+    const std::uint64_t rounded = roundToPages(bytes);
+    if (_localUsed + rounded > _localCapacity)
+        fatal("device '%s': out of devicelocal memory "
+              "(requested %s, used %s of %s)",
+              _name.c_str(),
+              formatBytes(static_cast<double>(rounded)).c_str(),
+              formatBytes(static_cast<double>(_localUsed)).c_str(),
+              formatBytes(static_cast<double>(_localCapacity)).c_str());
+    _localUsed += rounded;
+    Placement p;
+    p.bytes = rounded;
+    p.remote = false;
+    return p;
+}
+
+Placement
+DeviceAddressSpace::mallocRemote(std::uint64_t bytes, PagePolicy policy)
+{
+    if (_regions.empty())
+        fatal("device '%s': cudaMallocRemote with no deviceremote "
+              "regions attached", _name.c_str());
+
+    const std::uint64_t rounded = roundToPages(bytes);
+    Placement p;
+    p.bytes = rounded;
+    p.remote = true;
+    p.fractions.assign(_regions.size(), 0.0);
+
+    if (policy == PagePolicy::Local || _regions.size() == 1) {
+        // Place in the least-used region that can hold the whole
+        // request (Fig 10's LOCAL: a single memory-node).
+        std::size_t best = _regions.size();
+        for (std::size_t i = 0; i < _regions.size(); ++i) {
+            if (_regionUsed[i] + rounded <= _regions[i].capacity
+                && (best == _regions.size()
+                    || _regionUsed[i] < _regionUsed[best])) {
+                best = i;
+            }
+        }
+        if (best == _regions.size())
+            fatal("device '%s': out of deviceremote memory for LOCAL "
+                  "allocation of %s", _name.c_str(),
+                  formatBytes(static_cast<double>(rounded)).c_str());
+        _regionUsed[best] += rounded;
+        p.fractions[best] = 1.0;
+        return p;
+    }
+
+    // BW_AWARE: split into two page-aligned halves round-robined across
+    // the first two regions (left/right memory-node shares).
+    const std::uint64_t half = roundToPages(rounded / 2);
+    const std::uint64_t rest = rounded - half;
+    if (_regionUsed[0] + half > _regions[0].capacity
+        || _regionUsed[1] + rest > _regions[1].capacity) {
+        fatal("device '%s': out of deviceremote memory for BW_AWARE "
+              "allocation of %s", _name.c_str(),
+              formatBytes(static_cast<double>(rounded)).c_str());
+    }
+    _regionUsed[0] += half;
+    _regionUsed[1] += rest;
+    p.fractions[0] = rounded
+        ? static_cast<double>(half) / static_cast<double>(rounded)
+        : 0.0;
+    p.fractions[1] = 1.0 - p.fractions[0];
+    return p;
+}
+
+void
+DeviceAddressSpace::free(const Placement &placement)
+{
+    if (!placement.remote) {
+        if (placement.bytes > _localUsed)
+            panic("device '%s': freeing more local memory than used",
+                  _name.c_str());
+        _localUsed -= placement.bytes;
+        return;
+    }
+    for (std::size_t i = 0; i < placement.fractions.size()
+             && i < _regionUsed.size(); ++i) {
+        const auto bytes = static_cast<std::uint64_t>(
+            placement.fractions[i]
+            * static_cast<double>(placement.bytes) + 0.5);
+        if (bytes > _regionUsed[i])
+            panic("device '%s': freeing more of region %zu than used",
+                  _name.c_str(), i);
+        _regionUsed[i] -= bytes;
+    }
+}
+
+} // namespace mcdla

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Device physical address space and page-placement policies (Fig 10).
+ *
+ * Under MC-DLA the device driver manages its client device-node plus one
+ * half of each neighboring memory-node as a single device memory address
+ * space: devicelocal physical memory sits at the bottom, and the two
+ * deviceremote halves are concatenated above it. cudaMallocRemote
+ * requests are placed by one of two policies:
+ *
+ *  - LOCAL: the whole allocation lands in a single memory-node, so reads
+ *    and writes use only the N/2 links to that node
+ *    (latency = D / (N*B/2)),
+ *  - BW_AWARE: the allocation is split into two page-aligned halves
+ *    mapped round-robin across both neighbors, engaging all N links
+ *    (latency = D / (N*B)).
+ */
+
+#ifndef MCDLA_MEMORY_ADDRESS_MAP_HH
+#define MCDLA_MEMORY_ADDRESS_MAP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/units.hh"
+
+namespace mcdla
+{
+
+/** Page-placement policy for deviceremote allocations (Fig 10). */
+enum class PagePolicy
+{
+    Local,   ///< Whole allocation in one memory-node.
+    BwAware, ///< Page-interleaved across both neighbor memory-nodes.
+};
+
+const char *pagePolicyName(PagePolicy policy);
+
+/** One remote region visible to a device. */
+struct RemoteRegion
+{
+    int targetIndex = -1;      ///< Memory-node index (or -1 = host).
+    std::uint64_t capacity = 0; ///< Bytes of this node owned by us.
+};
+
+/** A placed allocation: traffic fractions aligned with remote regions. */
+struct Placement
+{
+    std::uint64_t bytes = 0;
+    bool remote = false;            ///< false = devicelocal.
+    std::vector<double> fractions;  ///< Per-region traffic share.
+};
+
+/**
+ * The per-device address space of Fig 10.
+ *
+ * Tracks capacity of devicelocal memory plus the device's share of its
+ * remote regions and places allocations according to a PagePolicy.
+ */
+class DeviceAddressSpace
+{
+  public:
+    /**
+     * @param name Debug name.
+     * @param local_capacity devicelocal bytes.
+     * @param regions Remote regions in fabric vmem-path order.
+     * @param page_bytes Placement granularity (GPU large page).
+     */
+    DeviceAddressSpace(std::string name, std::uint64_t local_capacity,
+                       std::vector<RemoteRegion> regions,
+                       std::uint64_t page_bytes = 2 * kMiB);
+
+    const std::string &name() const { return _name; }
+    std::uint64_t localCapacity() const { return _localCapacity; }
+    std::uint64_t localUsed() const { return _localUsed; }
+    std::uint64_t remoteCapacity() const;
+    std::uint64_t remoteUsed() const;
+
+    /** Total device-visible memory (Fig 10's enlarged address space). */
+    std::uint64_t
+    totalCapacity() const
+    {
+        return _localCapacity + remoteCapacity();
+    }
+
+    std::size_t regionCount() const { return _regions.size(); }
+    const RemoteRegion &region(std::size_t i) const;
+
+    /**
+     * Allocate in devicelocal memory.
+     *
+     * @return Placement on success.
+     * @throws FatalError (via fatal()) when capacity is exhausted.
+     */
+    Placement mallocLocal(std::uint64_t bytes);
+
+    /**
+     * Allocate in deviceremote memory under @p policy
+     * (cudaMallocRemote, Table I).
+     */
+    Placement mallocRemote(std::uint64_t bytes, PagePolicy policy);
+
+    /** Release a previous allocation (cudaFree / cudaFreeRemote). */
+    void free(const Placement &placement);
+
+    /** Whether a local allocation of @p bytes would fit right now. */
+    bool
+    fitsLocal(std::uint64_t bytes) const
+    {
+        return _localUsed + bytes <= _localCapacity;
+    }
+
+  private:
+    std::uint64_t roundToPages(std::uint64_t bytes) const;
+
+    std::string _name;
+    std::uint64_t _localCapacity;
+    std::uint64_t _localUsed = 0;
+    std::uint64_t _pageBytes;
+    std::vector<RemoteRegion> _regions;
+    std::vector<std::uint64_t> _regionUsed;
+};
+
+} // namespace mcdla
+
+#endif // MCDLA_MEMORY_ADDRESS_MAP_HH

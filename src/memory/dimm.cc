@@ -1,0 +1,69 @@
+/**
+ * @file
+ * DIMM catalog implementation.
+ */
+
+#include "memory/dimm.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+double
+ddrSpeedBandwidth(DdrSpeed speed)
+{
+    switch (speed) {
+      case DdrSpeed::DDR4_2133: return 17.0 * kGB;
+      case DdrSpeed::DDR4_2400: return 19.2 * kGB;
+      case DdrSpeed::DDR4_3200: return 25.6 * kGB;
+    }
+    panic("unknown DDR speed grade");
+}
+
+const char *
+ddrSpeedName(DdrSpeed speed)
+{
+    switch (speed) {
+      case DdrSpeed::DDR4_2133: return "PC4-17000";
+      case DdrSpeed::DDR4_2400: return "PC4-19200";
+      case DdrSpeed::DDR4_3200: return "PC4-25600";
+    }
+    panic("unknown DDR speed grade");
+}
+
+const std::vector<DimmSpec> &
+dimmCatalog()
+{
+    static const std::vector<DimmSpec> catalog = {
+        {"8GB RDIMM", DimmClass::RDIMM, 8 * kGiB, 2.9},
+        {"16GB RDIMM", DimmClass::RDIMM, 16 * kGiB, 6.6},
+        {"32GB LRDIMM", DimmClass::LRDIMM, 32 * kGiB, 8.7},
+        {"64GB LRDIMM", DimmClass::LRDIMM, 64 * kGiB, 10.2},
+        {"128GB LRDIMM", DimmClass::LRDIMM, 128 * kGiB, 12.7},
+    };
+    return catalog;
+}
+
+const DimmSpec &
+dimmByCapacityGib(unsigned gib)
+{
+    for (const DimmSpec &spec : dimmCatalog())
+        if (spec.capacity == static_cast<std::uint64_t>(gib) * kGiB)
+            return spec;
+    fatal("no %u GiB module in the DIMM catalog", gib);
+}
+
+double
+dimmOperatingPower(const DimmSpec &spec, double utilization)
+{
+    const double u = std::clamp(utilization, 0.0, 1.0);
+    // Background/refresh power is roughly a third of TDP for DDR4
+    // modules; the activate + read/write component scales with traffic.
+    constexpr double idle_fraction = 0.35;
+    return spec.tdpWatts * (idle_fraction + (1.0 - idle_fraction) * u);
+}
+
+} // namespace mcdla

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Commodity DDR4 DIMM catalog and power model (paper Table IV).
+ *
+ * The memory-node is populated with capacity/density-optimized commodity
+ * modules: 8-16 GB registered DIMMs (RDIMMs) up to 32-128 GB load-reduced
+ * DIMMs (LRDIMMs). Module TDPs follow the paper's Table IV (derived from
+ * Samsung datasheets and Micron's DDR4 system power calculator at
+ * DDR4-2400); per-DIMM bandwidth follows the PC4 speed grade.
+ */
+
+#ifndef MCDLA_MEMORY_DIMM_HH
+#define MCDLA_MEMORY_DIMM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/units.hh"
+
+namespace mcdla
+{
+
+/** DIMM electrical/buffering class. */
+enum class DimmClass
+{
+    RDIMM,  ///< Registered DIMM.
+    LRDIMM, ///< Load-reduced DIMM.
+};
+
+/** DDR4 speed grades used in the paper. */
+enum class DdrSpeed
+{
+    DDR4_2133, ///< PC4-17000, 17.0 GB/s per DIMM.
+    DDR4_2400, ///< PC4-19200, 19.2 GB/s per DIMM (Table IV basis).
+    DDR4_3200, ///< PC4-25600, 25.6 GB/s per DIMM (Table II basis).
+};
+
+/** Per-DIMM bandwidth of a speed grade (bytes/sec). */
+double ddrSpeedBandwidth(DdrSpeed speed);
+
+/** Short grade name ("PC4-19200"). */
+const char *ddrSpeedName(DdrSpeed speed);
+
+/** One commodity DDR4 module. */
+struct DimmSpec
+{
+    std::string name;
+    DimmClass dimmClass = DimmClass::RDIMM;
+    std::uint64_t capacity = 8 * kGiB;
+    double tdpWatts = 2.9; ///< Table IV (DDR4-2400 operating point).
+
+    /**
+     * Nominal module capacity in "GB" as marketed and as used by Table
+     * IV's GB/W column (the gibibyte count read as gigabytes).
+     */
+    double
+    capacityGb() const
+    {
+        return static_cast<double>(capacity)
+            / static_cast<double>(kGiB);
+    }
+};
+
+/**
+ * The five modules of Table IV, smallest first:
+ * 8/16 GB RDIMM, 32/64/128 GB LRDIMM.
+ */
+const std::vector<DimmSpec> &dimmCatalog();
+
+/** Look up a catalog entry by capacity in GiB (8/16/32/64/128). */
+const DimmSpec &dimmByCapacityGib(unsigned gib);
+
+/**
+ * Activity-dependent module power.
+ *
+ * Table IV quotes worst-case (TDP) numbers; for energy studies we scale
+ * between an idle floor and TDP with bandwidth utilization, following the
+ * structure of Micron's DDR4 system-power calculator (background +
+ * activate + read/write terms).
+ *
+ * @param spec Module.
+ * @param utilization Fraction of peak bandwidth in [0, 1].
+ */
+double dimmOperatingPower(const DimmSpec &spec, double utilization);
+
+} // namespace mcdla
+
+#endif // MCDLA_MEMORY_DIMM_HH

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Memory-node architecture (paper Figure 6, Section III-A).
+ *
+ * A memory-node is a V100-sized mezzanine board carrying N high-bandwidth
+ * links (partitioned into M groups, each exclusively serving one
+ * device-node), a protocol engine, a DMA unit, a memory controller, and
+ * ten commodity DDR4 DIMMs. Optional compression/encryption ASICs can be
+ * attached to the datapath.
+ *
+ * The timing-relevant behaviour (DIMM-bus bandwidth, link channels) lives
+ * in the Fabric; this class carries configuration, capacity, and the
+ * power model used by Table IV and the Section V-C efficiency study.
+ */
+
+#ifndef MCDLA_MEMORY_MEMORY_NODE_HH
+#define MCDLA_MEMORY_MEMORY_NODE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "memory/dimm.hh"
+#include "sim/units.hh"
+
+namespace mcdla
+{
+
+/** Configuration of one memory-node board. */
+struct MemoryNodeConfig
+{
+    /** Populated module type (Table IV explores all five). */
+    DimmSpec dimm = dimmByCapacityGib(128);
+
+    /** DIMM slots per board (Section III-A: ten on a V100-sized board). */
+    int numDimms = 10;
+
+    /** DDR4 speed grade; Table II assumes 256 GB/s (PC4-25600). */
+    DdrSpeed speed = DdrSpeed::DDR4_3200;
+
+    /** Links facing the device-side interconnect (Table II: N=6). */
+    int numLinks = 6;
+
+    /** Per-link bandwidth per direction (Table II: 25 GB/s). */
+    double linkBandwidth = 25.0 * kGB;
+
+    /**
+     * Device-nodes sharing this board (M in Fig 6; the ring design
+     * assigns each half to one neighbor device).
+     */
+    int linkGroups = 2;
+
+    /** Access latency through controller + DIMMs (Table II: 100 cyc). */
+    Tick accessLatency = 100 * ticksPerNs;
+
+    /** Optional inline compression engine (cDMA-style ratio; 1 = off). */
+    double compressionRatio = 1.0;
+
+    /** Total board capacity. */
+    std::uint64_t
+    capacity() const
+    {
+        return dimm.capacity * static_cast<std::uint64_t>(numDimms);
+    }
+
+    /** Aggregate DIMM bandwidth (bytes/sec). */
+    double
+    bandwidth() const
+    {
+        return ddrSpeedBandwidth(speed) * static_cast<double>(numDimms);
+    }
+
+    /** Board TDP in watts (Table IV: per-DIMM TDP x slots). */
+    double
+    tdpWatts() const
+    {
+        return dimm.tdpWatts * static_cast<double>(numDimms);
+    }
+
+    /** Capacity efficiency in decimal GB per watt (Table IV). */
+    double
+    gbPerWatt() const
+    {
+        return (dimm.capacityGb() * static_cast<double>(numDimms))
+            / tdpWatts();
+    }
+
+    /** Operating power at a given bandwidth utilization. */
+    double
+    operatingWatts(double utilization) const
+    {
+        return dimmOperatingPower(dimm, utilization)
+            * static_cast<double>(numDimms);
+    }
+};
+
+/**
+ * Node-level power summary for the Section V-C study.
+ *
+ * The DGX-1V baseline draws 3,200 W with the eight V100s accounting for
+ * 75% (8 x 300 W); MC-DLA adds one memory-node per device.
+ */
+struct SystemPowerModel
+{
+    double baselineSystemWatts = 3200.0;
+    int numMemoryNodes = 8;
+
+    /** Added power for a given memory-node configuration. */
+    double
+    addedWatts(const MemoryNodeConfig &node) const
+    {
+        return node.tdpWatts() * static_cast<double>(numMemoryNodes);
+    }
+
+    /** Fractional system-power increase (e.g. 0.07 for 8 GB RDIMMs). */
+    double
+    powerOverhead(const MemoryNodeConfig &node) const
+    {
+        return addedWatts(node) / baselineSystemWatts;
+    }
+
+    /** Total expanded memory pool in bytes. */
+    std::uint64_t
+    pooledCapacity(const MemoryNodeConfig &node) const
+    {
+        return node.capacity()
+            * static_cast<std::uint64_t>(numMemoryNodes);
+    }
+
+    /** Performance-per-watt gain given a speedup over the baseline. */
+    double
+    perfPerWattGain(const MemoryNodeConfig &node, double speedup) const
+    {
+        return speedup / (1.0 + powerOverhead(node));
+    }
+};
+
+} // namespace mcdla
+
+#endif // MCDLA_MEMORY_MEMORY_NODE_HH

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * ParallelStrategy implementation.
+ */
+
+#include "parallel/strategy.hh"
+
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+const char *
+parallelModeName(ParallelMode mode)
+{
+    switch (mode) {
+      case ParallelMode::DataParallel: return "data-parallel";
+      case ParallelMode::ModelParallel: return "model-parallel";
+    }
+    return "unknown";
+}
+
+ParallelStrategy::ParallelStrategy(const Network &net, ParallelMode mode,
+                                   int num_devices,
+                                   std::int64_t global_batch)
+    : _net(net), _mode(mode), _numDevices(num_devices),
+      _globalBatch(global_batch)
+{
+    if (num_devices < 1)
+        fatal("parallel strategy requires at least one device");
+    if (global_batch < num_devices)
+        fatal("global batch %lld smaller than device count %d",
+              static_cast<long long>(global_batch), num_devices);
+    if (mode == ParallelMode::DataParallel
+        && global_batch % num_devices != 0) {
+        warn("global batch %lld not divisible by %d devices; using "
+             "floor division",
+             static_cast<long long>(global_batch), num_devices);
+    }
+}
+
+std::int64_t
+ParallelStrategy::perDeviceBatch() const
+{
+    return _mode == ParallelMode::DataParallel
+        ? _globalBatch / _numDevices
+        : _globalBatch;
+}
+
+LayerScaling
+ParallelStrategy::scaling(const Layer &layer) const
+{
+    LayerScaling s;
+    s.batch = perDeviceBatch();
+    if (_mode == ParallelMode::ModelParallel) {
+        // Only weighted heavy layers shard their output units; cheap
+        // layers replicate over the gathered full tensors.
+        const bool sharded = layer.costClass() == CostClass::Heavy
+            && layer.hasWeights();
+        s.modelShards = sharded ? _numDevices : 1;
+    }
+    return s;
+}
+
+bool
+ParallelStrategy::isGatherBoundary(LayerId id) const
+{
+    const Layer &layer = _net.layer(id);
+    if (layer.costClass() != CostClass::Heavy || !layer.hasWeights())
+        return false;
+    if (layer.isRecurrent())
+        return true; // h_t feeds the full-width recurrent GEMM
+
+    // Walk forward through element-wise (channel-preserving) layers; if
+    // every path ends in another sharded convolution, the channel shard
+    // can stay private (Krizhevsky tower connectivity). Any channel-
+    // mixing consumer — pooling into a classifier, concat, FC, loss, or
+    // a recurrent cell — forces a full gather.
+    std::vector<LayerId> work(_net.consumersOf(id));
+    while (!work.empty()) {
+        const LayerId c = work.back();
+        work.pop_back();
+        const Layer &consumer = _net.layer(c);
+        switch (consumer.kind()) {
+          case LayerKind::Conv2D:
+            continue; // tower-internal; shard flows through
+          case LayerKind::Activation:
+          case LayerKind::BatchNorm:
+          case LayerKind::Dropout:
+          case LayerKind::LRN:
+          case LayerKind::EltwiseAdd:
+            // Channel-wise; keep walking.
+            for (LayerId cc : _net.consumersOf(c))
+                work.push_back(cc);
+            continue;
+          default:
+            return true; // Pool / FC / Concat / loss / recurrent cell
+        }
+    }
+    return false;
+}
+
+std::optional<SyncOp>
+ParallelStrategy::forwardSync(LayerId id) const
+{
+    if (_mode != ParallelMode::ModelParallel || _numDevices < 2)
+        return std::nullopt;
+    if (!isGatherBoundary(id))
+        return std::nullopt;
+    const Layer &layer = _net.layer(id);
+    SyncOp op;
+    op.kind = CollectiveKind::AllGather;
+    op.bytes = static_cast<double>(layer.outBytesPerSample())
+        * static_cast<double>(_globalBatch);
+    op.blocking = true;
+    return op;
+}
+
+std::optional<SyncOp>
+ParallelStrategy::backwardSync(LayerId id) const
+{
+    if (_numDevices < 2)
+        return std::nullopt;
+    const Layer &layer = _net.layer(id);
+    if (_mode == ParallelMode::DataParallel) {
+        // dW accumulation; tied recurrent cells reduce once via the
+        // owning (untied) cell.
+        if (!layer.hasWeights() || layer.weightsTied())
+            return std::nullopt;
+        SyncOp op;
+        op.kind = CollectiveKind::AllReduce;
+        op.bytes = static_cast<double>(layer.weightBytes());
+        op.blocking = false;
+        return op;
+    }
+    // Model parallel: every forward gather is mirrored by a backward
+    // reduce-scatter — each device needs only the summed dY slice of
+    // its own output shard.
+    if (!isGatherBoundary(id))
+        return std::nullopt;
+    SyncOp op;
+    op.kind = CollectiveKind::ReduceScatter;
+    op.bytes = static_cast<double>(layer.outBytesPerSample())
+        * static_cast<double>(_globalBatch);
+    op.blocking = true;
+    return op;
+}
+
+std::uint64_t
+ParallelStrategy::weightBytesPerDevice(const Network &net) const
+{
+    const std::uint64_t total = net.totalWeightBytes();
+    if (_mode == ParallelMode::DataParallel)
+        return total;
+    return total / static_cast<std::uint64_t>(_numDevices);
+}
+
+double
+ParallelStrategy::offloadBytesPerDevice(const Layer &layer) const
+{
+    const double batch = static_cast<double>(perDeviceBatch());
+    const double out = static_cast<double>(layer.outBytesPerSample());
+    const double aux = static_cast<double>(
+        layer.auxStashBytesPerSample());
+    if (_mode == ParallelMode::DataParallel)
+        return (out + aux) * batch;
+    // Model parallel: each device stashes only its shard.
+    const double shards =
+        static_cast<double>(scaling(layer).modelShards);
+    return (out + aux) * batch / shards;
+}
+
+} // namespace mcdla

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Parallel training strategies (Section II-C, Figure 3).
+ *
+ * Data-parallel: every worker trains the full model on 1/P of the batch;
+ * the only synchronization is a per-weight-tensor all-reduce of dW during
+ * backprop (overlappable with subsequent backward compute).
+ *
+ * Model-parallel (Krizhevsky-style, [51]): every worker owns 1/P of each
+ * weighted layer's output units on the full batch. Following the
+ * restricted-connectivity scheme of the original two-tower AlexNet,
+ * channel shards flow privately through tower-internal convolution
+ * chains; the feature maps are all-gathered only at channel-mixing
+ * boundaries — pooling stages, fully-connected layers, classifier,
+ * concatenations, and every recurrent timestep (the hidden state feeds
+ * the full-width recurrent GEMM). Backward mirrors each gather with a
+ * reduce-scatter of the output gradients. This is still far more
+ * frequent synchronization than data parallelism (Figure 3b), especially
+ * for RNNs, which sync twice per timestep.
+ */
+
+#ifndef MCDLA_PARALLEL_STRATEGY_HH
+#define MCDLA_PARALLEL_STRATEGY_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "collective/ring_collective.hh"
+#include "device/compute_model.hh"
+#include "dnn/network.hh"
+
+namespace mcdla
+{
+
+/** Parallelization mode. */
+enum class ParallelMode
+{
+    DataParallel,
+    ModelParallel,
+};
+
+const char *parallelModeName(ParallelMode mode);
+
+/** One synchronization requirement attached to a layer. */
+struct SyncOp
+{
+    CollectiveKind kind = CollectiveKind::AllReduce;
+    double bytes = 0.0;
+    /**
+     * Blocking syncs stall the issuing device's compute stream until
+     * completion (model-parallel X/dX aggregation); non-blocking syncs
+     * only gate the final weight update (data-parallel dW).
+     */
+    bool blocking = false;
+};
+
+/** Strategy facade consumed by the training session. */
+class ParallelStrategy
+{
+  public:
+    /**
+     * @param net Workload network (drives sync-boundary analysis).
+     * @param mode Data- or model-parallel.
+     * @param num_devices Worker count.
+     * @param global_batch Total minibatch size (512 in the paper).
+     */
+    ParallelStrategy(const Network &net, ParallelMode mode,
+                     int num_devices, std::int64_t global_batch);
+
+    ParallelMode mode() const { return _mode; }
+    int numDevices() const { return _numDevices; }
+    std::int64_t globalBatch() const { return _globalBatch; }
+
+    /** Per-device batch size. */
+    std::int64_t perDeviceBatch() const;
+
+    /** Compute/memory scaling of one layer on one device. */
+    LayerScaling scaling(const Layer &layer) const;
+
+    /** Synchronization after a layer's forward pass, if any. */
+    std::optional<SyncOp> forwardSync(LayerId id) const;
+
+    /** Synchronization after a layer's backward pass, if any. */
+    std::optional<SyncOp> backwardSync(LayerId id) const;
+
+    /**
+     * Whether a model-parallel shard boundary follows this layer (its
+     * output must be materialized full-width on every device).
+     */
+    bool isGatherBoundary(LayerId id) const;
+
+    /** Resident weight bytes per device. */
+    std::uint64_t weightBytesPerDevice(const Network &net) const;
+
+    /**
+     * Per-device bytes migrated per offloaded tensor: data-parallel
+     * stashes 1/P of the batch; model-parallel stashes this device's
+     * output/aux shard of the full batch.
+     */
+    double offloadBytesPerDevice(const Layer &layer) const;
+
+  private:
+    const Network &_net;
+    ParallelMode _mode;
+    int _numDevices;
+    std::int64_t _globalBatch;
+};
+
+} // namespace mcdla
+
+#endif // MCDLA_PARALLEL_STRATEGY_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * EventQueue implementation.
+ */
+
+#include "event_queue.hh"
+
+#include "logging.hh"
+
+namespace mcdla
+{
+
+EventId
+EventQueue::schedule(Tick when, Callback cb, std::string name)
+{
+    if (when < _now) {
+        panic("scheduling event '%s' at tick %llu before now (%llu)",
+              name.c_str(), static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(_now));
+    }
+    if (!cb)
+        panic("scheduling event '%s' with empty callback", name.c_str());
+    const EventId id = _nextId++;
+    _heap.push(Entry{when, _nextSeq++, id, std::move(cb), std::move(name)});
+    ++_live;
+    return id;
+}
+
+bool
+EventQueue::deschedule(EventId id)
+{
+    if (id == invalidEventId)
+        return false;
+    // Lazy deletion: remember the id; skip the entry when popped. The heap
+    // entry itself is unreachable from here without a full rebuild.
+    if (_cancelled.insert(id).second && _live > 0) {
+        --_live;
+        return true;
+    }
+    return false;
+}
+
+void
+EventQueue::executeHead()
+{
+    Entry entry = std::move(const_cast<Entry &>(_heap.top()));
+    _heap.pop();
+    _now = entry.when;
+    ++_executed;
+    entry.cb();
+}
+
+bool
+EventQueue::step()
+{
+    while (!_heap.empty()) {
+        const Entry &head = _heap.top();
+        if (auto it = _cancelled.find(head.id); it != _cancelled.end()) {
+            _cancelled.erase(it);
+            _heap.pop();
+            continue;
+        }
+        --_live;
+        executeHead();
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::run()
+{
+    std::uint64_t n = 0;
+    while (step())
+        ++n;
+    return n;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    std::uint64_t n = 0;
+    while (!_heap.empty()) {
+        const Entry &head = _heap.top();
+        if (auto it = _cancelled.find(head.id); it != _cancelled.end()) {
+            _cancelled.erase(it);
+            _heap.pop();
+            continue;
+        }
+        if (head.when > limit)
+            break;
+        --_live;
+        executeHead();
+        ++n;
+    }
+    if (_now < limit)
+        _now = limit;
+    return n;
+}
+
+void
+EventQueue::reset()
+{
+    _heap = decltype(_heap)();
+    _cancelled.clear();
+    _now = 0;
+    _nextSeq = 0;
+    _executed = 0;
+    _live = 0;
+}
+
+} // namespace mcdla

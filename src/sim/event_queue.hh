@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue drives one simulated system. Events are arbitrary
+ * callbacks scheduled at absolute ticks; same-tick events fire in FIFO
+ * scheduling order, which keeps component behaviour deterministic without
+ * requiring explicit priorities.
+ *
+ * The kernel is deliberately minimal: the heavy lifting (bandwidth
+ * channels, compute streams, collectives) is built on top of it in the
+ * interconnect/device/system libraries.
+ */
+
+#ifndef MCDLA_SIM_EVENT_QUEUE_HH
+#define MCDLA_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "units.hh"
+
+namespace mcdla
+{
+
+/** Opaque handle identifying a scheduled event (for cancellation). */
+using EventId = std::uint64_t;
+
+/** Sentinel returned for invalid events. */
+constexpr EventId invalidEventId = 0;
+
+/**
+ * The central event queue of a simulation instance.
+ *
+ * Typical usage:
+ * @code
+ *   EventQueue eq;
+ *   eq.schedule(eq.now() + 100, [&]{ ... });
+ *   eq.run();
+ * @endcode
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     *
+     * @param when Absolute firing time; must be >= now().
+     * @param cb Callback invoked when the event fires.
+     * @param name Optional debug label.
+     * @return A handle usable with deschedule().
+     */
+    EventId schedule(Tick when, Callback cb, std::string name = {});
+
+    /** Schedule a callback @p delta ticks in the future. */
+    EventId
+    scheduleAfter(Tick delta, Callback cb, std::string name = {})
+    {
+        return schedule(_now + delta, std::move(cb), std::move(name));
+    }
+
+    /**
+     * Cancel a pending event.
+     *
+     * @param id Handle returned by schedule().
+     * @return true if the event was pending and is now cancelled.
+     */
+    bool deschedule(EventId id);
+
+    /** Whether any events remain pending. */
+    bool empty() const { return _live == 0; }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pendingCount() const { return _live; }
+
+    /**
+     * Run until the queue drains.
+     *
+     * @return The number of events executed.
+     */
+    std::uint64_t run();
+
+    /**
+     * Run until simulated time would exceed @p limit; events scheduled at
+     * exactly @p limit still execute.
+     *
+     * @return The number of events executed.
+     */
+    std::uint64_t runUntil(Tick limit);
+
+    /** Execute only the next pending event, if any. */
+    bool step();
+
+    /** Total events executed since construction or reset(). */
+    std::uint64_t executedCount() const { return _executed; }
+
+    /** Clear all pending events and rewind time to zero. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventId id;
+        Callback cb;
+        std::string name;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Pop/execute the head entry. Precondition: a live entry exists. */
+    void executeHead();
+
+    Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+    EventId _nextId = 1;
+    std::uint64_t _executed = 0;
+    std::size_t _live = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    std::unordered_set<EventId> _cancelled;
+};
+
+} // namespace mcdla
+
+#endif // MCDLA_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Implementation of the panic/fatal/warn/inform reporting entry points.
+ */
+
+#include "logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace mcdla
+{
+
+bool LogConfig::throwOnError = false;
+bool LogConfig::verbose = true;
+
+namespace
+{
+
+std::string
+vstrfmt(const char *fmt, std::va_list args)
+{
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed <= 0)
+        return std::string();
+    std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data());
+}
+
+} // anonymous namespace
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string out = vstrfmt(fmt, args);
+    va_end(args);
+    return out;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    const std::string msg = vstrfmt(fmt, args);
+    va_end(args);
+    if (LogConfig::throwOnError)
+        throw PanicError("panic: " + msg);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    const std::string msg = vstrfmt(fmt, args);
+    va_end(args);
+    if (LogConfig::throwOnError)
+        throw FatalError("fatal: " + msg);
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (!LogConfig::verbose)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    const std::string msg = vstrfmt(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (!LogConfig::verbose)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    const std::string msg = vstrfmt(fmt, args);
+    va_end(args);
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace mcdla

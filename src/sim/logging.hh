@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 panic/fatal convention.
+ *
+ * - panic():  an internal simulator invariant was violated (a bug in this
+ *             codebase). Aborts so a debugger/core dump is available.
+ * - fatal():  the simulation cannot continue because of a user error (bad
+ *             configuration, impossible topology request). Exits cleanly
+ *             with status 1.
+ * - warn():   something is approximated or degraded but simulation can
+ *             proceed.
+ * - inform(): plain status output.
+ *
+ * All entry points take printf-style format strings. For unit testing,
+ * panic/fatal can be redirected to throw exceptions instead of
+ * terminating (see LogConfig::throwOnError).
+ */
+
+#ifndef MCDLA_SIM_LOGGING_HH
+#define MCDLA_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace mcdla
+{
+
+/** Exception type thrown by panic() when throw-on-error is enabled. */
+struct PanicError : std::logic_error
+{
+    using std::logic_error::logic_error;
+};
+
+/** Exception type thrown by fatal() when throw-on-error is enabled. */
+struct FatalError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/** Global logging configuration. */
+struct LogConfig
+{
+    /**
+     * When true, panic()/fatal() throw PanicError/FatalError instead of
+     * terminating the process. Enabled by the test harness so death paths
+     * can be exercised as ordinary assertions.
+     */
+    static bool throwOnError;
+
+    /** When false, warn()/inform() are suppressed. */
+    static bool verbose;
+};
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal simulator bug and abort (or throw PanicError). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user/configuration error and exit (or throw). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a non-fatal modelling concern. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report simulation status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace mcdla
+
+#endif // MCDLA_SIM_LOGGING_HH

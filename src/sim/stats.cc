@@ -1,0 +1,149 @@
+/**
+ * @file
+ * StatSet implementation.
+ */
+
+#include "stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+
+#include "logging.hh"
+
+namespace mcdla
+{
+
+Distribution::Distribution(std::string name, double ceiling,
+                           std::size_t buckets)
+    : _name(std::move(name)), _ceiling(ceiling), _buckets(buckets, 0),
+      _min(std::numeric_limits<double>::infinity()),
+      _max(-std::numeric_limits<double>::infinity())
+{
+    if (ceiling <= 0.0)
+        panic("distribution '%s' requires a positive ceiling",
+              _name.c_str());
+    if (buckets == 0)
+        panic("distribution '%s' requires at least one bucket",
+              _name.c_str());
+}
+
+void
+Distribution::sample(double v, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    _count += count;
+    _sum += v * static_cast<double>(count);
+    _min = std::min(_min, v);
+    _max = std::max(_max, v);
+    if (v >= _ceiling || v < 0.0) {
+        _overflow += count;
+        return;
+    }
+    const auto idx = static_cast<std::size_t>(
+        v / _ceiling * static_cast<double>(_buckets.size()));
+    _buckets[std::min(idx, _buckets.size() - 1)] += count;
+}
+
+void
+Distribution::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _overflow = 0;
+    _count = 0;
+    _sum = 0.0;
+    _min = std::numeric_limits<double>::infinity();
+    _max = -std::numeric_limits<double>::infinity();
+}
+
+Scalar &
+StatSet::scalar(const std::string &name, const std::string &desc)
+{
+    auto it = _scalars.find(name);
+    if (it == _scalars.end()) {
+        it = _scalars.emplace(name, Scalar(name, desc)).first;
+        _order.push_back(name);
+    }
+    return it->second;
+}
+
+void
+StatSet::formula(const std::string &name, Formula f, const std::string &desc)
+{
+    if (!f)
+        panic("formula stat '%s' requires a callable", name.c_str());
+    if (_formulas.emplace(name, FormulaEntry{std::move(f), desc}).second)
+        _order.push_back(name);
+}
+
+Distribution &
+StatSet::distribution(const std::string &name, double ceiling,
+                      std::size_t buckets)
+{
+    auto it = _distributions.find(name);
+    if (it == _distributions.end()) {
+        it = _distributions
+                 .emplace(name, Distribution(name, ceiling, buckets))
+                 .first;
+        _order.push_back(name);
+    }
+    return it->second;
+}
+
+double
+StatSet::value(const std::string &name) const
+{
+    if (auto it = _scalars.find(name); it != _scalars.end())
+        return it->second.value();
+    if (auto it = _formulas.find(name); it != _formulas.end())
+        return it->second.fn();
+    if (auto it = _distributions.find(name); it != _distributions.end())
+        return it->second.mean();
+    fatal("unknown statistic '%s%s'", _prefix.c_str(), name.c_str());
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return _scalars.count(name) || _formulas.count(name)
+        || _distributions.count(name);
+}
+
+void
+StatSet::reset()
+{
+    for (auto &kv : _scalars)
+        kv.second.reset();
+    for (auto &kv : _distributions)
+        kv.second.reset();
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    for (const auto &name : _order) {
+        if (auto it = _scalars.find(name); it != _scalars.end()) {
+            os << _prefix << name << ' ' << it->second.value();
+            if (!it->second.desc().empty())
+                os << " # " << it->second.desc();
+            os << '\n';
+        } else if (auto fit = _formulas.find(name); fit != _formulas.end()) {
+            os << _prefix << name << ' ' << fit->second.fn();
+            if (!fit->second.desc.empty())
+                os << " # " << fit->second.desc;
+            os << '\n';
+        } else if (auto dit = _distributions.find(name);
+                   dit != _distributions.end()) {
+            const Distribution &d = dit->second;
+            os << _prefix << name << ".count " << d.count() << '\n';
+            os << _prefix << name << ".mean " << d.mean() << '\n';
+            if (d.count()) {
+                os << _prefix << name << ".min " << d.min() << '\n';
+                os << _prefix << name << ".max " << d.max() << '\n';
+            }
+        }
+    }
+}
+
+} // namespace mcdla

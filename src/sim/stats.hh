@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Lightweight statistics framework.
+ *
+ * Components register named scalar statistics in a StatSet. Scalars behave
+ * like doubles with += convenience; derived quantities can be registered as
+ * formulas evaluated at dump time. A small streaming histogram supports
+ * distribution statistics (e.g., channel-occupancy samples).
+ */
+
+#ifndef MCDLA_SIM_STATS_HH
+#define MCDLA_SIM_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mcdla
+{
+
+/** A named scalar statistic. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+    explicit Scalar(std::string name, std::string desc = {})
+        : _name(std::move(name)), _desc(std::move(desc))
+    {}
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+    double value() const { return _value; }
+
+    Scalar &operator=(double v) { _value = v; return *this; }
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    Scalar &operator-=(double v) { _value -= v; return *this; }
+    Scalar &operator++() { _value += 1.0; return *this; }
+
+    /** Reset to zero. */
+    void reset() { _value = 0.0; }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    double _value = 0.0;
+};
+
+/**
+ * Streaming summary of a sampled distribution: count/min/max/mean and a
+ * fixed-bucket histogram over [0, ceiling).
+ */
+class Distribution
+{
+  public:
+    Distribution() = default;
+
+    /**
+     * @param name Statistic name.
+     * @param ceiling Upper bound of the bucketed range; samples above it
+     *                land in the overflow bucket.
+     * @param buckets Number of equal-width buckets.
+     */
+    Distribution(std::string name, double ceiling, std::size_t buckets = 16);
+
+    void sample(double v, std::uint64_t count = 1);
+
+    const std::string &name() const { return _name; }
+    std::uint64_t count() const { return _count; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double min() const { return _min; }
+    double max() const { return _max; }
+    double sum() const { return _sum; }
+
+    const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+    std::uint64_t overflow() const { return _overflow; }
+
+    void reset();
+
+  private:
+    std::string _name;
+    double _ceiling = 1.0;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _overflow = 0;
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/**
+ * A group of statistics owned by one component.
+ *
+ * Scalars and formulas are stored by name; dump() emits them in insertion
+ * order in a gem5-like `name value # desc` format.
+ */
+class StatSet
+{
+  public:
+    using Formula = std::function<double()>;
+
+    explicit StatSet(std::string prefix = {}) : _prefix(std::move(prefix)) {}
+
+    /** Register (or fetch) a scalar statistic. */
+    Scalar &scalar(const std::string &name, const std::string &desc = {});
+
+    /** Register a formula evaluated lazily at dump()/value() time. */
+    void formula(const std::string &name, Formula f,
+                 const std::string &desc = {});
+
+    /** Register (or fetch) a distribution statistic. */
+    Distribution &distribution(const std::string &name, double ceiling,
+                               std::size_t buckets = 16);
+
+    /** Look up any stat's current value; fatal if absent. */
+    double value(const std::string &name) const;
+
+    /** Whether a stat with this name exists. */
+    bool has(const std::string &name) const;
+
+    /** Reset all scalars and distributions. */
+    void reset();
+
+    /** Emit all statistics. */
+    void dump(std::ostream &os) const;
+
+    const std::string &prefix() const { return _prefix; }
+
+  private:
+    struct FormulaEntry
+    {
+        Formula fn;
+        std::string desc;
+    };
+
+    std::string _prefix;
+    // Insertion-ordered storage.
+    std::vector<std::string> _order;
+    std::map<std::string, Scalar> _scalars;
+    std::map<std::string, FormulaEntry> _formulas;
+    std::map<std::string, Distribution> _distributions;
+};
+
+} // namespace mcdla
+
+#endif // MCDLA_SIM_STATS_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * TraceSink implementation.
+ */
+
+#include "sim/trace.hh"
+
+#include <iomanip>
+
+namespace mcdla
+{
+
+int
+TraceSink::trackId(const std::string &track)
+{
+    auto it = _trackIds.find(track);
+    if (it == _trackIds.end())
+        it = _trackIds.emplace(track,
+                               static_cast<int>(_trackIds.size()))
+                 .first;
+    return it->second;
+}
+
+void
+TraceSink::addSpan(const std::string &track, const std::string &name,
+                   Tick start, Tick duration,
+                   const std::string &category)
+{
+    _events.push_back(Event{track, name, category, start, duration,
+                            false});
+}
+
+void
+TraceSink::addInstant(const std::string &track, const std::string &name,
+                      Tick at)
+{
+    _events.push_back(Event{track, name, "mark", at, 0, true});
+}
+
+void
+TraceSink::write(std::ostream &os) const
+{
+    // Timestamps are microseconds in the trace_event format.
+    auto us = [](Tick t) {
+        return static_cast<double>(t)
+            / static_cast<double>(ticksPerUs);
+    };
+    // trackId() is non-const; rebuild ids deterministically here.
+    std::map<std::string, int> ids;
+    for (const Event &e : _events)
+        ids.emplace(e.track, static_cast<int>(ids.size()));
+
+    os << "{\"traceEvents\":[\n";
+    bool first = true;
+    for (const auto &[track, id] : ids) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << id
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << track
+           << "\"}}";
+    }
+    for (const Event &e : _events) {
+        os << ",\n{\"ph\":\"" << (e.instant ? 'i' : 'X')
+           << "\",\"pid\":0,\"tid\":" << ids.at(e.track) << ",\"ts\":"
+           << std::setprecision(12) << us(e.start) << ",\"name\":\""
+           << e.name << "\",\"cat\":\"" << e.category << '"';
+        if (!e.instant)
+            os << ",\"dur\":" << us(e.duration);
+        if (e.instant)
+            os << ",\"s\":\"t\"";
+        os << '}';
+    }
+    os << "\n]}\n";
+}
+
+} // namespace mcdla

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Chrome-tracing ("trace_event" JSON) event sink.
+ *
+ * Simulation components append complete spans (ops, DMA transfers,
+ * collectives) on named tracks; the resulting file loads directly in
+ * Perfetto / chrome://tracing for timeline inspection of a training
+ * iteration.
+ */
+
+#ifndef MCDLA_SIM_TRACE_HH
+#define MCDLA_SIM_TRACE_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/units.hh"
+
+namespace mcdla
+{
+
+/**
+ * Chrome-tracing event collector ("trace_event" JSON format). Producers
+ * add complete ("X") events with microsecond timestamps derived from
+ * ticks; tracks are (pid, tid) pairs mapped from device / engine names.
+ */
+class TraceSink
+{
+  public:
+    /** Record a complete event on a named track. */
+    void addSpan(const std::string &track, const std::string &name,
+                 Tick start, Tick duration,
+                 const std::string &category = "op");
+
+    /** Record an instantaneous event. */
+    void addInstant(const std::string &track, const std::string &name,
+                    Tick at);
+
+    std::size_t eventCount() const { return _events.size(); }
+    bool empty() const { return _events.empty(); }
+
+    /** Write the "traceEvents" JSON document. */
+    void write(std::ostream &os) const;
+
+    void clear() { _events.clear(); }
+
+  private:
+    struct Event
+    {
+        std::string track;
+        std::string name;
+        std::string category;
+        Tick start = 0;
+        Tick duration = 0;
+        bool instant = false;
+    };
+
+    int trackId(const std::string &track);
+
+    std::vector<Event> _events;
+    std::map<std::string, int> _trackIds;
+};
+
+} // namespace mcdla
+
+#endif // MCDLA_SIM_TRACE_HH

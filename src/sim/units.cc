@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Formatting helpers for simulation units.
+ */
+
+#include "units.hh"
+
+#include <array>
+#include <cstdio>
+
+namespace mcdla
+{
+
+namespace
+{
+
+std::string
+formatWithUnit(double value, const char *unit)
+{
+    std::array<char, 64> buf;
+    std::snprintf(buf.data(), buf.size(), "%.3f %s", value, unit);
+    return std::string(buf.data());
+}
+
+} // anonymous namespace
+
+std::string
+formatTime(Tick ticks)
+{
+    const double ns = static_cast<double>(ticks)
+        / static_cast<double>(ticksPerNs);
+    if (ns < 1e3)
+        return formatWithUnit(ns, "ns");
+    if (ns < 1e6)
+        return formatWithUnit(ns / 1e3, "us");
+    if (ns < 1e9)
+        return formatWithUnit(ns / 1e6, "ms");
+    return formatWithUnit(ns / 1e9, "s");
+}
+
+std::string
+formatBytes(double bytes)
+{
+    if (bytes < static_cast<double>(kKiB))
+        return formatWithUnit(bytes, "B");
+    if (bytes < static_cast<double>(kMiB))
+        return formatWithUnit(bytes / static_cast<double>(kKiB), "KiB");
+    if (bytes < static_cast<double>(kGiB))
+        return formatWithUnit(bytes / static_cast<double>(kMiB), "MiB");
+    if (bytes < static_cast<double>(kTiB))
+        return formatWithUnit(bytes / static_cast<double>(kGiB), "GiB");
+    return formatWithUnit(bytes / static_cast<double>(kTiB), "TiB");
+}
+
+std::string
+formatBandwidth(double bytes_per_sec)
+{
+    return formatWithUnit(bytes_per_sec / kGB, "GB/s");
+}
+
+} // namespace mcdla

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Fundamental simulation units: ticks, bandwidth, and byte sizes.
+ *
+ * The simulator measures time in integer picoseconds (`Tick`). A 64-bit
+ * tick counter overflows after ~213 days of simulated time, far beyond any
+ * training-iteration timescale (hundreds of milliseconds). Bandwidth is a
+ * plain double in bytes per second; durations of bulk transfers are rounded
+ * up to whole ticks so that back-to-back transfers never alias in time.
+ */
+
+#ifndef MCDLA_SIM_UNITS_HH
+#define MCDLA_SIM_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mcdla
+{
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** The maximum representable tick, used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Ticks per second (1 tick == 1 ps). */
+constexpr Tick ticksPerSec = 1'000'000'000'000ULL;
+
+/** Ticks per common sub-second units. */
+constexpr Tick ticksPerMs = ticksPerSec / 1'000;
+constexpr Tick ticksPerUs = ticksPerSec / 1'000'000;
+constexpr Tick ticksPerNs = ticksPerSec / 1'000'000'000;
+
+/** Byte-size literals (IEC binary multiples). */
+constexpr std::uint64_t kKiB = 1024ULL;
+constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+constexpr std::uint64_t kTiB = 1024ULL * kGiB;
+
+/** Decimal multiples, used for datasheet bandwidth/capacity figures. */
+constexpr double kKB = 1e3;
+constexpr double kMB = 1e6;
+constexpr double kGB = 1e9;
+constexpr double kTB = 1e12;
+
+/**
+ * Convert seconds (double) to ticks, rounding to nearest.
+ *
+ * @param seconds Non-negative duration in seconds.
+ * @return The duration in ticks.
+ */
+constexpr Tick
+secondsToTicks(double seconds)
+{
+    return static_cast<Tick>(seconds * static_cast<double>(ticksPerSec)
+                             + 0.5);
+}
+
+/** Convert ticks to seconds. */
+constexpr double
+ticksToSeconds(Tick ticks)
+{
+    return static_cast<double>(ticks) / static_cast<double>(ticksPerSec);
+}
+
+/** Convert ticks to milliseconds. */
+constexpr double
+ticksToMs(Tick ticks)
+{
+    return static_cast<double>(ticks) / static_cast<double>(ticksPerMs);
+}
+
+/** Convert ticks to microseconds. */
+constexpr double
+ticksToUs(Tick ticks)
+{
+    return static_cast<double>(ticks) / static_cast<double>(ticksPerUs);
+}
+
+/**
+ * Time to move a payload across a fixed-rate resource, rounded up so a
+ * non-empty transfer always takes at least one tick.
+ *
+ * @param bytes Payload size in bytes.
+ * @param bytes_per_sec Resource bandwidth; must be positive.
+ * @return Occupancy duration in ticks.
+ */
+constexpr Tick
+transferTicks(double bytes, double bytes_per_sec)
+{
+    if (bytes <= 0.0)
+        return 0;
+    const double seconds = bytes / bytes_per_sec;
+    const double ticks = seconds * static_cast<double>(ticksPerSec);
+    Tick whole = static_cast<Tick>(ticks);
+    // Round genuine fractions up; ignore floating-point noise so exact
+    // durations (e.g. 1 GB at 1 GB/s) stay exact.
+    if (ticks - static_cast<double>(whole) > 1e-6)
+        ++whole;
+    return whole > 0 ? whole : 1;
+}
+
+/** Pretty-print a tick count with an adaptive unit (ns/us/ms/s). */
+std::string formatTime(Tick ticks);
+
+/** Pretty-print a byte count with an adaptive unit (B/KiB/MiB/GiB/TiB). */
+std::string formatBytes(double bytes);
+
+/** Pretty-print bandwidth as GB/s. */
+std::string formatBandwidth(double bytes_per_sec);
+
+} // namespace mcdla
+
+#endif // MCDLA_SIM_UNITS_HH

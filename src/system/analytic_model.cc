@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Analytic estimator implementation.
+ */
+
+#include "system/analytic_model.hh"
+
+#include "collective/ring_collective.hh"
+#include "device/compute_model.hh"
+#include "vmem/offload_plan.hh"
+
+namespace mcdla
+{
+
+double
+designVmemBandwidth(const SystemConfig &cfg)
+{
+    const double link = cfg.device.linkBandwidth;
+    const int n_links = cfg.device.numLinks;
+    switch (cfg.design) {
+      case SystemDesign::DcDla:
+        return cfg.fabric.pcieBandwidth();
+      case SystemDesign::HcDla:
+        return link * (n_links / 2);
+      case SystemDesign::McDlaS:
+      case SystemDesign::McDlaSA:
+        return link * 2.0;
+      case SystemDesign::McDlaL:
+        return link * (n_links / 2);
+      case SystemDesign::McDlaB:
+      case SystemDesign::McDlaX:
+        return link * n_links;
+      case SystemDesign::DcDlaOracle:
+        return 0.0;
+    }
+    return 0.0;
+}
+
+namespace
+{
+
+/** Ring stage count for the design's collective rings. */
+int
+designRingStages(const SystemConfig &cfg)
+{
+    const int n = cfg.fabric.numDevices;
+    switch (cfg.design) {
+      case SystemDesign::McDlaL:
+      case SystemDesign::McDlaB:
+      case SystemDesign::McDlaX:
+        return 2 * n;
+      case SystemDesign::McDlaS:
+      case SystemDesign::McDlaSA:
+        // Mixed ring lengths; use the average stage count.
+        return n + n / 2;
+      default:
+        return n;
+    }
+}
+
+/** Number of logical unidirectional rings available for collectives. */
+int
+designRingCount(const SystemConfig &cfg)
+{
+    const int rings = 2 * (cfg.device.numLinks / 2);
+    if (cfg.design == SystemDesign::HcDla) {
+        // Half the links host-bound; the second ring pair multiplexes
+        // odd hops, worth ~half a ring pair.
+        return rings / 2 + 1;
+    }
+    return rings;
+}
+
+} // anonymous namespace
+
+AnalyticEstimate
+estimateIteration(const SystemConfig &cfg, const Network &net,
+                  ParallelMode mode, std::int64_t global_batch)
+{
+    AnalyticEstimate est;
+    const ParallelStrategy strategy(net, mode, cfg.fabric.numDevices,
+                                    global_batch);
+    const OffloadPlan plan(net, cfg.offloadPolicy());
+    const ComputeModel model(cfg.device);
+
+    // Compute: sum of layer timings plus recompute charges.
+    Tick compute = 0;
+    for (LayerId id = 0; id < static_cast<LayerId>(net.size()); ++id) {
+        const Layer &layer = net.layer(id);
+        const LayerTiming t =
+            model.layerTiming(layer, strategy.scaling(layer));
+        compute += t.forward + t.backward;
+        if (plan.entry(id).action == TensorAction::Recompute)
+            compute += t.forward;
+        if (layer.hasWeights() && !layer.weightsTied())
+            compute += t.weightUpdate;
+    }
+    est.computeSec = ticksToSeconds(compute);
+
+    // vmem: offload + prefetch volume over the aggregate bandwidth.
+    double vmem_bytes = 0.0;
+    for (LayerId id = 0; id < static_cast<LayerId>(net.size()); ++id) {
+        if (plan.entry(id).action != TensorAction::Offload)
+            continue;
+        vmem_bytes += 2.0
+            * strategy.offloadBytesPerDevice(net.layer(id))
+            / cfg.dmaCompressionRatio;
+    }
+    est.vmemBytes = vmem_bytes;
+    est.vmemBandwidth = designVmemBandwidth(cfg);
+    est.vmemSec = est.vmemBandwidth > 0.0
+        ? vmem_bytes / est.vmemBandwidth
+        : 0.0;
+
+    // Sync: analytic ring latencies, message split across the rings.
+    const int stages = designRingStages(cfg);
+    const int rings = designRingCount(cfg);
+    double sync_s = 0.0;
+    for (LayerId id = 0; id < static_cast<LayerId>(net.size()); ++id) {
+        for (const auto &sync :
+             {strategy.forwardSync(id), strategy.backwardSync(id)}) {
+            if (!sync)
+                continue;
+            est.syncBytes += sync->bytes;
+            const Tick t = analyticRingLatency(
+                sync->kind, stages,
+                sync->bytes / static_cast<double>(rings),
+                cfg.device.linkBandwidth, cfg.fabric.linkLatency,
+                cfg.collectiveChunkBytes);
+            sync_s += ticksToSeconds(t);
+        }
+    }
+    est.syncSec = sync_s;
+    return est;
+}
+
+} // namespace mcdla

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Closed-form performance estimator.
+ *
+ * Computes, without running the discrete-event simulation, the three
+ * per-category latency totals of an iteration and lower/upper bounds on
+ * the makespan:
+ *
+ *  - compute: sum of per-layer roofline timings,
+ *  - vmem: migration volume over the design's aggregate backing-store
+ *    bandwidth,
+ *  - sync: analytic ring-collective latencies over the design's rings,
+ *  - lower bound: max of the three (perfect overlap),
+ *  - upper bound: their sum (no overlap).
+ *
+ * The estimator is used for fast design-space sweeps and as an
+ * invariant oracle for the DES (tests assert DES results fall between
+ * the bounds). It deliberately ignores link-level contention between
+ * traffic classes, which is exactly what the DES adds.
+ */
+
+#ifndef MCDLA_SYSTEM_ANALYTIC_MODEL_HH
+#define MCDLA_SYSTEM_ANALYTIC_MODEL_HH
+
+#include "parallel/strategy.hh"
+#include "system/system_config.hh"
+
+namespace mcdla
+{
+
+/** Closed-form per-iteration estimate. */
+struct AnalyticEstimate
+{
+    double computeSec = 0.0;
+    double vmemSec = 0.0;
+    double syncSec = 0.0;
+
+    /** Aggregate backing-store bandwidth per device (bytes/s). */
+    double vmemBandwidth = 0.0;
+    /** Migration volume per device (offload + prefetch). */
+    double vmemBytes = 0.0;
+    /** Collective payload per iteration. */
+    double syncBytes = 0.0;
+
+    /** Perfect-overlap makespan bound. */
+    double
+    lowerBoundSec() const
+    {
+        return std::max({computeSec, vmemSec, syncSec});
+    }
+
+    /** Zero-overlap makespan bound. */
+    double
+    upperBoundSec() const
+    {
+        return computeSec + vmemSec + syncSec;
+    }
+};
+
+/**
+ * Estimate one training iteration analytically.
+ *
+ * @param cfg System design point.
+ * @param net Workload.
+ * @param mode Parallelization.
+ * @param global_batch Minibatch size.
+ */
+AnalyticEstimate estimateIteration(const SystemConfig &cfg,
+                                   const Network &net,
+                                   ParallelMode mode,
+                                   std::int64_t global_batch);
+
+/**
+ * Aggregate vmem bandwidth per device implied by a design (bytes/s):
+ * PCIe for DC-DLA, N/2 host links for HC-DLA, 2 links for MC-DLA(S),
+ * N/2 and N ring links for MC-DLA(L)/(B), 0 for the oracle.
+ */
+double designVmemBandwidth(const SystemConfig &cfg);
+
+} // namespace mcdla
+
+#endif // MCDLA_SYSTEM_ANALYTIC_MODEL_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * System composition.
+ */
+
+#include "system/system.hh"
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+const char *
+systemDesignName(SystemDesign design)
+{
+    switch (design) {
+      case SystemDesign::DcDla: return "DC-DLA";
+      case SystemDesign::HcDla: return "HC-DLA";
+      case SystemDesign::McDlaS: return "MC-DLA(S)";
+      case SystemDesign::McDlaL: return "MC-DLA(L)";
+      case SystemDesign::McDlaB: return "MC-DLA(B)";
+      case SystemDesign::DcDlaOracle: return "DC-DLA(O)";
+      case SystemDesign::McDlaSA: return "MC-DLA(SA)";
+      case SystemDesign::McDlaX: return "MC-DLA(X)";
+    }
+    return "unknown";
+}
+
+System::System(EventQueue &eq, SystemConfig cfg)
+    : _eq(eq), _cfg(std::move(cfg))
+{
+    // Keep the fabric's link parameters in sync with the device config
+    // (Table II: N links of B GB/s per node).
+    _cfg.fabric.linkBandwidth = _cfg.device.linkBandwidth;
+    _cfg.fabric.numRings = _cfg.device.numLinks / 2;
+
+    switch (_cfg.design) {
+      case SystemDesign::DcDla:
+        _fabric = buildDcdlaFabric(eq, _cfg.fabric, true);
+        break;
+      case SystemDesign::DcDlaOracle:
+        _fabric = buildDcdlaFabric(eq, _cfg.fabric, false);
+        break;
+      case SystemDesign::HcDla:
+        _fabric = buildHcdlaFabric(eq, _cfg.fabric);
+        break;
+      case SystemDesign::McDlaS:
+        _fabric = buildMcdlaStarFabric(eq, _cfg.fabric);
+        break;
+      case SystemDesign::McDlaSA:
+        _fabric = buildMcdlaStarAFabric(eq, _cfg.fabric);
+        break;
+      case SystemDesign::McDlaL:
+      case SystemDesign::McDlaB:
+        _fabric = buildMcdlaRingFabric(eq, _cfg.fabric);
+        break;
+      case SystemDesign::McDlaX:
+        _fabric = buildMcdlaSwitchFabric(eq, _cfg.fabric);
+        break;
+    }
+
+    CollectiveConfig ccfg;
+    ccfg.chunkBytes = _cfg.collectiveChunkBytes;
+    _collectives = std::make_unique<CollectiveEngine>(
+        eq, _fabric->name() + ".nccl", *_fabric, ccfg);
+
+    const int n = _cfg.fabric.numDevices;
+    for (int d = 0; d < n; ++d) {
+        const std::string dev_name = "dev" + std::to_string(d);
+        _devices.push_back(std::make_unique<DeviceNode>(
+            eq, dev_name, _cfg.device));
+        _dmas.push_back(std::make_unique<DmaEngine>(
+            eq, dev_name + ".dma", _fabric->vmemPaths(d),
+            _cfg.dmaChunkBytes));
+
+        // Fig 10 address space: devicelocal at the bottom, remote
+        // regions above. The oracle design gets "infinite" local memory.
+        const std::uint64_t local_cap =
+            _cfg.design == SystemDesign::DcDlaOracle
+            ? (1ULL << 60)
+            : _cfg.device.memCapacity;
+        std::vector<RemoteRegion> regions;
+        for (const VmemPath &path : _fabric->vmemPaths(d)) {
+            RemoteRegion r;
+            r.targetIndex = path.targetIndex;
+            if (path.targetIndex < 0) {
+                r.capacity = _cfg.hostMemoryCapacity;
+            } else if (designHasMemoryNodes(_cfg.design)
+                       && _cfg.design != SystemDesign::McDlaS
+                       && _cfg.design != SystemDesign::McDlaSA) {
+                // Ring-structured designs (direct or switched).
+                // Ring design: each neighbor owns half the board.
+                r.capacity = _cfg.memNode.capacity() / 2;
+            } else {
+                r.capacity = _cfg.memNode.capacity();
+            }
+            regions.push_back(r);
+        }
+        _spaces.push_back(std::make_unique<DeviceAddressSpace>(
+            dev_name, local_cap, std::move(regions)));
+        _runtimes.push_back(std::make_unique<VmemRuntime>(
+            *_spaces.back(), *_dmas.back(), _cfg.pagePolicy()));
+    }
+}
+
+std::uint64_t
+System::totalExposedMemory() const
+{
+    std::uint64_t total = 0;
+    for (const auto &space : _spaces)
+        total += space->totalCapacity();
+    return total;
+}
+
+void
+System::resetStats()
+{
+    _fabric->resetStats();
+    for (auto &dev : _devices) {
+        dev->resetStats();
+        dev->resetOccupancy();
+    }
+    for (auto &dma : _dmas)
+        dma->resetStats();
+}
+
+} // namespace mcdla

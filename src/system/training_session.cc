@@ -1,0 +1,511 @@
+/**
+ * @file
+ * TrainingSession implementation.
+ */
+
+#include "system/training_session.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+TrainingSession::TrainingSession(System &system, const Network &net,
+                                 ParallelMode mode,
+                                 std::int64_t global_batch)
+    : _system(system), _net(net),
+      _strategy(net, mode, system.numDevices(), global_batch),
+      _plan(net, system.config().offloadPolicy())
+{
+    buildSchedule();
+}
+
+std::vector<LayerId>
+TrainingSession::effectiveProducers(LayerId id) const
+{
+    std::vector<LayerId> out;
+    std::vector<LayerId> work(_net.inputsOf(id));
+    while (!work.empty()) {
+        const LayerId p = work.back();
+        work.pop_back();
+        const Layer &layer = _net.layer(p);
+        if (layer.costClass() == CostClass::Structural
+            && layer.kind() != LayerKind::Input) {
+            for (LayerId pp : _net.inputsOf(p))
+                work.push_back(pp);
+        } else {
+            out.push_back(p);
+        }
+    }
+    return out;
+}
+
+std::vector<LayerId>
+TrainingSession::effectiveConsumers(LayerId id) const
+{
+    std::vector<LayerId> out;
+    std::vector<LayerId> work(_net.consumersOf(id));
+    while (!work.empty()) {
+        const LayerId c = work.back();
+        work.pop_back();
+        const Layer &layer = _net.layer(c);
+        if (layer.costClass() == CostClass::Structural
+            && layer.kind() != LayerKind::Input) {
+            for (LayerId cc : _net.consumersOf(c))
+                work.push_back(cc);
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+void
+TrainingSession::buildSchedule()
+{
+    const ComputeModel &model = _system.device(0).computeModel();
+    const auto layer_count = static_cast<LayerId>(_net.size());
+
+    _timings.clear();
+    for (LayerId id = 0; id < layer_count; ++id)
+        _timings.push_back(model.layerTiming(
+            _net.layer(id), _strategy.scaling(_net.layer(id))));
+
+    // Map each offloaded tensor to the op after which its last forward
+    // use completes.
+    std::map<LayerId, std::vector<LayerId>> offload_after; // trigger->ps
+    for (LayerId id = 0; id < layer_count; ++id) {
+        if (_plan.entry(id).action != TensorAction::Offload)
+            continue;
+        LayerId trigger = id;
+        for (LayerId c : effectiveConsumers(id))
+            trigger = std::max(trigger, c);
+        offload_after[trigger].push_back(id);
+    }
+
+    _ops.clear();
+
+    // Forward pass.
+    for (LayerId id : _net.topoOrder()) {
+        OpSpec op;
+        op.kind = OpSpec::Kind::Fwd;
+        op.layer = id;
+        op.duration = _timings[static_cast<std::size_t>(id)].forward;
+        op.syncAfter = _strategy.forwardSync(id);
+        if (auto it = offload_after.find(id); it != offload_after.end())
+            op.offloadAfter = it->second;
+        _ops.push_back(std::move(op));
+    }
+
+    // Backward pass in reverse topological order.
+    const auto &topo = _net.topoOrder();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const LayerId id = *it;
+        const LayerTiming &t = _timings[static_cast<std::size_t>(id)];
+
+        OpSpec op;
+        op.kind = OpSpec::Kind::Bwd;
+        op.layer = id;
+        op.duration = t.backward;
+        // Recomputed cheap layers re-run their forward during backprop.
+        if (_plan.entry(id).action == TensorAction::Recompute)
+            op.duration += t.forward;
+        op.syncAfter = _strategy.backwardSync(id);
+
+        // Backward consumes the stashes of this layer and its effective
+        // producers; anything offloaded must be prefetched first.
+        auto need = [&](LayerId p) {
+            if (_plan.entry(p).action == TensorAction::Offload)
+                op.needsPrefetch.push_back(p);
+        };
+        need(id);
+        for (LayerId p : effectiveProducers(id))
+            need(p);
+
+        if (op.duration == 0 && !op.syncAfter && op.needsPrefetch.empty())
+            continue; // structural no-op
+        _ops.push_back(std::move(op));
+    }
+
+    // Weight updates (gated by dW all-reduce under data parallelism).
+    const bool dp_sync =
+        _strategy.mode() == ParallelMode::DataParallel
+        && _strategy.numDevices() > 1;
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const LayerId id = *it;
+        const Layer &layer = _net.layer(id);
+        if (!layer.hasWeights() || layer.weightsTied())
+            continue;
+        OpSpec op;
+        op.kind = OpSpec::Kind::Wup;
+        op.layer = id;
+        op.duration =
+            _timings[static_cast<std::size_t>(id)].weightUpdate;
+        op.needsDwLatch = dp_sync;
+        _ops.push_back(std::move(op));
+    }
+}
+
+std::uint64_t
+TrainingSession::footprintBytesPerDevice() const
+{
+    const std::int64_t batch = _strategy.perDeviceBatch();
+    std::uint64_t resident = 0;
+    std::uint64_t largest = 0;
+    for (LayerId id = 0; id < static_cast<LayerId>(_net.size()); ++id) {
+        const Layer &layer = _net.layer(id);
+        const TensorPlan &entry = _plan.entry(id);
+        const auto shards = static_cast<std::uint64_t>(
+            _strategy.scaling(layer).modelShards);
+        if (entry.action == TensorAction::KeepLocal) {
+            resident += (entry.outBytesPerSample
+                         + entry.auxBytesPerSample / shards)
+                * static_cast<std::uint64_t>(batch);
+        }
+        // Working set of the layer while executing: full input plus the
+        // shard of output/aux this device produces.
+        const std::uint64_t working =
+            (layer.inBytesPerSample()
+             + (layer.outBytesPerSample()
+                + layer.auxStashBytesPerSample()) / shards)
+            * static_cast<std::uint64_t>(batch);
+        largest = std::max(largest, working);
+    }
+    // Weights + resident stash + the largest live working set (vDNN
+    // keeps only the executing layer's buffers resident).
+    return _strategy.weightBytesPerDevice(_net) + resident + largest;
+}
+
+void
+TrainingSession::allocateBuffers()
+{
+    if (_allocated)
+        return;
+    _allocated = true;
+
+    const int n = _system.numDevices();
+    _remotePtrs.assign(static_cast<std::size_t>(n), {});
+
+    for (int d = 0; d < n; ++d) {
+        DeviceAddressSpace &space = _system.addressSpace(d);
+        const std::uint64_t footprint = footprintBytesPerDevice();
+        if (!space.fitsLocal(footprint)) {
+            fatal("%s: per-device footprint %s exceeds devicelocal "
+                  "capacity %s for %s (batch %lld, %s) — the memory "
+                  "capacity wall; reduce the batch size or enable a "
+                  "larger backing store",
+                  systemDesignName(_system.config().design),
+                  formatBytes(static_cast<double>(footprint)).c_str(),
+                  formatBytes(static_cast<double>(
+                      space.localCapacity())).c_str(),
+                  _net.name().c_str(),
+                  static_cast<long long>(_strategy.globalBatch()),
+                  parallelModeName(_strategy.mode()));
+        }
+        space.mallocLocal(footprint);
+
+        // Table I: allocate deviceremote backing buffers for every
+        // offloaded tensor through the runtime API.
+        for (LayerId id = 0; id < static_cast<LayerId>(_net.size());
+             ++id) {
+            if (_plan.entry(id).action != TensorAction::Offload)
+                continue;
+            const double bytes =
+                _strategy.offloadBytesPerDevice(_net.layer(id));
+            _remotePtrs[static_cast<std::size_t>(d)][id] =
+                _system.runtime(d).mallocRemote(
+                    static_cast<std::uint64_t>(bytes) + 1);
+        }
+    }
+}
+
+void
+TrainingSession::issueOffload(int dev, LayerId layer)
+{
+    auto &latches = _offloadLatch[static_cast<std::size_t>(dev)];
+    auto latch_it = latches.find(layer);
+    if (latch_it == latches.end())
+        panic("offload of layer %d lacks a pre-created latch", layer);
+    auto latch = latch_it->second;
+
+    const double bytes =
+        _strategy.offloadBytesPerDevice(_net.layer(layer))
+        / _system.config().dmaCompressionRatio;
+    const bool tracked = dev == 0;
+    const Tick issued = _system.eventQueue().now();
+    if (tracked)
+        _vmemTracker.begin(issued);
+    _system.runtime(dev).memcpyAsync(
+        _remotePtrs[static_cast<std::size_t>(dev)].at(layer), bytes,
+        DmaDirection::LocalToRemote,
+        [this, latch, tracked, issued, layer] {
+            const Tick now = _system.eventQueue().now();
+            if (tracked) {
+                _vmemTracker.end(now);
+                if (_trace)
+                    _trace->addSpan("dev0.dma",
+                                    "offload "
+                                        + _net.layer(layer).name(),
+                                    issued, now - issued, "dma");
+            }
+            latch->complete();
+        });
+}
+
+void
+TrainingSession::ensurePrefetchIssued(int dev, LayerId layer)
+{
+    auto &latches = _prefetchLatch[static_cast<std::size_t>(dev)];
+    if (latches.count(layer))
+        return;
+    auto latch = std::make_shared<Latch>();
+    latches.emplace(layer, latch);
+
+    auto &off = _offloadLatch[static_cast<std::size_t>(dev)];
+    auto off_it = off.find(layer);
+    if (off_it == off.end())
+        panic("prefetch of layer %d before its offload latch exists",
+              layer);
+
+    // Write-before-read: the prefetch DMA starts only once the offload
+    // of the same tensor has fully drained.
+    off_it->second->whenDone([this, dev, layer, latch] {
+        const double bytes =
+            _strategy.offloadBytesPerDevice(_net.layer(layer))
+            / _system.config().dmaCompressionRatio;
+        const bool tracked = dev == 0;
+        const Tick issued = _system.eventQueue().now();
+        if (tracked)
+            _vmemTracker.begin(issued);
+        _system.runtime(dev).memcpyAsync(
+            _remotePtrs[static_cast<std::size_t>(dev)].at(layer), bytes,
+            DmaDirection::RemoteToLocal,
+            [this, latch, tracked, issued, layer] {
+                const Tick now = _system.eventQueue().now();
+                if (tracked) {
+                    _vmemTracker.end(now);
+                    if (_trace)
+                        _trace->addSpan("dev0.dma",
+                                        "prefetch "
+                                            + _net.layer(layer).name(),
+                                        issued, now - issued, "dma");
+                }
+                latch->complete();
+            });
+    });
+}
+
+void
+TrainingSession::prefetchWindow(int dev)
+{
+    const DeviceCtx &ctx = _devs[static_cast<std::size_t>(dev)];
+    const std::size_t end =
+        std::min(ctx.nextOp + kPrefetchLookahead, _ops.size());
+    for (std::size_t i = ctx.nextOp; i < end; ++i)
+        for (LayerId p : _ops[i].needsPrefetch)
+            ensurePrefetchIssued(dev, p);
+}
+
+void
+TrainingSession::tryIssue(int dev)
+{
+    DeviceCtx &ctx = _devs[static_cast<std::size_t>(dev)];
+    if (ctx.running || ctx.nextOp >= _ops.size())
+        return;
+    const OpSpec &op = _ops[ctx.nextOp];
+
+    Latch *wait = nullptr;
+    int cat = 0;
+    if (ctx.blockingGate && !ctx.blockingGate->done()) {
+        wait = ctx.blockingGate;
+        cat = 1;
+    }
+    if (!wait) {
+        for (LayerId p : op.needsPrefetch) {
+            ensurePrefetchIssued(dev, p);
+            Latch &latch =
+                *_prefetchLatch[static_cast<std::size_t>(dev)].at(p);
+            if (!latch.done()) {
+                wait = &latch;
+                cat = 2;
+                break;
+            }
+        }
+    }
+    if (!wait && op.needsDwLatch) {
+        auto it = _dwSync.find(op.layer);
+        if (it == _dwSync.end())
+            panic("weight update of layer %d before its dW sync point",
+                  op.layer);
+        if (!it->second->latch().done()) {
+            wait = &it->second->latch();
+            cat = 1;
+        }
+    }
+    if (wait) {
+        ctx.waitedCat = cat;
+        wait->whenDone([this, dev] { tryIssue(dev); });
+        return;
+    }
+
+    // Issue on the serial compute stream.
+    ctx.running = true;
+    ctx.blockingGate = nullptr;
+    const Tick now = _system.eventQueue().now();
+    if (dev == 0) {
+        _computeTicks += op.duration;
+        if (ctx.waitedCat == 1)
+            _stallSync += now - ctx.readyAt;
+        else if (ctx.waitedCat == 2)
+            _stallVmem += now - ctx.readyAt;
+    }
+    ctx.waitedCat = 0;
+    _system.device(dev).occupyCompute(now, op.duration);
+    _system.eventQueue().scheduleAfter(
+        op.duration, [this, dev] { completeOp(dev); },
+        "op_complete");
+}
+
+void
+TrainingSession::completeOp(int dev)
+{
+    DeviceCtx &ctx = _devs[static_cast<std::size_t>(dev)];
+    const std::size_t op_index = ctx.nextOp;
+    const OpSpec &op = _ops[op_index];
+    ctx.running = false;
+    ctx.readyAt = _system.eventQueue().now();
+
+    if (_trace && dev == 0 && op.duration > 0) {
+        const char *kind = op.kind == OpSpec::Kind::Fwd
+            ? "fwd "
+            : (op.kind == OpSpec::Kind::Bwd ? "bwd " : "wup ");
+        _trace->addSpan("dev0.compute",
+                        kind + _net.layer(op.layer).name(),
+                        ctx.readyAt - op.duration, op.duration);
+    }
+
+    for (LayerId p : op.offloadAfter)
+        issueOffload(dev, p);
+
+    if (op.syncAfter) {
+        auto it = _syncPoints.find(op_index);
+        if (it == _syncPoints.end())
+            panic("op %zu lacks its sync point", op_index);
+        if (op.syncAfter->blocking)
+            ctx.blockingGate = &it->second->latch();
+        it->second->arrive();
+    }
+
+    ++ctx.nextOp;
+    prefetchWindow(dev);
+    tryIssue(dev);
+}
+
+IterationResult
+TrainingSession::run()
+{
+    allocateBuffers();
+
+    EventQueue &eq = _system.eventQueue();
+    const int n = _system.numDevices();
+
+    // Reset per-iteration state.
+    _system.resetStats();
+    _devs.assign(static_cast<std::size_t>(n), DeviceCtx{});
+    _offloadLatch.assign(static_cast<std::size_t>(n), {});
+    _prefetchLatch.assign(static_cast<std::size_t>(n), {});
+    _syncPoints.clear();
+    _dwSync.clear();
+    _syncTracker.reset();
+    _vmemTracker.reset();
+    _computeTicks = 0;
+    _stallSync = 0;
+    _stallVmem = 0;
+    _startTick = eq.now();
+    const std::uint64_t events_before = eq.executedCount();
+
+    // Pre-create offload latches (prefetches chain off them even when
+    // issued out of order) and sync points.
+    for (int d = 0; d < n; ++d) {
+        for (const auto &[layer, ptr] :
+             _remotePtrs[static_cast<std::size_t>(d)]) {
+            (void)ptr;
+            _offloadLatch[static_cast<std::size_t>(d)].emplace(
+                layer, std::make_shared<Latch>());
+        }
+    }
+    double sync_bytes = 0.0;
+    for (std::size_t i = 0; i < _ops.size(); ++i) {
+        if (!_ops[i].syncAfter)
+            continue;
+        const SyncOp sync = *_ops[i].syncAfter;
+        sync_bytes += sync.bytes;
+        const std::string sync_label =
+            std::string(collectiveKindName(sync.kind)) + " "
+            + _net.layer(_ops[i].layer).name();
+        auto point = std::make_unique<SyncPoint>(
+            n, [this, sync, sync_label](Latch &latch) {
+                const Tick launched = _system.eventQueue().now();
+                _syncTracker.begin(launched);
+                _system.collectives().launch(
+                    sync.kind, sync.bytes,
+                    [this, &latch, launched, sync_label] {
+                        const Tick now = _system.eventQueue().now();
+                        _syncTracker.end(now);
+                        if (_trace)
+                            _trace->addSpan("collectives", sync_label,
+                                            launched, now - launched,
+                                            "sync");
+                        latch.complete();
+                    });
+            });
+        if (_ops[i].kind == OpSpec::Kind::Bwd
+            && _ops[i].syncAfter->kind == CollectiveKind::AllReduce
+            && !_ops[i].syncAfter->blocking) {
+            _dwSync[_ops[i].layer] = point.get();
+        }
+        _syncPoints.emplace(i, std::move(point));
+    }
+
+    // Start every device's program.
+    for (int d = 0; d < n; ++d) {
+        prefetchWindow(d);
+        tryIssue(d);
+    }
+    eq.run();
+
+    // Deadlock check: every device must have drained its program.
+    for (int d = 0; d < n; ++d) {
+        if (_devs[static_cast<std::size_t>(d)].nextOp != _ops.size())
+            panic("device %d stalled at op %zu/%zu — scheduling deadlock",
+                  d, _devs[static_cast<std::size_t>(d)].nextOp,
+                  _ops.size());
+    }
+
+    IterationResult result;
+    result.makespan = eq.now() - _startTick;
+    result.breakdown.computeSec = ticksToSeconds(_computeTicks);
+    result.breakdown.syncSec =
+        ticksToSeconds(_syncTracker.total(eq.now()));
+    result.breakdown.vmemSec =
+        ticksToSeconds(_vmemTracker.total(eq.now()));
+    result.breakdown.exposedSyncSec = ticksToSeconds(_stallSync);
+    result.breakdown.exposedVmemSec = ticksToSeconds(_stallVmem);
+    result.hostBytes = _system.fabric().hostBytes();
+    const int sockets = _system.config().fabric.numSockets;
+    if (result.makespan > 0 && sockets > 0) {
+        result.hostAvgBwPerSocket = result.hostBytes
+            / ticksToSeconds(result.makespan)
+            / static_cast<double>(sockets);
+    }
+    result.hostPeakBwPerSocket = _system.fabric().hostPeakBandwidth();
+    result.offloadBytesPerDevice = _system.dma(0).bytesOffloaded()
+        + _system.dma(0).bytesPrefetched();
+    result.syncBytes = sync_bytes;
+    result.eventsExecuted = eq.executedCount() - events_before;
+    return result;
+}
+
+} // namespace mcdla

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * TrainingSession: event-driven simulation of one training iteration.
+ *
+ * Every device runs the same SPMD program — forward pass in topological
+ * order, backward pass in reverse, then weight updates — on its serial
+ * compute stream, while:
+ *
+ *  - the vDNN memory manager offloads each stashed tensor after its last
+ *    forward use and prefetches it (with lookahead) before its backward
+ *    use, over the device's backing-store paths;
+ *  - parallel-training synchronization points launch ring collectives on
+ *    the fabric when the last device arrives (blocking for
+ *    model-parallel X/dX aggregation, update-gating for data-parallel
+ *    dW all-reduce).
+ *
+ * All traffic shares the fabric's channels, so the contention between
+ * collectives and virtualization DMA — the crux of the MC-DLA trade-off —
+ * is captured by construction. The session reports both the Figure 11
+ * per-category latency totals (union of busy intervals per category) and
+ * the overlapped makespan used by Figures 13/14.
+ */
+
+#ifndef MCDLA_SYSTEM_TRAINING_SESSION_HH
+#define MCDLA_SYSTEM_TRAINING_SESSION_HH
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "parallel/strategy.hh"
+#include "sim/trace.hh"
+#include "system/latch.hh"
+#include "system/system.hh"
+#include "vmem/offload_plan.hh"
+
+namespace mcdla
+{
+
+/** Figure 11 per-category latency totals (one device's view). */
+struct LatencyBreakdown
+{
+    double computeSec = 0.0; ///< Forward+backward+update busy time.
+    double syncSec = 0.0;    ///< Union of collective in-flight intervals.
+    double vmemSec = 0.0;    ///< Union of vmem DMA in-flight intervals.
+    double exposedSyncSec = 0.0; ///< Compute stalls attributed to sync.
+    double exposedVmemSec = 0.0; ///< Compute stalls attributed to vmem.
+
+    double
+    total() const
+    {
+        return computeSec + syncSec + vmemSec;
+    }
+};
+
+/** Results of one simulated training iteration. */
+struct IterationResult
+{
+    Tick makespan = 0;             ///< Wall-clock of the iteration.
+    LatencyBreakdown breakdown;    ///< Figure 11 inputs.
+    double hostBytes = 0.0;        ///< Traffic through host sockets.
+    double hostAvgBwPerSocket = 0.0;  ///< Figure 12 "avg" series.
+    double hostPeakBwPerSocket = 0.0; ///< Figure 12 "max" series.
+    double offloadBytesPerDevice = 0.0;
+    double syncBytes = 0.0;        ///< Collective payload launched.
+    std::uint64_t eventsExecuted = 0;
+
+    double iterationSeconds() const { return ticksToSeconds(makespan); }
+
+    /** Throughput in iterations/sec (Figure 13's "performance"). */
+    double
+    performance() const
+    {
+        const double s = iterationSeconds();
+        return s > 0.0 ? 1.0 / s : 0.0;
+    }
+};
+
+/** Drives one System through training iterations of one workload. */
+class TrainingSession
+{
+  public:
+    /**
+     * @param system Composed design point.
+     * @param net Workload network.
+     * @param mode Data- or model-parallel.
+     * @param global_batch Total minibatch (512 in the paper).
+     */
+    TrainingSession(System &system, const Network &net, ParallelMode mode,
+                    std::int64_t global_batch);
+
+    const ParallelStrategy &strategy() const { return _strategy; }
+    const OffloadPlan &plan() const { return _plan; }
+
+    /**
+     * Per-device memory demand if nothing were offloaded: weights +
+     * resident stash + working buffers. Used for capacity-wall checks.
+     */
+    std::uint64_t footprintBytesPerDevice() const;
+
+    /** Simulate one iteration and return its metrics. */
+    IterationResult run();
+
+    /**
+     * Attach a Chrome-tracing sink; subsequent iterations emit op, DMA,
+     * and collective spans (device-0 view plus the global sync track).
+     */
+    void setTraceSink(TraceSink *sink) { _trace = sink; }
+
+  private:
+    /// One scheduled operation of the SPMD program.
+    struct OpSpec
+    {
+        enum class Kind { Fwd, Bwd, Wup };
+        Kind kind = Kind::Fwd;
+        LayerId layer = invalidLayerId;
+        Tick duration = 0;
+        std::optional<SyncOp> syncAfter;
+        std::vector<LayerId> offloadAfter;
+        std::vector<LayerId> needsPrefetch;
+        bool needsDwLatch = false;
+    };
+
+    /// Per-device execution state for one iteration.
+    struct DeviceCtx
+    {
+        std::size_t nextOp = 0;
+        bool running = false;
+        Latch *blockingGate = nullptr;
+        Tick readyAt = 0;
+        /// Category of the gate most recently waited on (0 none,
+        /// 1 sync, 2 vmem).
+        int waitedCat = 0;
+    };
+
+    void buildSchedule();
+    void allocateBuffers();
+
+    /// Producers whose outputs this layer's backward reads, looking
+    /// through structural views (concat).
+    std::vector<LayerId> effectiveProducers(LayerId id) const;
+    /// Consumers of this layer's output, looking through views.
+    std::vector<LayerId> effectiveConsumers(LayerId id) const;
+
+    void tryIssue(int dev);
+    void completeOp(int dev);
+    void issueOffload(int dev, LayerId layer);
+    void ensurePrefetchIssued(int dev, LayerId layer);
+    void prefetchWindow(int dev);
+
+    System &_system;
+    const Network &_net;
+    ParallelStrategy _strategy;
+    OffloadPlan _plan;
+
+    std::vector<OpSpec> _ops;
+    std::vector<LayerTiming> _timings;
+    bool _allocated = false;
+    /// Remote allocations per device, by layer.
+    std::vector<std::map<LayerId, RemotePtr>> _remotePtrs;
+
+    // Per-iteration state.
+    std::vector<DeviceCtx> _devs;
+    std::vector<std::map<LayerId, std::shared_ptr<Latch>>> _offloadLatch;
+    std::vector<std::map<LayerId, std::shared_ptr<Latch>>> _prefetchLatch;
+    std::map<std::size_t, std::unique_ptr<SyncPoint>> _syncPoints;
+    std::map<LayerId, SyncPoint *> _dwSync;
+    TraceSink *_trace = nullptr;
+    ActivityTracker _syncTracker;
+    ActivityTracker _vmemTracker;
+    Tick _computeTicks = 0;
+    Tick _stallSync = 0;
+    Tick _stallVmem = 0;
+    Tick _startTick = 0;
+
+    /// Prefetch lookahead window in ops.
+    static constexpr std::size_t kPrefetchLookahead = 8;
+};
+
+} // namespace mcdla
+
+#endif // MCDLA_SYSTEM_TRAINING_SESSION_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * DmaEngine implementation.
+ */
+
+#include "vmem/dma_engine.hh"
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+DmaEngine::DmaEngine(EventQueue &eq, std::string name,
+                     const std::vector<VmemPath> &paths,
+                     double chunk_bytes)
+    : SimObject(eq, std::move(name)), _paths(paths),
+      _chunkBytes(chunk_bytes)
+{
+    if (_chunkBytes <= 0.0)
+        fatal("dma engine '%s': chunk size must be positive",
+              this->name().c_str());
+    stats().scalar("bytes_offloaded", "devicelocal -> backing store");
+    stats().scalar("bytes_prefetched", "backing store -> devicelocal");
+    stats().scalar("transfers", "DMA operations issued");
+}
+
+void
+DmaEngine::transfer(double bytes, DmaDirection direction,
+                    const std::vector<double> &fractions, Handler on_done)
+{
+    if (!hasBackingStore())
+        fatal("dma engine '%s': transfer without a backing store",
+              name().c_str());
+    if (bytes <= 0.0) {
+        eventQueue().scheduleAfter(0, std::move(on_done),
+                                   name() + ".empty_dma");
+        return;
+    }
+    if (!fractions.empty() && fractions.size() != _paths.size())
+        panic("dma engine '%s': %zu fractions for %zu paths",
+              name().c_str(), fractions.size(), _paths.size());
+
+    ++stats().scalar("transfers");
+    if (direction == DmaDirection::LocalToRemote) {
+        _bytesOffloaded += bytes;
+        stats().scalar("bytes_offloaded") += bytes;
+    } else {
+        _bytesPrefetched += bytes;
+        stats().scalar("bytes_prefetched") += bytes;
+    }
+
+    // Count the active shares first so the completion join is exact.
+    std::size_t active = 0;
+    for (std::size_t i = 0; i < _paths.size(); ++i) {
+        const double f = fractions.empty()
+            ? 1.0 / static_cast<double>(_paths.size())
+            : fractions[i];
+        if (f > 0.0)
+            ++active;
+    }
+    if (active == 0) {
+        eventQueue().scheduleAfter(0, std::move(on_done),
+                                   name() + ".zero_fraction_dma");
+        return;
+    }
+
+    auto remaining = std::make_shared<std::size_t>(active);
+    auto done = std::make_shared<Handler>(std::move(on_done));
+    for (std::size_t i = 0; i < _paths.size(); ++i) {
+        const double f = fractions.empty()
+            ? 1.0 / static_cast<double>(_paths.size())
+            : fractions[i];
+        if (f <= 0.0)
+            continue;
+        const auto &routes = direction == DmaDirection::LocalToRemote
+            ? _paths[i].writeRoutes
+            : _paths[i].readRoutes;
+        sendFlow(routes, bytes * f, _chunkBytes, [remaining, done] {
+            if (--*remaining == 0 && *done)
+                (*done)();
+        });
+    }
+}
+
+} // namespace mcdla

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * OffloadPlan implementation.
+ */
+
+#include "vmem/offload_plan.hh"
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+const char *
+tensorActionName(TensorAction action)
+{
+    switch (action) {
+      case TensorAction::None: return "none";
+      case TensorAction::Offload: return "offload";
+      case TensorAction::Recompute: return "recompute";
+      case TensorAction::KeepLocal: return "keep-local";
+    }
+    return "unknown";
+}
+
+OffloadPlan::OffloadPlan(const Network &net, const OffloadPolicy &policy)
+    : _net(net), _policy(policy)
+{
+    _entries.reserve(net.size());
+    for (LayerId id = 0; id < static_cast<LayerId>(net.size()); ++id) {
+        const Layer &layer = net.layer(id);
+        TensorPlan plan;
+        plan.producer = id;
+        plan.auxBytesPerSample = layer.auxStashBytesPerSample();
+
+        const bool needed = net.outputStashedForBackward(id);
+        if (!needed && plan.auxBytesPerSample == 0) {
+            plan.action = TensorAction::None;
+            _entries.push_back(plan);
+            continue;
+        }
+        if (needed)
+            plan.outBytesPerSample = layer.outBytesPerSample();
+
+        if (!_policy.virtualizeMemory) {
+            plan.action = TensorAction::KeepLocal;
+        } else if (layer.costClass() == CostClass::Cheap
+                   && _policy.recomputeCheapLayers) {
+            // Cheap layers re-derive their outputs during backprop; no
+            // migration traffic, but their aux state (none today) and
+            // recompute time are charged to the backward pass.
+            plan.action = TensorAction::Recompute;
+        } else {
+            plan.action = TensorAction::Offload;
+        }
+        _entries.push_back(plan);
+    }
+}
+
+const TensorPlan &
+OffloadPlan::entry(LayerId id) const
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= _entries.size())
+        panic("offload plan: layer id %d out of range", id);
+    return _entries[static_cast<std::size_t>(id)];
+}
+
+std::uint64_t
+OffloadPlan::offloadBytesPerSample() const
+{
+    std::uint64_t total = 0;
+    for (const TensorPlan &p : _entries)
+        if (p.action == TensorAction::Offload)
+            total += p.totalBytesPerSample();
+    return total;
+}
+
+std::uint64_t
+OffloadPlan::residentBytesPerSample() const
+{
+    std::uint64_t total = 0;
+    for (const TensorPlan &p : _entries)
+        if (p.action == TensorAction::KeepLocal)
+            total += p.totalBytesPerSample();
+    return total;
+}
+
+std::vector<LayerId>
+OffloadPlan::recomputedLayers() const
+{
+    std::vector<LayerId> out;
+    for (const TensorPlan &p : _entries)
+        if (p.action == TensorAction::Recompute)
+            out.push_back(p.producer);
+    return out;
+}
+
+std::size_t
+OffloadPlan::offloadCount() const
+{
+    std::size_t n = 0;
+    for (const TensorPlan &p : _entries)
+        if (p.action == TensorAction::Offload)
+            ++n;
+    return n;
+}
+
+} // namespace mcdla

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * vDNN-style memory-overlaying plan (Section II-B / IV).
+ *
+ * The DL framework analyzes the network DAG at compile time and derives,
+ * for every tensor that backpropagation will need again, one of:
+ *
+ *  - Offload: push to the backing store after the last forward use and
+ *    prefetch before the backward use (heavy conv/GEMM/recurrent
+ *    tensors). Per the paper's stress-test methodology this is done
+ *    unconditionally, even when the working set would fit.
+ *  - Recompute: cheap layers (activation, pooling, LRN, batch-norm ...)
+ *    re-derive their outputs during backprop instead of migrating them —
+ *    the MXNet-style optimization the paper adopts (footnote 4).
+ *  - KeepLocal: tensor stays resident (oracle mode, or tiny tensors).
+ *  - None: tensor is dead after forward (no backward use).
+ */
+
+#ifndef MCDLA_VMEM_OFFLOAD_PLAN_HH
+#define MCDLA_VMEM_OFFLOAD_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/network.hh"
+
+namespace mcdla
+{
+
+/** Disposition of one layer's stash-for-backward tensors. */
+enum class TensorAction
+{
+    None,      ///< Nothing to keep for backward.
+    Offload,   ///< Migrate to the backing store and prefetch back.
+    Recompute, ///< Re-derive during backward (no migration traffic).
+    KeepLocal, ///< Keep resident in devicelocal memory.
+};
+
+const char *tensorActionName(TensorAction action);
+
+/** Planner knobs. */
+struct OffloadPolicy
+{
+    /** Master switch; false models DC-DLA(O)'s infinite local memory. */
+    bool virtualizeMemory = true;
+
+    /** Apply the recompute-cheap-layers optimization (footnote 4). */
+    bool recomputeCheapLayers = true;
+};
+
+/** Per-layer plan entry. */
+struct TensorPlan
+{
+    LayerId producer = invalidLayerId;
+    TensorAction action = TensorAction::None;
+    /** Output bytes per sample affected by the action. */
+    std::uint64_t outBytesPerSample = 0;
+    /** Auxiliary stash bytes per sample (gates, cell state, ...). */
+    std::uint64_t auxBytesPerSample = 0;
+
+    std::uint64_t
+    totalBytesPerSample() const
+    {
+        return outBytesPerSample + auxBytesPerSample;
+    }
+};
+
+/** The compile-time memory-overlaying schedule for one network. */
+class OffloadPlan
+{
+  public:
+    OffloadPlan(const Network &net, const OffloadPolicy &policy);
+
+    const Network &network() const { return _net; }
+    const OffloadPolicy &policy() const { return _policy; }
+
+    const TensorPlan &entry(LayerId id) const;
+    const std::vector<TensorPlan> &entries() const { return _entries; }
+
+    /** Bytes migrated out (== prefetched back) per sample. */
+    std::uint64_t offloadBytesPerSample() const;
+
+    /** Bytes kept resident per sample (KeepLocal actions). */
+    std::uint64_t residentBytesPerSample() const;
+
+    /** Layers whose forward pass re-runs during backward. */
+    std::vector<LayerId> recomputedLayers() const;
+
+    /** Number of Offload entries. */
+    std::size_t offloadCount() const;
+
+  private:
+    const Network &_net;
+    OffloadPolicy _policy;
+    std::vector<TensorPlan> _entries;
+};
+
+} // namespace mcdla
+
+#endif // MCDLA_VMEM_OFFLOAD_PLAN_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Benchmark catalog implementation.
+ */
+
+#include "workloads/benchmarks.hh"
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+const std::vector<BenchmarkInfo> &
+benchmarkCatalog()
+{
+    static const std::vector<BenchmarkInfo> catalog = {
+        {"AlexNet", "Image recognition", 8, false,
+         [] { return builders::buildAlexNet(); }},
+        {"GoogLeNet", "Image recognition", 58, false,
+         [] { return builders::buildGoogLeNet(); }},
+        {"VGG-E", "Image recognition", 19, false,
+         [] { return builders::buildVggE(); }},
+        {"ResNet", "Image recognition", 34, false,
+         [] { return builders::buildResNet34(); }},
+        {"RNN-GEMV", "Speech recognition", 50, true,
+         [] { return builders::buildRnnGemv(); }},
+        {"RNN-LSTM-1", "Machine translation", 25, true,
+         [] { return builders::buildRnnLstm1(); }},
+        {"RNN-LSTM-2", "Language modeling", 25, true,
+         [] { return builders::buildRnnLstm2(); }},
+        {"RNN-GRU", "Speech recognition", 187, true,
+         [] { return builders::buildRnnGru(); }},
+    };
+    return catalog;
+}
+
+std::vector<std::string>
+cnnBenchmarkNames()
+{
+    std::vector<std::string> names;
+    for (const BenchmarkInfo &info : benchmarkCatalog())
+        if (!info.recurrent)
+            names.push_back(info.name);
+    return names;
+}
+
+std::vector<std::string>
+benchmarkNames()
+{
+    std::vector<std::string> names;
+    for (const BenchmarkInfo &info : benchmarkCatalog())
+        names.push_back(info.name);
+    return names;
+}
+
+const BenchmarkInfo &
+benchmarkInfo(const std::string &name)
+{
+    for (const BenchmarkInfo &info : benchmarkCatalog())
+        if (info.name == name)
+            return info;
+    fatal("unknown benchmark '%s' (see Table III)", name.c_str());
+}
+
+Network
+buildBenchmark(const std::string &name)
+{
+    return benchmarkInfo(name).build();
+}
+
+} // namespace mcdla

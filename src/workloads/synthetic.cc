@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Synthetic network generator implementation.
+ */
+
+#include "workloads/synthetic.hh"
+
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+namespace
+{
+
+/** Append a cheap layer at random (activation / bn / lrn / dropout). */
+LayerId
+addRandomCheap(Network &net, Random &rng, LayerId in,
+               const TensorShape &shape, const std::string &name)
+{
+    switch (rng.below(4)) {
+      case 0:
+        return net.addAfter(Layer::activation(name + "/act", shape),
+                            in);
+      case 1:
+        return net.addAfter(Layer::batchNorm(name + "/bn", shape), in);
+      case 2:
+        return net.addAfter(Layer::lrn(name + "/lrn", shape), in);
+      default:
+        return net.addAfter(Layer::dropout(name + "/drop", shape), in);
+    }
+}
+
+} // anonymous namespace
+
+Network
+buildSyntheticNetwork(Random &rng, const SyntheticSpec &spec)
+{
+    Network net("synthetic");
+
+    TensorShape shape =
+        TensorShape::chw(3, spec.inputSize, spec.inputSize);
+    LayerId x = net.addLayer(Layer::input("data", shape));
+    std::int64_t channels = spec.channels;
+
+    for (int seg = 0; seg < spec.segments; ++seg) {
+        const std::string p = "seg" + std::to_string(seg);
+        const auto roll = static_cast<int>(rng.below(100));
+
+        if (roll < spec.branchPct && shape.dim(1) >= 4) {
+            // Inception-style branch: 1x1 / 3x3 / pool-projection.
+            const std::int64_t c1 = channels / 2 + 1;
+            const std::int64_t c3 = channels / 2 + 1;
+            const std::int64_t cp = channels / 4 + 1;
+            LayerId b1 = net.addAfter(
+                Layer::conv2d(p + "/b1x1", shape, c1, 1, 1, 0), x);
+            LayerId b3 = net.addAfter(
+                Layer::conv2d(p + "/b3x3", shape, c3, 3, 1, 1), x);
+            LayerId bp = net.addAfter(
+                Layer::pool(p + "/bpool", shape, 3, 1, 1), x);
+            bp = net.addAfter(
+                Layer::conv2d(p + "/bproj",
+                              net.layer(bp).outShape(), cp, 1, 1, 0),
+                bp);
+            channels = c1 + c3 + cp;
+            x = net.addLayer(
+                Layer::concat(p + "/concat", channels, shape.dim(1),
+                              shape.dim(2)),
+                {b1, b3, bp});
+            shape = net.layer(x).outShape();
+        } else if (roll < spec.branchPct + spec.residualPct
+                   && shape.dim(1) >= 4) {
+            // Residual block.
+            LayerId shortcut = x;
+            LayerId y = net.addAfter(
+                Layer::conv2d(p + "/conv1", shape, channels, 3, 1, 1),
+                x);
+            y = addRandomCheap(net, rng, y, net.layer(y).outShape(),
+                               p + "/mid");
+            y = net.addAfter(
+                Layer::conv2d(p + "/conv2", net.layer(y).outShape(),
+                              channels, 3, 1, 1),
+                y);
+            x = net.addLayer(
+                Layer::eltwiseAdd(p + "/add", net.layer(y).outShape()),
+                {y, shortcut});
+            shape = net.layer(x).outShape();
+        } else {
+            // Plain conv (+ optional cheap chain, + optional pool).
+            const std::int64_t out_c =
+                channels + static_cast<std::int64_t>(rng.below(
+                    static_cast<std::uint64_t>(channels) + 1));
+            x = net.addAfter(
+                Layer::conv2d(p + "/conv", shape, out_c, 3, 1, 1), x);
+            channels = out_c;
+            shape = net.layer(x).outShape();
+            if (rng.below(2) == 0)
+                x = addRandomCheap(net, rng, x, shape, p);
+            if (rng.below(2) == 0 && shape.dim(1) >= 8) {
+                x = net.addAfter(Layer::pool(p + "/pool", shape, 2, 2),
+                                 x);
+                shape = net.layer(x).outShape();
+            }
+        }
+    }
+
+    // Classifier head, optionally preceded by a recurrent tail.
+    x = net.addAfter(Layer::globalPool("gap", shape), x);
+    std::int64_t features = net.layer(x).outShape().elems();
+
+    if (spec.recurrentTail > 0) {
+        const std::int64_t hidden = features;
+        // One cell type per network: tied weights must share a shape.
+        const bool lstm = rng.below(2) == 0;
+        LayerId h = x;
+        for (std::int64_t t = 0; t < spec.recurrentTail; ++t) {
+            Layer cell = lstm
+                ? Layer::lstmCell("t" + std::to_string(t), hidden)
+                : Layer::gruCell("t" + std::to_string(t), hidden);
+            if (t > 0)
+                cell.markWeightsTied();
+            std::vector<LayerId> inputs{x};
+            if (t > 0)
+                inputs.push_back(h);
+            h = net.addLayer(std::move(cell), std::move(inputs));
+        }
+        x = h;
+    }
+
+    x = net.addAfter(Layer::fullyConnected("fc", features, 100), x);
+    net.addAfter(Layer::softmaxLoss("loss", 100), x);
+    net.validate();
+    return net;
+}
+
+} // namespace mcdla

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Synthetic workload generation.
+ *
+ * Deterministic, seeded random DNNs exercising every structural feature
+ * the scheduler must handle — branching (inception-style concat),
+ * residual adds, cheap-layer chains, mixed CNN/recurrent tails — used
+ * by the property/fuzz test suite to check that arbitrary valid DAGs
+ * simulate to completion with consistent accounting on every design
+ * point.
+ */
+
+#ifndef MCDLA_WORKLOADS_SYNTHETIC_HH
+#define MCDLA_WORKLOADS_SYNTHETIC_HH
+
+#include <cstdint>
+
+#include "dnn/network.hh"
+#include "sim/random.hh"
+
+namespace mcdla
+{
+
+/** Generation knobs. */
+struct SyntheticSpec
+{
+    /** Approximate depth in structural segments. */
+    int segments = 6;
+    /** Input spatial resolution (square). */
+    std::int64_t inputSize = 64;
+    /** Initial channel count; grows stochastically with depth. */
+    std::int64_t channels = 16;
+    /** Probability of an inception-style branch segment (percent). */
+    int branchPct = 30;
+    /** Probability of a residual segment (percent). */
+    int residualPct = 30;
+    /** Append a recurrent tail with this many timesteps (0 = none). */
+    std::int64_t recurrentTail = 0;
+};
+
+/**
+ * Generate a random valid network.
+ *
+ * @param rng Seeded generator; equal seeds yield equal networks.
+ * @param spec Shape knobs.
+ */
+Network buildSyntheticNetwork(Random &rng, const SyntheticSpec &spec);
+
+} // namespace mcdla
+
+#endif // MCDLA_WORKLOADS_SYNTHETIC_HH

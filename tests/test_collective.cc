@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Unit and property tests for ring collectives: DES vs the analytic
+ * model, the Figure 9 scaling behaviour (including the paper's ~7%
+ * all-reduce overhead at 16 vs 8 ring stages), and contention.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "collective/ring_collective.hh"
+#include "interconnect/fabric.hh"
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+namespace
+{
+
+/** Build a fabric with one uniform unidirectional ring of @p stages. */
+std::unique_ptr<Fabric>
+uniformRing(EventQueue &eq, int stages, double bw, Tick latency)
+{
+    auto fab = std::make_unique<Fabric>(eq, "ring" + std::to_string(
+        stages));
+    RingPath ring;
+    for (int i = 0; i < stages; ++i) {
+        ring.stages.push_back(RingStage{true, i});
+        Channel &ch = fab->makeChannel(
+            "hop" + std::to_string(i), bw, latency);
+        ring.hops.push_back(Route{{&ch}});
+    }
+    fab->addRing(std::move(ring));
+    return fab;
+}
+
+/** Run one collective on a uniform ring and return its latency. */
+Tick
+measure(CollectiveKind kind, int stages, double bytes,
+        double chunk = 4096.0, double bw = 25.0 * kGB,
+        Tick latency = 500 * ticksPerNs)
+{
+    EventQueue eq;
+    auto fab = uniformRing(eq, stages, bw, latency);
+    CollectiveConfig cfg;
+    cfg.chunkBytes = chunk;
+    CollectiveEngine engine(eq, "nccl", *fab, cfg);
+    Tick done = 0;
+    engine.launch(kind, bytes, [&] { done = eq.now(); });
+    eq.run();
+    EXPECT_GT(done, 0u);
+    return done;
+}
+
+// ------------------------------------------------------------ basics
+
+TEST(Collective, KindNames)
+{
+    EXPECT_STREQ(collectiveKindName(CollectiveKind::AllReduce),
+                 "all-reduce");
+    EXPECT_STREQ(collectiveKindName(CollectiveKind::AllGather),
+                 "all-gather");
+    EXPECT_STREQ(collectiveKindName(CollectiveKind::ReduceScatter),
+                 "reduce-scatter");
+    EXPECT_STREQ(collectiveKindName(CollectiveKind::Broadcast),
+                 "broadcast");
+}
+
+TEST(Collective, ZeroBytesCompletesImmediately)
+{
+    EventQueue eq;
+    auto fab = uniformRing(eq, 8, 25.0 * kGB, 0);
+    CollectiveEngine engine(eq, "nccl", *fab);
+    bool done = false;
+    engine.launch(CollectiveKind::AllReduce, 0.0, [&] { done = true; });
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(engine.opsCompleted(), 1u);
+}
+
+TEST(Collective, NoRingsStillCompletes)
+{
+    EventQueue eq;
+    Fabric fab(eq, "empty");
+    CollectiveEngine engine(eq, "nccl", fab);
+    bool done = false;
+    engine.launch(CollectiveKind::AllReduce, 1e6, [&] { done = true; });
+    eq.run();
+    EXPECT_TRUE(done);
+}
+
+TEST(Collective, TracksLaunchedBytesAndOps)
+{
+    EventQueue eq;
+    auto fab = uniformRing(eq, 4, 25.0 * kGB, 0);
+    CollectiveEngine engine(eq, "nccl", *fab);
+    engine.launch(CollectiveKind::AllGather, 1e6, nullptr);
+    engine.launch(CollectiveKind::AllReduce, 2e6, nullptr);
+    eq.run();
+    EXPECT_DOUBLE_EQ(engine.bytesLaunched(), 3e6);
+    EXPECT_EQ(engine.opsCompleted(), 2u);
+}
+
+// --------------------------------------------- bandwidth-term behaviour
+
+TEST(Collective, AllReduceCostsTwiceAllGather)
+{
+    const Tick ag = measure(CollectiveKind::AllGather, 8, 8e6, 64e3);
+    const Tick ar = measure(CollectiveKind::AllReduce, 8, 8e6, 64e3);
+    EXPECT_NEAR(static_cast<double>(ar), 2.0 * static_cast<double>(ag),
+                0.15 * static_cast<double>(ar));
+}
+
+TEST(Collective, ReduceScatterMatchesAllGather)
+{
+    const Tick ag = measure(CollectiveKind::AllGather, 8, 8e6, 64e3);
+    const Tick rs = measure(CollectiveKind::ReduceScatter, 8, 8e6, 64e3);
+    EXPECT_NEAR(static_cast<double>(rs), static_cast<double>(ag),
+                0.05 * static_cast<double>(ag));
+}
+
+TEST(Collective, LatencyScalesLinearlyWithMessageSize)
+{
+    const Tick small = measure(CollectiveKind::AllReduce, 8, 4e6, 64e3);
+    const Tick large = measure(CollectiveKind::AllReduce, 8, 16e6, 64e3);
+    EXPECT_NEAR(static_cast<double>(large),
+                4.0 * static_cast<double>(small),
+                0.25 * static_cast<double>(large));
+}
+
+TEST(Collective, SixteenStageAllReduceCostsSevenPercentMore)
+{
+    // The paper's Figure 9 annotation: for reasonably large messages,
+    // MC-DLA's 16-node rings cost ~7% more than DC-DLA's 8-node rings
+    // for all-reduce ((15/16)/(7/8) = 1.071).
+    const Tick n8 = measure(CollectiveKind::AllReduce, 8, 8e6);
+    const Tick n16 = measure(CollectiveKind::AllReduce, 16, 8e6);
+    const double overhead = static_cast<double>(n16)
+        / static_cast<double>(n8) - 1.0;
+    EXPECT_GT(overhead, 0.04);
+    EXPECT_LT(overhead, 0.12);
+}
+
+TEST(Collective, BroadcastIsNearlyFlatInRingSize)
+{
+    // Pipelined broadcast: the payload streams once; extra stages add
+    // only per-hop chunk latencies.
+    const Tick n2 = measure(CollectiveKind::Broadcast, 2, 8e6);
+    const Tick n36 = measure(CollectiveKind::Broadcast, 36, 8e6);
+    EXPECT_LT(static_cast<double>(n36), 1.3 * static_cast<double>(n2));
+}
+
+TEST(Collective, AllGatherDoublesFromTwoToManyStages)
+{
+    // Figure 9: all-gather latency normalized to a 2-node ring tends to
+    // 2x for large rings ((n-1)/n -> 1 vs 1/2).
+    const Tick n2 = measure(CollectiveKind::AllGather, 2, 8e6);
+    const Tick n36 = measure(CollectiveKind::AllGather, 36, 8e6);
+    const double ratio = static_cast<double>(n36)
+        / static_cast<double>(n2);
+    EXPECT_GT(ratio, 1.7);
+    EXPECT_LT(ratio, 2.4);
+}
+
+TEST(Collective, SmallMessagesPayLatencyNotBandwidth)
+{
+    // With a tiny payload the per-hop latency dominates, so a longer
+    // ring is proportionally slower — the left side of Figure 9.
+    const Tick n4 = measure(CollectiveKind::AllReduce, 4, 16e3);
+    const Tick n32 = measure(CollectiveKind::AllReduce, 32, 16e3);
+    EXPECT_GT(static_cast<double>(n32),
+              3.0 * static_cast<double>(n4));
+}
+
+// ----------------------------------------------- multi-ring behaviour
+
+TEST(Collective, TwoRingsHalveLatency)
+{
+    EventQueue eq;
+    auto fab1 = uniformRing(eq, 8, 25.0 * kGB, 0);
+    CollectiveEngine e1(eq, "one", *fab1);
+    Tick t1 = 0;
+    e1.launch(CollectiveKind::AllReduce, 8e6, [&] { t1 = eq.now(); });
+    eq.run();
+
+    EventQueue eq2;
+    auto fab2 = std::make_unique<Fabric>(eq2, "two");
+    for (int r = 0; r < 2; ++r) {
+        RingPath ring;
+        for (int i = 0; i < 8; ++i) {
+            ring.stages.push_back(RingStage{true, i});
+            Channel &ch = fab2->makeChannel(
+                "r" + std::to_string(r) + "h" + std::to_string(i),
+                25.0 * kGB, 0);
+            ring.hops.push_back(Route{{&ch}});
+        }
+        fab2->addRing(std::move(ring));
+    }
+    CollectiveEngine e2(eq2, "two", *fab2);
+    Tick t2 = 0;
+    e2.launch(CollectiveKind::AllReduce, 8e6, [&] { t2 = eq2.now(); });
+    eq2.run();
+
+    EXPECT_NEAR(static_cast<double>(t2),
+                static_cast<double>(t1) / 2.0,
+                static_cast<double>(t1) * 0.1);
+}
+
+TEST(Collective, ConcurrentOpsContendOnSharedRing)
+{
+    EventQueue eq;
+    auto fab = uniformRing(eq, 8, 25.0 * kGB, 0);
+    CollectiveEngine engine(eq, "nccl", *fab);
+    Tick solo = 0;
+    engine.launch(CollectiveKind::AllReduce, 8e6,
+                  [&] { solo = eq.now(); });
+    eq.run();
+
+    EventQueue eq2;
+    auto fab2 = uniformRing(eq2, 8, 25.0 * kGB, 0);
+    CollectiveEngine engine2(eq2, "nccl", *fab2);
+    Tick both = 0;
+    int done = 0;
+    auto on_done = [&] {
+        if (++done == 2)
+            both = eq2.now();
+    };
+    engine2.launch(CollectiveKind::AllReduce, 8e6, on_done);
+    engine2.launch(CollectiveKind::AllReduce, 8e6, on_done);
+    eq2.run();
+    EXPECT_NEAR(static_cast<double>(both),
+                2.0 * static_cast<double>(solo),
+                static_cast<double>(solo) * 0.15);
+}
+
+// ----------------------------------------------- analytic cross-check
+
+class AnalyticAgreement
+    : public ::testing::TestWithParam<std::tuple<CollectiveKind, int>>
+{};
+
+TEST_P(AnalyticAgreement, DesMatchesClosedForm)
+{
+    const auto [kind, stages] = GetParam();
+    const double bytes = 8e6;
+    const double chunk = 64e3;
+    const double bw = 25.0 * kGB;
+    const Tick latency = 500 * ticksPerNs;
+    const Tick des = measure(kind, stages, bytes, chunk, bw, latency);
+    const Tick analytic =
+        analyticRingLatency(kind, stages, bytes, bw, latency, chunk);
+    EXPECT_NEAR(static_cast<double>(des),
+                static_cast<double>(analytic),
+                0.3 * static_cast<double>(analytic))
+        << collectiveKindName(kind) << " stages=" << stages;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSizes, AnalyticAgreement,
+    ::testing::Combine(
+        ::testing::Values(CollectiveKind::AllGather,
+                          CollectiveKind::AllReduce,
+                          CollectiveKind::ReduceScatter,
+                          CollectiveKind::Broadcast),
+        ::testing::Values(2, 4, 8, 16, 24, 36)),
+    [](const auto &info) {
+        const char *kind = "x";
+        switch (std::get<0>(info.param)) {
+          case CollectiveKind::AllGather: kind = "ag"; break;
+          case CollectiveKind::AllReduce: kind = "ar"; break;
+          case CollectiveKind::ReduceScatter: kind = "rs"; break;
+          case CollectiveKind::Broadcast: kind = "bc"; break;
+        }
+        return std::string(kind) + "_n"
+            + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(AnalyticModel, DegenerateCases)
+{
+    EXPECT_EQ(analyticRingLatency(CollectiveKind::AllReduce, 1, 1e6,
+                                  25e9, 0, 4096),
+              0u);
+    EXPECT_EQ(analyticRingLatency(CollectiveKind::AllReduce, 8, 0.0,
+                                  25e9, 0, 4096),
+              0u);
+}
+
+} // anonymous namespace
+} // namespace mcdla

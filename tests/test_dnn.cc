@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Unit tests for the DNN model library: shapes, layer factories, the
+ * network DAG, and the eight Table III benchmark builders.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/builders.hh"
+#include "dnn/layer.hh"
+#include "dnn/network.hh"
+#include "sim/logging.hh"
+#include "workloads/benchmarks.hh"
+
+namespace mcdla
+{
+namespace
+{
+
+class ThrowingErrors : public ::testing::Test
+{
+  protected:
+    void SetUp() override { LogConfig::throwOnError = true; }
+    void TearDown() override { LogConfig::throwOnError = false; }
+};
+
+// --------------------------------------------------------------- tensor
+
+TEST(TensorShape, ElementAndByteCounts)
+{
+    const TensorShape s = TensorShape::chw(64, 56, 56);
+    EXPECT_EQ(s.elems(), 64 * 56 * 56);
+    EXPECT_EQ(s.bytes(), static_cast<std::uint64_t>(64 * 56 * 56) * 4);
+    EXPECT_EQ(s.rank(), 3u);
+    EXPECT_EQ(s.str(), "64x56x56");
+}
+
+TEST(TensorShape, VectorShape)
+{
+    const TensorShape v = TensorShape::vec(4096);
+    EXPECT_EQ(v.elems(), 4096);
+    EXPECT_EQ(v.rank(), 1u);
+}
+
+TEST(TensorShape, Equality)
+{
+    EXPECT_EQ(TensorShape::chw(3, 4, 5), TensorShape::chw(3, 4, 5));
+    EXPECT_NE(TensorShape::chw(3, 4, 5), TensorShape::chw(3, 5, 4));
+}
+
+TEST(TensorShape, EmptyShapeHasNoElements)
+{
+    EXPECT_EQ(TensorShape().elems(), 0);
+    EXPECT_EQ(TensorShape().str(), "scalar");
+}
+
+// --------------------------------------------------------------- layers
+
+TEST(Layer, ConvOutputGeometry)
+{
+    // AlexNet conv1: 227x227x3, 96 filters 11x11 stride 4 -> 55x55.
+    const Layer conv = Layer::conv2d("c", TensorShape::chw(3, 227, 227),
+                                     96, 11, 4, 0);
+    EXPECT_EQ(conv.outShape(), TensorShape::chw(96, 55, 55));
+    ASSERT_EQ(conv.gemms().size(), 1u);
+    EXPECT_EQ(conv.gemms()[0].m, 96);
+    EXPECT_EQ(conv.gemms()[0].k, 3 * 11 * 11);
+    EXPECT_EQ(conv.gemms()[0].nPerSample, 55 * 55);
+    EXPECT_EQ(conv.paramCount(), 96 * 363 + 96);
+    EXPECT_TRUE(conv.countsTowardDepth());
+    EXPECT_EQ(conv.costClass(), CostClass::Heavy);
+}
+
+TEST(Layer, GroupedConvDividesReduction)
+{
+    const Layer conv = Layer::conv2d("c", TensorShape::chw(96, 27, 27),
+                                     256, 5, 1, 2, 2);
+    EXPECT_EQ(conv.gemms()[0].k, (96 / 2) * 25);
+    EXPECT_EQ(conv.paramCount(), 256 * 48 * 25 + 256);
+}
+
+TEST(Layer, ConvMacsScaleWithBatch)
+{
+    const Layer conv = Layer::conv2d("c", TensorShape::chw(3, 32, 32),
+                                     16, 3, 1, 1);
+    EXPECT_EQ(conv.fwdMacs(4), 4 * conv.fwdMacs(1));
+}
+
+TEST_F(ThrowingErrors, ConvRejectsBadGeometry)
+{
+    EXPECT_THROW(Layer::conv2d("c", TensorShape::vec(10), 8, 3, 1, 1),
+                 FatalError);
+    EXPECT_THROW(Layer::conv2d("c", TensorShape::chw(3, 4, 4), 8, 9, 1,
+                               0),
+                 FatalError);
+    EXPECT_THROW(Layer::conv2d("c", TensorShape::chw(3, 8, 8), 8, 3, 1,
+                               1, 2),
+                 FatalError); // 3 % 2 != 0
+}
+
+TEST(Layer, FullyConnectedShapes)
+{
+    const Layer fc = Layer::fullyConnected("fc", 9216, 4096);
+    EXPECT_EQ(fc.paramCount(), 9216 * 4096 + 4096);
+    EXPECT_EQ(fc.outShape(), TensorShape::vec(4096));
+    EXPECT_EQ(fc.fwdMacs(1), 9216 * 4096);
+}
+
+TEST(Layer, PoolGeometryAndClass)
+{
+    const Layer pool = Layer::pool("p", TensorShape::chw(96, 55, 55), 3,
+                                   2);
+    EXPECT_EQ(pool.outShape(), TensorShape::chw(96, 27, 27));
+    EXPECT_EQ(pool.costClass(), CostClass::Cheap);
+    EXPECT_FALSE(pool.hasWeights());
+    EXPECT_FALSE(pool.countsTowardDepth());
+}
+
+TEST(Layer, GlobalPoolCollapsesSpatial)
+{
+    const Layer gp = Layer::globalPool("p", TensorShape::chw(512, 7, 7));
+    EXPECT_EQ(gp.outShape(), TensorShape::vec(512));
+}
+
+TEST(Layer, CheapLayersHaveUnitBackwardFactor)
+{
+    const TensorShape s = TensorShape::chw(8, 4, 4);
+    for (const Layer &l :
+         {Layer::activation("a", s), Layer::lrn("l", s),
+          Layer::batchNorm("b", s), Layer::dropout("d", s),
+          Layer::eltwiseAdd("e", s)}) {
+        EXPECT_EQ(l.costClass(), CostClass::Cheap) << l.name();
+        EXPECT_DOUBLE_EQ(l.bwdMacFactor(), 1.0) << l.name();
+    }
+}
+
+TEST(Layer, RnnCellGemms)
+{
+    const Layer cell = Layer::rnnCell("t0", 1760);
+    ASSERT_EQ(cell.gemms().size(), 2u);
+    EXPECT_EQ(cell.gemms()[0].m, 1760);
+    EXPECT_EQ(cell.paramCount(), 2 * 1760 * 1760 + 1760);
+    EXPECT_TRUE(cell.isRecurrent());
+}
+
+TEST(Layer, LstmCellGemms)
+{
+    const Layer cell = Layer::lstmCell("t0", 1024);
+    ASSERT_EQ(cell.gemms().size(), 2u);
+    EXPECT_EQ(cell.gemms()[0].m, 4 * 1024);
+    EXPECT_EQ(cell.paramCount(), 8 * 1024 * 1024 + 4 * 1024);
+    // Gates + cell states + tanh(c) + x_t slice.
+    EXPECT_EQ(cell.auxStashBytesPerSample(), 8u * 1024 * 4);
+}
+
+TEST(Layer, GruCellGemms)
+{
+    const Layer cell = Layer::gruCell("t0", 1536);
+    EXPECT_EQ(cell.gemms()[0].m, 3 * 1536);
+    EXPECT_EQ(cell.paramCount(), 6 * 1536 * 1536 + 3 * 1536);
+    EXPECT_EQ(cell.auxStashBytesPerSample(), 5u * 1536 * 4);
+}
+
+TEST(Layer, WeightTyingFlag)
+{
+    Layer cell = Layer::lstmCell("t1", 64);
+    EXPECT_FALSE(cell.weightsTied());
+    cell.markWeightsTied();
+    EXPECT_TRUE(cell.weightsTied());
+    // Tied cells still report their (shared) parameter count.
+    EXPECT_GT(cell.paramCount(), 0);
+}
+
+// -------------------------------------------------------------- network
+
+TEST(Network, ChainTopology)
+{
+    Network net("tiny");
+    const LayerId in = net.addLayer(
+        Layer::input("in", TensorShape::chw(3, 8, 8)));
+    const LayerId conv = net.addAfter(
+        Layer::conv2d("c", TensorShape::chw(3, 8, 8), 4, 3, 1, 1), in);
+    const LayerId loss = net.addAfter(Layer::softmaxLoss("l", 4), conv);
+    net.validate();
+    EXPECT_EQ(net.size(), 3u);
+    EXPECT_EQ(net.consumersOf(in), std::vector<LayerId>{conv});
+    EXPECT_EQ(net.inputsOf(loss), std::vector<LayerId>{conv});
+    EXPECT_EQ(net.topoOrder().size(), 3u);
+}
+
+TEST_F(ThrowingErrors, NetworkRejectsForwardReferences)
+{
+    Network net("bad");
+    EXPECT_THROW(net.addLayer(Layer::softmaxLoss("l", 4), {5}),
+                 FatalError);
+}
+
+TEST_F(ThrowingErrors, ValidateRejectsOrphanLayers)
+{
+    Network net("orphan");
+    net.addLayer(Layer::input("in", TensorShape::chw(3, 8, 8)));
+    net.addLayer(Layer::softmaxLoss("l", 4)); // no producer
+    EXPECT_THROW(net.validate(), FatalError);
+}
+
+TEST_F(ThrowingErrors, ValidateRequiresInput)
+{
+    Network net("no_input");
+    EXPECT_THROW(net.validate(), FatalError);
+}
+
+TEST(Network, StashRules)
+{
+    Network net("stash");
+    const LayerId in = net.addLayer(
+        Layer::input("in", TensorShape::chw(3, 8, 8)));
+    const LayerId conv = net.addAfter(
+        Layer::conv2d("c", TensorShape::chw(3, 8, 8), 4, 3, 1, 1), in);
+    const LayerId act = net.addAfter(
+        Layer::activation("a", net.layer(conv).outShape()), conv);
+    net.addAfter(Layer::softmaxLoss("l", 4 * 8 * 8), act);
+
+    // Input feeds a heavy layer: stashed. Conv is heavy: stashed.
+    EXPECT_TRUE(net.outputStashedForBackward(in));
+    EXPECT_TRUE(net.outputStashedForBackward(conv));
+    // Activation feeds only the cheap loss: not stashed.
+    EXPECT_FALSE(net.outputStashedForBackward(act));
+}
+
+// ------------------------------------------------- benchmark builders
+
+TEST(Builders, AlexNetMatchesPublication)
+{
+    const Network net = builders::buildAlexNet();
+    EXPECT_EQ(net.weightedLayerCount(), 8);
+    // Canonical grouped AlexNet: ~60.97M parameters.
+    EXPECT_NEAR(static_cast<double>(net.totalParams()), 60.97e6,
+                0.05e6);
+    // ~0.7 GMACs forward per image.
+    EXPECT_NEAR(static_cast<double>(net.fwdMacs(1)), 0.72e9, 0.08e9);
+}
+
+TEST(Builders, VggEMatchesPublication)
+{
+    const Network net = builders::buildVggE();
+    EXPECT_EQ(net.weightedLayerCount(), 19);
+    // VGG-19: 143.67M parameters.
+    EXPECT_NEAR(static_cast<double>(net.totalParams()), 143.67e6,
+                0.1e6);
+    // ~19.6 GMACs forward per image.
+    EXPECT_NEAR(static_cast<double>(net.fwdMacs(1)), 19.6e9, 1.0e9);
+}
+
+TEST(Builders, GoogLeNetMatchesPublication)
+{
+    const Network net = builders::buildGoogLeNet();
+    EXPECT_EQ(net.weightedLayerCount(), 58);
+    // GoogLeNet: ~7.0M parameters (6.99M canonical).
+    EXPECT_NEAR(static_cast<double>(net.totalParams()), 7.0e6, 0.3e6);
+    // ~1.58 GMACs forward per image.
+    EXPECT_NEAR(static_cast<double>(net.fwdMacs(1)), 1.58e9, 0.25e9);
+}
+
+TEST(Builders, ResNet34MatchesPublication)
+{
+    const Network net = builders::buildResNet34();
+    EXPECT_EQ(net.weightedLayerCount(), 34);
+    // ResNet-34: 21.8M parameters.
+    EXPECT_NEAR(static_cast<double>(net.totalParams()), 21.8e6, 0.5e6);
+    // ~3.6 GMACs forward per image.
+    EXPECT_NEAR(static_cast<double>(net.fwdMacs(1)), 3.67e9, 0.4e9);
+}
+
+TEST(Builders, RnnTimestepsMatchTableIII)
+{
+    EXPECT_EQ(builders::buildRnnGemv().timesteps(), 50);
+    EXPECT_EQ(builders::buildRnnLstm1().timesteps(), 25);
+    EXPECT_EQ(builders::buildRnnLstm2().timesteps(), 25);
+    EXPECT_EQ(builders::buildRnnGru().timesteps(), 187);
+}
+
+TEST(Builders, RnnWeightsAreTiedAcrossTimesteps)
+{
+    const Network net = builders::buildRnnGemv(10, 128);
+    // Total params must count the shared cell weights once (plus the
+    // untied classifier).
+    const std::int64_t cell = 2 * 128 * 128 + 128;
+    const std::int64_t fc = 128 * 128 + 128;
+    EXPECT_EQ(net.totalParams(), cell + fc);
+}
+
+TEST(Builders, RnnCellChainsThroughHiddenState)
+{
+    const Network net = builders::buildRnnLstm1(5, 64);
+    int cells = 0;
+    LayerId prev = invalidLayerId;
+    for (LayerId id : net.topoOrder()) {
+        if (!net.layer(id).isRecurrent())
+            continue;
+        ++cells;
+        if (prev != invalidLayerId) {
+            const auto &ins = net.inputsOf(id);
+            EXPECT_NE(std::find(ins.begin(), ins.end(), prev),
+                      ins.end());
+        }
+        prev = id;
+    }
+    EXPECT_EQ(cells, 5);
+}
+
+TEST(Builders, RecurrentInputNotStashedMonolithically)
+{
+    const Network net = builders::buildRnnGemv(4, 32);
+    // Layer 0 is the input sequence; cells stash x_t slices instead.
+    EXPECT_FALSE(net.outputStashedForBackward(0));
+}
+
+// ------------------------------------ catalog-wide property tests
+
+class BenchmarkProperties
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(BenchmarkProperties, BuildsAndValidates)
+{
+    const Network net = buildBenchmark(GetParam());
+    net.validate();
+    EXPECT_GT(net.size(), 2u);
+}
+
+TEST_P(BenchmarkProperties, DepthMatchesTableIII)
+{
+    const BenchmarkInfo &info = benchmarkInfo(GetParam());
+    const Network net = info.build();
+    if (info.recurrent)
+        EXPECT_EQ(net.timesteps(), info.depth);
+    else
+        EXPECT_EQ(net.weightedLayerCount(), info.depth);
+}
+
+TEST_P(BenchmarkProperties, MacsArePositiveAndBatchLinear)
+{
+    const Network net = buildBenchmark(GetParam());
+    const std::int64_t one = net.fwdMacs(1);
+    EXPECT_GT(one, 0);
+    EXPECT_EQ(net.fwdMacs(8), 8 * one);
+}
+
+TEST_P(BenchmarkProperties, StashIsPositiveAndBelowResident)
+{
+    const Network net = buildBenchmark(GetParam());
+    EXPECT_GT(net.stashBytesPerSample(), 0u);
+    EXPECT_LE(net.stashBytesPerSample(),
+              net.residentFeatureBytesPerSample());
+}
+
+TEST_P(BenchmarkProperties, WeightsArePositive)
+{
+    const Network net = buildBenchmark(GetParam());
+    EXPECT_GT(net.totalWeightBytes(), 0u);
+}
+
+TEST_P(BenchmarkProperties, TopoOrderRespectsEdges)
+{
+    const Network net = buildBenchmark(GetParam());
+    std::vector<int> position(net.size());
+    const auto &topo = net.topoOrder();
+    for (std::size_t i = 0; i < topo.size(); ++i)
+        position[static_cast<std::size_t>(topo[i])] =
+            static_cast<int>(i);
+    for (LayerId id = 0; id < static_cast<LayerId>(net.size()); ++id)
+        for (LayerId in : net.inputsOf(id))
+            EXPECT_LT(position[static_cast<std::size_t>(in)],
+                      position[static_cast<std::size_t>(id)]);
+}
+
+TEST_P(BenchmarkProperties, ConsumerListsMirrorInputs)
+{
+    const Network net = buildBenchmark(GetParam());
+    for (LayerId id = 0; id < static_cast<LayerId>(net.size()); ++id) {
+        for (LayerId in : net.inputsOf(id)) {
+            const auto &cons = net.consumersOf(in);
+            EXPECT_NE(std::find(cons.begin(), cons.end(), id),
+                      cons.end());
+        }
+    }
+}
+
+TEST_P(BenchmarkProperties, SummaryMentionsEveryWeightedLayer)
+{
+    const Network net = buildBenchmark(GetParam());
+    const std::string summary = net.summary();
+    EXPECT_NE(summary.find(net.name()), std::string::npos);
+    EXPECT_GT(summary.size(), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkProperties,
+    ::testing::ValuesIn(benchmarkNames()),
+    [](const auto &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+} // anonymous namespace
+} // namespace mcdla

@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Unit tests for the interconnect: channels, flows, and the fabric
+ * builders' ring/hop-count properties from Section III-B.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "interconnect/channel.hh"
+#include "interconnect/fabrics.hh"
+#include "interconnect/flow.hh"
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+namespace
+{
+
+// --------------------------------------------------------------- channel
+
+TEST(Channel, TransferTakesBytesOverBandwidth)
+{
+    EventQueue eq;
+    Channel ch(eq, "c", 25.0 * kGB, 0);
+    Tick done = 0;
+    ch.submit(25e9, [&] { done = eq.now(); }); // exactly one second
+    eq.run();
+    EXPECT_EQ(done, ticksPerSec);
+    EXPECT_DOUBLE_EQ(ch.bytesTransferred(), 25e9);
+}
+
+TEST(Channel, LatencyDelaysDeliveryNotOccupancy)
+{
+    EventQueue eq;
+    const Tick lat = 500 * ticksPerNs;
+    Channel ch(eq, "c", 1e9, lat);
+    Tick first = 0, second = 0;
+    ch.submit(1e3, [&] { first = eq.now(); });  // 1 us occupancy
+    ch.submit(1e3, [&] { second = eq.now(); });
+    eq.run();
+    EXPECT_EQ(first, ticksPerUs + lat);
+    // Back-to-back: second transfer starts at 1 us, not after delivery.
+    EXPECT_EQ(second, 2 * ticksPerUs + lat);
+}
+
+TEST(Channel, FifoOrdering)
+{
+    EventQueue eq;
+    Channel ch(eq, "c", 1e9, 0);
+    std::vector<int> order;
+    ch.submit(100, [&] { order.push_back(1); });
+    ch.submit(100, [&] { order.push_back(2); });
+    ch.submit(100, [&] { order.push_back(3); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Channel, BusyTicksAccumulate)
+{
+    EventQueue eq;
+    Channel ch(eq, "c", 1e9, 0);
+    ch.submit(1e3, nullptr);
+    ch.submit(1e3, nullptr);
+    eq.run();
+    EXPECT_EQ(ch.busyTicks(), 2 * ticksPerUs);
+    EXPECT_NEAR(ch.utilization(2 * ticksPerUs), 1.0, 1e-9);
+}
+
+TEST(Channel, PeakTrackingMeasuresSaturatedWindow)
+{
+    EventQueue eq;
+    Channel ch(eq, "c", 10.0 * kGB, 0);
+    ch.enablePeakTracking(100 * ticksPerUs);
+    // Saturate for 1 ms: peak windowed bandwidth == channel bandwidth.
+    for (int i = 0; i < 100; ++i)
+        ch.submit(100e3, nullptr); // 10 MB total over 1 ms
+    eq.run();
+    EXPECT_NEAR(ch.peakBandwidth(), 10.0 * kGB, 0.15 * 10.0 * kGB);
+}
+
+TEST(Channel, ResetStatsClearsCounters)
+{
+    EventQueue eq;
+    Channel ch(eq, "c", 1e9, 0);
+    ch.submit(1e3, nullptr);
+    eq.run();
+    ch.resetStats();
+    EXPECT_DOUBLE_EQ(ch.bytesTransferred(), 0.0);
+    EXPECT_EQ(ch.busyTicks(), 0u);
+}
+
+TEST(Channel, QueueDepthVisible)
+{
+    EventQueue eq;
+    Channel ch(eq, "c", 1e9, 0);
+    ch.submit(1e3, nullptr);
+    ch.submit(1e3, nullptr);
+    ch.submit(1e3, nullptr);
+    EXPECT_EQ(ch.queueDepth(), 2u); // one in flight, two queued
+    eq.run();
+    EXPECT_EQ(ch.queueDepth(), 0u);
+}
+
+// ------------------------------------------------------------------ flow
+
+TEST(Flow, SingleRouteDeliversOnce)
+{
+    EventQueue eq;
+    Channel a(eq, "a", 1e9, 0);
+    Channel b(eq, "b", 1e9, 0);
+    int done = 0;
+    sendFlow({Route{{&a, &b}}}, 10e3, 1e3, [&] { ++done; });
+    eq.run();
+    EXPECT_EQ(done, 1);
+    EXPECT_DOUBLE_EQ(a.bytesTransferred(), 10e3);
+    EXPECT_DOUBLE_EQ(b.bytesTransferred(), 10e3);
+}
+
+TEST(Flow, ParallelRoutesSplitTraffic)
+{
+    EventQueue eq;
+    Channel a(eq, "a", 1e9, 0);
+    Channel b(eq, "b", 1e9, 0);
+    bool done = false;
+    sendFlow({Route{{&a}}, Route{{&b}}}, 10e3, 1e3, [&] { done = true; });
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_DOUBLE_EQ(a.bytesTransferred(), 5e3);
+    EXPECT_DOUBLE_EQ(b.bytesTransferred(), 5e3);
+}
+
+TEST(Flow, TwoRoutesHalveCompletionTime)
+{
+    EventQueue eq;
+    Channel a(eq, "a", 1e9, 0);
+    Channel b(eq, "b", 1e9, 0);
+    Tick one_route = 0, two_routes = 0;
+    sendFlow({Route{{&a}}}, 1e6, 1e4, [&] { one_route = eq.now(); });
+    eq.run();
+    eq.reset();
+    Channel c(eq, "c", 1e9, 0);
+    Channel d(eq, "d", 1e9, 0);
+    sendFlow({Route{{&c}}, Route{{&d}}}, 1e6, 1e4,
+             [&] { two_routes = eq.now(); });
+    eq.run();
+    EXPECT_NEAR(static_cast<double>(two_routes),
+                static_cast<double>(one_route) / 2.0,
+                static_cast<double>(one_route) * 0.05);
+}
+
+TEST(Flow, StoreAndForwardPipelines)
+{
+    // A two-hop route with chunking should take ~bytes/bw + chunk time,
+    // not 2x bytes/bw.
+    EventQueue eq;
+    Channel a(eq, "a", 1e9, 0);
+    Channel b(eq, "b", 1e9, 0);
+    Tick done = 0;
+    sendFlow({Route{{&a, &b}}}, 1e6, 1e4, [&] { done = eq.now(); });
+    eq.run();
+    const double base = 1e6 / 1e9; // 1 ms wire time per hop
+    EXPECT_LT(ticksToSeconds(done), base * 1.1);
+    EXPECT_GT(ticksToSeconds(done), base * 0.99);
+}
+
+TEST(Flow, ZeroBytesCompletesImmediately)
+{
+    EventQueue eq;
+    Channel a(eq, "a", 1e9, 0);
+    bool done = false;
+    sendFlow({Route{{&a}}}, 0.0, 1e3, [&] { done = true; });
+    EXPECT_TRUE(done);
+}
+
+// ------------------------------------------------------ fabric builders
+
+FabricConfig
+testConfig(int devices = 8)
+{
+    FabricConfig cfg;
+    cfg.numDevices = devices;
+    return cfg;
+}
+
+std::multiset<int>
+stageCounts(const Fabric &fab)
+{
+    std::multiset<int> counts;
+    for (const RingPath &ring : fab.rings())
+        counts.insert(ring.stageCount());
+    return counts;
+}
+
+TEST(Fabrics, DcdlaHasSixDeviceRingsOfEight)
+{
+    EventQueue eq;
+    auto fab = buildDcdlaFabric(eq, testConfig());
+    // 3 bidirectional rings -> 6 logical unidirectional rings.
+    ASSERT_EQ(fab->rings().size(), 6u);
+    for (const RingPath &ring : fab->rings()) {
+        EXPECT_EQ(ring.stageCount(), 8);
+        EXPECT_EQ(ring.physicalHopCount(), 8);
+        EXPECT_EQ(ring.deviceMembers().size(), 8u);
+    }
+}
+
+TEST(Fabrics, DcdlaVmemPathGoesThroughPcieAndSocket)
+{
+    EventQueue eq;
+    auto fab = buildDcdlaFabric(eq, testConfig());
+    for (int d = 0; d < 8; ++d) {
+        const auto &paths = fab->vmemPaths(d);
+        ASSERT_EQ(paths.size(), 1u);
+        EXPECT_EQ(paths[0].targetIndex, -1);
+        ASSERT_EQ(paths[0].writeRoutes.size(), 1u);
+        EXPECT_EQ(paths[0].writeRoutes[0].hops.size(), 2u);
+        ASSERT_EQ(paths[0].readRoutes.size(), 1u);
+    }
+    EXPECT_EQ(fab->socketChannels().size(), 2u);
+}
+
+TEST(Fabrics, DcdlaOracleHasNoVmemPaths)
+{
+    EventQueue eq;
+    auto fab = buildDcdlaFabric(eq, testConfig(), false);
+    for (int d = 0; d < 8; ++d)
+        EXPECT_TRUE(fab->vmemPaths(d).empty());
+}
+
+TEST(Fabrics, HcdlaDeviceRingBudgetIsHalved)
+{
+    EventQueue eq;
+    auto fab = buildHcdlaFabric(eq, testConfig());
+    // Two logical ring pairs; the second pair multiplexes odd hops.
+    ASSERT_EQ(fab->rings().size(), 4u);
+    for (const RingPath &ring : fab->rings())
+        EXPECT_EQ(ring.stageCount(), 8);
+    // Three host links per device for vmem.
+    for (int d = 0; d < 8; ++d) {
+        const auto &paths = fab->vmemPaths(d);
+        ASSERT_EQ(paths.size(), 1u);
+        EXPECT_EQ(paths[0].writeRoutes.size(), 3u);
+        EXPECT_EQ(paths[0].readRoutes.size(), 3u);
+    }
+}
+
+TEST(Fabrics, HcdlaSecondRingSharesOddHopChannels)
+{
+    EventQueue eq;
+    auto fab = buildHcdlaFabric(eq, testConfig());
+    const RingPath &r0 = fab->rings()[0];
+    const RingPath &r2 = fab->rings()[2];
+    int shared = 0;
+    for (int i = 0; i < 8; ++i) {
+        if (r0.hops[static_cast<std::size_t>(i)].hops[0]
+            == r2.hops[static_cast<std::size_t>(i)].hops[0])
+            ++shared;
+    }
+    EXPECT_EQ(shared, 4); // odd edges have a single physical link
+}
+
+TEST(Fabrics, McdlaRingHasSixteenStageRings)
+{
+    EventQueue eq;
+    auto fab = buildMcdlaRingFabric(eq, testConfig());
+    ASSERT_EQ(fab->rings().size(), 6u);
+    for (const RingPath &ring : fab->rings()) {
+        // Fig 7(c): D and M alternate; 16 stages, each a physical hop.
+        EXPECT_EQ(ring.stageCount(), 16);
+        EXPECT_EQ(ring.physicalHopCount(), 16);
+        EXPECT_EQ(ring.deviceMembers().size(), 8u);
+        int devices = 0, memories = 0;
+        for (const RingStage &s : ring.stages)
+            (s.isDevice ? devices : memories)++;
+        EXPECT_EQ(devices, 8);
+        EXPECT_EQ(memories, 8);
+    }
+}
+
+TEST(Fabrics, McdlaRingVmemEngagesBothNeighbors)
+{
+    EventQueue eq;
+    auto fab = buildMcdlaRingFabric(eq, testConfig());
+    for (int d = 0; d < 8; ++d) {
+        const auto &paths = fab->vmemPaths(d);
+        ASSERT_EQ(paths.size(), 2u);
+        // Right neighbor is M_d, left is M_{d-1}.
+        EXPECT_EQ(paths[0].targetIndex, d);
+        EXPECT_EQ(paths[1].targetIndex, (d + 7) % 8);
+        // numRings (3) parallel routes per target: N*B/2 per side.
+        EXPECT_EQ(paths[0].writeRoutes.size(), 3u);
+        EXPECT_EQ(paths[1].writeRoutes.size(), 3u);
+        // Writes traverse link then DIMM bus.
+        EXPECT_EQ(paths[0].writeRoutes[0].hops.size(), 2u);
+    }
+    EXPECT_EQ(fab->memNodeChannels().size(), 8u);
+}
+
+TEST(Fabrics, McdlaStarRingStagesMatchFig7b)
+{
+    EventQueue eq;
+    auto fab = buildMcdlaStarFabric(eq, testConfig());
+    // Fig 7(b): rings of 8, 12, and 20 hops (both directions each).
+    EXPECT_EQ(stageCounts(*fab),
+              (std::multiset<int>{8, 8, 12, 12, 20, 20}));
+}
+
+TEST(Fabrics, McdlaStarVmemUsesTwoDesignatedLinks)
+{
+    EventQueue eq;
+    auto fab = buildMcdlaStarFabric(eq, testConfig());
+    for (int d = 0; d < 8; ++d) {
+        const auto &paths = fab->vmemPaths(d);
+        ASSERT_EQ(paths.size(), 1u);
+        EXPECT_EQ(paths[0].targetIndex, d);
+        EXPECT_EQ(paths[0].writeRoutes.size(), 2u); // 50 GB/s
+    }
+}
+
+TEST(Fabrics, McdlaStarAStagesMatchFig7a)
+{
+    EventQueue eq;
+    auto fab = buildMcdlaStarAFabric(eq, testConfig());
+    // Fig 7(a): two 8-hop device rings and the 24-hop black ring
+    // (memory-nodes visited twice), both directions each.
+    EXPECT_EQ(stageCounts(*fab),
+              (std::multiset<int>{8, 8, 8, 8, 24, 24}));
+}
+
+TEST(Fabrics, StarABlackRingVisitsEveryMemoryNodeTwice)
+{
+    EventQueue eq;
+    auto fab = buildMcdlaStarAFabric(eq, testConfig());
+    for (const RingPath &ring : fab->rings()) {
+        if (ring.stageCount() != 24)
+            continue;
+        std::map<int, int> visits;
+        for (const RingStage &s : ring.stages)
+            if (!s.isDevice)
+                ++visits[s.index];
+        ASSERT_EQ(visits.size(), 8u);
+        for (const auto &[node, count] : visits)
+            EXPECT_EQ(count, 2) << "memory node " << node;
+    }
+}
+
+TEST(Fabrics, RingsScaleToFourDevices)
+{
+    EventQueue eq;
+    auto dc = buildDcdlaFabric(eq, testConfig(4));
+    for (const RingPath &ring : dc->rings())
+        EXPECT_EQ(ring.stageCount(), 4);
+    auto mc = buildMcdlaRingFabric(eq, testConfig(4));
+    for (const RingPath &ring : mc->rings())
+        EXPECT_EQ(ring.stageCount(), 8);
+}
+
+TEST(Fabrics, SingleDeviceMcdlaHasNoRingsButVmemWorks)
+{
+    EventQueue eq;
+    auto fab = buildMcdlaRingFabric(eq, testConfig(1));
+    EXPECT_TRUE(fab->rings().empty());
+    // All N=6 links land on the single memory-node.
+    EXPECT_EQ(fab->vmemPaths(0).size(), 1u);
+    EXPECT_EQ(fab->vmemPaths(0)[0].writeRoutes.size(), 6u);
+    EXPECT_EQ(fab->vmemPaths(0)[0].readRoutes.size(), 6u);
+}
+
+TEST(Fabrics, StageOfDeviceLookup)
+{
+    EventQueue eq;
+    auto fab = buildMcdlaRingFabric(eq, testConfig());
+    const RingPath &ring = fab->rings()[0];
+    EXPECT_EQ(ring.stageOfDevice(0), 0);
+    EXPECT_EQ(ring.stageOfDevice(1), 2); // M0 sits between D0 and D1
+    EXPECT_EQ(ring.stageOfDevice(99), -1);
+}
+
+TEST(Fabrics, HostBytesAccounting)
+{
+    EventQueue eq;
+    auto fab = buildDcdlaFabric(eq, testConfig());
+    const auto &path = fab->vmemPaths(0)[0];
+    sendFlow(path.writeRoutes, 1e6, 1e5, nullptr);
+    eq.run();
+    EXPECT_DOUBLE_EQ(fab->hostBytes(), 1e6);
+}
+
+} // anonymous namespace
+} // namespace mcdla

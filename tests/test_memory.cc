@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Unit tests for the memory system: the Table IV DIMM catalog and power
+ * model, memory-node configuration, and the Fig 10 address space with
+ * LOCAL / BW_AWARE page placement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/address_map.hh"
+#include "memory/dimm.hh"
+#include "memory/memory_node.hh"
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+namespace
+{
+
+class ThrowingErrors : public ::testing::Test
+{
+  protected:
+    void SetUp() override { LogConfig::throwOnError = true; }
+    void TearDown() override { LogConfig::throwOnError = false; }
+};
+
+// ------------------------------------------------------------ DIMMs
+
+TEST(Dimm, CatalogMatchesTableIV)
+{
+    const auto &catalog = dimmCatalog();
+    ASSERT_EQ(catalog.size(), 5u);
+
+    struct Row { unsigned gib; double tdp; double gb_per_watt; };
+    // Table IV: module TDP and node GB/W at DDR4-2400.
+    const Row rows[] = {
+        {8, 2.9, 2.8}, {16, 6.6, 2.4}, {32, 8.7, 3.7},
+        {64, 10.2, 6.3}, {128, 12.7, 10.1},
+    };
+    for (const Row &row : rows) {
+        const DimmSpec &spec = dimmByCapacityGib(row.gib);
+        EXPECT_DOUBLE_EQ(spec.tdpWatts, row.tdp) << row.gib;
+        MemoryNodeConfig node;
+        node.dimm = spec;
+        EXPECT_NEAR(node.gbPerWatt(), row.gb_per_watt, 0.1) << row.gib;
+        EXPECT_NEAR(node.tdpWatts(), row.tdp * 10.0, 1e-9) << row.gib;
+    }
+}
+
+TEST(Dimm, ClassesMatchTableIV)
+{
+    EXPECT_EQ(dimmByCapacityGib(8).dimmClass, DimmClass::RDIMM);
+    EXPECT_EQ(dimmByCapacityGib(16).dimmClass, DimmClass::RDIMM);
+    EXPECT_EQ(dimmByCapacityGib(32).dimmClass, DimmClass::LRDIMM);
+    EXPECT_EQ(dimmByCapacityGib(64).dimmClass, DimmClass::LRDIMM);
+    EXPECT_EQ(dimmByCapacityGib(128).dimmClass, DimmClass::LRDIMM);
+}
+
+TEST_F(ThrowingErrors, UnknownDimmCapacityIsFatal)
+{
+    EXPECT_THROW(dimmByCapacityGib(48), FatalError);
+}
+
+TEST(Dimm, SpeedGrades)
+{
+    EXPECT_DOUBLE_EQ(ddrSpeedBandwidth(DdrSpeed::DDR4_2133), 17.0 * kGB);
+    EXPECT_DOUBLE_EQ(ddrSpeedBandwidth(DdrSpeed::DDR4_3200), 25.6 * kGB);
+    EXPECT_STREQ(ddrSpeedName(DdrSpeed::DDR4_3200), "PC4-25600");
+}
+
+TEST(Dimm, OperatingPowerScalesWithUtilization)
+{
+    const DimmSpec &spec = dimmByCapacityGib(64);
+    EXPECT_DOUBLE_EQ(dimmOperatingPower(spec, 1.0), spec.tdpWatts);
+    EXPECT_LT(dimmOperatingPower(spec, 0.0), spec.tdpWatts * 0.5);
+    EXPECT_LT(dimmOperatingPower(spec, 0.5),
+              dimmOperatingPower(spec, 1.0));
+    // Clamped outside [0, 1].
+    EXPECT_DOUBLE_EQ(dimmOperatingPower(spec, 2.0), spec.tdpWatts);
+}
+
+// ------------------------------------------------------- memory node
+
+TEST(MemoryNode, SectionIIIACapacityRange)
+{
+    MemoryNodeConfig node;
+    node.dimm = dimmByCapacityGib(8);
+    // "80 GB ... per memory-node" with ten 8 GB RDIMMs.
+    EXPECT_EQ(node.capacity(), 80u * kGiB);
+    node.dimm = dimmByCapacityGib(128);
+    // "... to 1.3 TB" with ten 128 GB LRDIMMs.
+    EXPECT_EQ(node.capacity(), 1280u * kGiB);
+}
+
+TEST(MemoryNode, BandwidthMatchesSpeedGrade)
+{
+    MemoryNodeConfig node;
+    node.speed = DdrSpeed::DDR4_2133;
+    EXPECT_DOUBLE_EQ(node.bandwidth(), 170.0 * kGB); // PC4-17000
+    node.speed = DdrSpeed::DDR4_3200;
+    EXPECT_DOUBLE_EQ(node.bandwidth(), 256.0 * kGB); // Table II
+}
+
+TEST(MemoryNode, PowerOverheadsMatchSectionVC)
+{
+    SystemPowerModel power; // DGX-1V: 3,200 W, 8 memory-nodes
+    MemoryNodeConfig rdimm8;
+    rdimm8.dimm = dimmByCapacityGib(8);
+    // 8 GB RDIMM nodes: +232 W = ~7% increase.
+    EXPECT_NEAR(power.addedWatts(rdimm8), 232.0, 1.0);
+    EXPECT_NEAR(power.powerOverhead(rdimm8), 0.07, 0.01);
+
+    MemoryNodeConfig lrdimm128;
+    lrdimm128.dimm = dimmByCapacityGib(128);
+    // 128 GB LRDIMM nodes: +1,016 W = ~31% increase, 10.4 TB pool.
+    EXPECT_NEAR(power.addedWatts(lrdimm128), 1016.0, 1.0);
+    EXPECT_NEAR(power.powerOverhead(lrdimm128), 0.31, 0.01);
+    EXPECT_NEAR(static_cast<double>(power.pooledCapacity(lrdimm128)),
+                10.4e12, 0.7e12);
+}
+
+TEST(MemoryNode, PerfPerWattMatchesSectionVC)
+{
+    SystemPowerModel power;
+    MemoryNodeConfig rdimm8;
+    rdimm8.dimm = dimmByCapacityGib(8);
+    MemoryNodeConfig lrdimm128;
+    lrdimm128.dimm = dimmByCapacityGib(128);
+    // Paper: 2.8x speedup yields 2.6x (8 GB) to 2.1x (128 GB) perf/W.
+    EXPECT_NEAR(power.perfPerWattGain(rdimm8, 2.8), 2.6, 0.05);
+    EXPECT_NEAR(power.perfPerWattGain(lrdimm128, 2.8), 2.1, 0.05);
+}
+
+// ------------------------------------------------------ address space
+
+std::vector<RemoteRegion>
+twoNeighbors(std::uint64_t half = 640 * kGiB)
+{
+    return {RemoteRegion{0, half}, RemoteRegion{7, half}};
+}
+
+TEST(AddressSpace, CapacityAccounting)
+{
+    DeviceAddressSpace space("d0", 16 * kGiB, twoNeighbors());
+    EXPECT_EQ(space.localCapacity(), 16u * kGiB);
+    EXPECT_EQ(space.remoteCapacity(), 1280u * kGiB);
+    EXPECT_EQ(space.totalCapacity(), 1296u * kGiB);
+    EXPECT_EQ(space.regionCount(), 2u);
+}
+
+TEST(AddressSpace, LocalAllocationRoundsToPages)
+{
+    DeviceAddressSpace space("d0", 16 * kGiB, twoNeighbors());
+    const Placement p = space.mallocLocal(1);
+    EXPECT_EQ(p.bytes, 2u * kMiB);
+    EXPECT_FALSE(p.remote);
+    EXPECT_EQ(space.localUsed(), 2u * kMiB);
+    space.free(p);
+    EXPECT_EQ(space.localUsed(), 0u);
+}
+
+TEST(AddressSpace, BwAwareSplitsAcrossBothNeighbors)
+{
+    DeviceAddressSpace space("d0", 16 * kGiB, twoNeighbors());
+    const Placement p =
+        space.mallocRemote(512 * kMiB, PagePolicy::BwAware);
+    EXPECT_TRUE(p.remote);
+    ASSERT_EQ(p.fractions.size(), 2u);
+    EXPECT_NEAR(p.fractions[0], 0.5, 0.01);
+    EXPECT_NEAR(p.fractions[1], 0.5, 0.01);
+}
+
+TEST(AddressSpace, LocalPolicyUsesSingleNode)
+{
+    DeviceAddressSpace space("d0", 16 * kGiB, twoNeighbors());
+    const Placement p =
+        space.mallocRemote(512 * kMiB, PagePolicy::Local);
+    ASSERT_EQ(p.fractions.size(), 2u);
+    EXPECT_DOUBLE_EQ(p.fractions[0] + p.fractions[1], 1.0);
+    EXPECT_TRUE(p.fractions[0] == 1.0 || p.fractions[1] == 1.0);
+}
+
+TEST(AddressSpace, LocalPolicyBalancesAcrossAllocations)
+{
+    DeviceAddressSpace space("d0", 16 * kGiB, twoNeighbors());
+    const Placement a =
+        space.mallocRemote(256 * kMiB, PagePolicy::Local);
+    const Placement b =
+        space.mallocRemote(256 * kMiB, PagePolicy::Local);
+    // Least-used placement alternates between the two nodes.
+    EXPECT_NE(a.fractions[0], b.fractions[0]);
+}
+
+TEST(AddressSpace, RemoteUsageTracksAndFrees)
+{
+    DeviceAddressSpace space("d0", 16 * kGiB, twoNeighbors());
+    const Placement p =
+        space.mallocRemote(100 * kMiB, PagePolicy::BwAware);
+    EXPECT_EQ(space.remoteUsed(), p.bytes);
+    space.free(p);
+    EXPECT_EQ(space.remoteUsed(), 0u);
+}
+
+TEST_F(ThrowingErrors, LocalExhaustionIsFatal)
+{
+    DeviceAddressSpace space("d0", 16 * kMiB, twoNeighbors());
+    EXPECT_THROW(space.mallocLocal(32 * kMiB), FatalError);
+}
+
+TEST_F(ThrowingErrors, RemoteExhaustionIsFatal)
+{
+    DeviceAddressSpace space("d0", 16 * kGiB, twoNeighbors(8 * kMiB));
+    EXPECT_THROW(space.mallocRemote(64 * kMiB, PagePolicy::BwAware),
+                 FatalError);
+    EXPECT_THROW(space.mallocRemote(64 * kMiB, PagePolicy::Local),
+                 FatalError);
+}
+
+TEST_F(ThrowingErrors, RemoteWithoutRegionsIsFatal)
+{
+    DeviceAddressSpace space("oracle", 1ULL << 50, {});
+    EXPECT_THROW(space.mallocRemote(1 * kMiB, PagePolicy::Local),
+                 FatalError);
+}
+
+TEST(AddressSpace, SingleRegionBwAwareDegradesToLocal)
+{
+    DeviceAddressSpace space("d0", 16 * kGiB,
+                             {RemoteRegion{3, 640 * kGiB}});
+    const Placement p =
+        space.mallocRemote(64 * kMiB, PagePolicy::BwAware);
+    ASSERT_EQ(p.fractions.size(), 1u);
+    EXPECT_DOUBLE_EQ(p.fractions[0], 1.0);
+}
+
+TEST(AddressSpace, FitsLocalPredicate)
+{
+    DeviceAddressSpace space("d0", 10 * kMiB, {});
+    EXPECT_TRUE(space.fitsLocal(10 * kMiB));
+    EXPECT_FALSE(space.fitsLocal(11 * kMiB));
+    space.mallocLocal(4 * kMiB);
+    EXPECT_TRUE(space.fitsLocal(6 * kMiB));
+    EXPECT_FALSE(space.fitsLocal(7 * kMiB));
+}
+
+TEST(PagePolicy, Names)
+{
+    EXPECT_STREQ(pagePolicyName(PagePolicy::Local), "LOCAL");
+    EXPECT_STREQ(pagePolicyName(PagePolicy::BwAware), "BW_AWARE");
+}
+
+} // anonymous namespace
+} // namespace mcdla

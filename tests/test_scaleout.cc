@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the switched (Fig 15) scale-out fabric and the
+ * MC-DLA(X) design point.
+ */
+
+#include <gtest/gtest.h>
+
+#include "interconnect/fabrics.hh"
+#include "sim/logging.hh"
+#include "system/training_session.hh"
+#include "workloads/benchmarks.hh"
+
+namespace mcdla
+{
+namespace
+{
+
+FabricConfig
+switchedConfig(int devices, int radix = 0)
+{
+    FabricConfig cfg;
+    cfg.numDevices = devices;
+    cfg.switchRadix = radix > 0 ? radix : 2 * devices;
+    return cfg;
+}
+
+TEST(SwitchFabric, HasOneRingPerPlane)
+{
+    EventQueue eq;
+    auto fab = buildMcdlaSwitchFabric(eq, switchedConfig(8));
+    // 2 * numRings planes, one unidirectional ring each.
+    ASSERT_EQ(fab->rings().size(), 6u);
+    for (const RingPath &ring : fab->rings()) {
+        EXPECT_EQ(ring.stageCount(), 16);
+        // Every hop crosses node->switch and switch->node channels.
+        for (const Route &hop : ring.hops)
+            EXPECT_EQ(hop.hops.size(), 2u);
+    }
+}
+
+TEST(SwitchFabric, RadixLimitIsEnforced)
+{
+    LogConfig::throwOnError = true;
+    EventQueue eq;
+    // 18-port NVSwitch-class plane seats 8 D + 8 M but not 16 + 16.
+    EXPECT_NO_THROW(buildMcdlaSwitchFabric(eq, switchedConfig(8, 18)));
+    EXPECT_THROW(buildMcdlaSwitchFabric(eq, switchedConfig(16, 18)),
+                 FatalError);
+    EXPECT_NO_THROW(
+        buildMcdlaSwitchFabric(eq, switchedConfig(16, 36)));
+    LogConfig::throwOnError = false;
+}
+
+TEST(SwitchFabric, VmemMatchesRingSemantics)
+{
+    EventQueue eq;
+    auto fab = buildMcdlaSwitchFabric(eq, switchedConfig(8));
+    for (int d = 0; d < 8; ++d) {
+        const auto &paths = fab->vmemPaths(d);
+        ASSERT_EQ(paths.size(), 2u);
+        EXPECT_EQ(paths[0].targetIndex, d);
+        EXPECT_EQ(paths[1].targetIndex, (d + 7) % 8);
+        // N/2 routes per side; writes go link -> switch -> DIMMs.
+        EXPECT_EQ(paths[0].writeRoutes.size(), 3u);
+        EXPECT_EQ(paths[1].writeRoutes.size(), 3u);
+        EXPECT_EQ(paths[0].writeRoutes[0].hops.size(), 3u);
+    }
+}
+
+TEST(SwitchFabric, OffloadBandwidthMatchesDirectRing)
+{
+    // The switch adds latency, not bandwidth loss: a large BW_AWARE
+    // offload should sustain ~150 GB/s like the direct ring.
+    EventQueue eq;
+    auto fab = buildMcdlaSwitchFabric(eq, switchedConfig(8));
+    DmaEngine dma(eq, "dma0", fab->vmemPaths(0));
+    Tick done = 0;
+    dma.transfer(300e6, DmaDirection::LocalToRemote,
+                 [&] { done = eq.now(); });
+    eq.run();
+    const double gbps = 300e6 / ticksToSeconds(done) / kGB;
+    EXPECT_GT(gbps, 130.0);
+    EXPECT_LE(gbps, 151.0);
+}
+
+TEST(SwitchFabric, ScalesToThirtyTwoDevices)
+{
+    EventQueue eq;
+    auto fab = buildMcdlaSwitchFabric(eq, switchedConfig(32, 64));
+    ASSERT_EQ(fab->rings().size(), 6u);
+    for (const RingPath &ring : fab->rings())
+        EXPECT_EQ(ring.stageCount(), 64);
+    EXPECT_EQ(fab->memNodeChannels().size(), 32u);
+}
+
+TEST(SwitchFabric, SingleDeviceUsesAllPlanes)
+{
+    EventQueue eq;
+    auto fab = buildMcdlaSwitchFabric(eq, switchedConfig(1, 18));
+    EXPECT_TRUE(fab->rings().empty());
+    ASSERT_EQ(fab->vmemPaths(0).size(), 1u);
+    EXPECT_EQ(fab->vmemPaths(0)[0].writeRoutes.size(), 6u);
+}
+
+TEST(McdlaX, SystemComposesAndTrains)
+{
+    const Network net = buildBenchmark("AlexNet");
+    EventQueue eq;
+    SystemConfig cfg;
+    cfg.design = SystemDesign::McDlaX;
+    System system(eq, cfg);
+    EXPECT_EQ(cfg.pagePolicy(), PagePolicy::BwAware);
+    TrainingSession session(system, net, ParallelMode::DataParallel,
+                            128);
+    const IterationResult r = session.run();
+    EXPECT_GT(r.makespan, 0u);
+    EXPECT_DOUBLE_EQ(r.hostBytes, 0.0);
+}
+
+TEST(McdlaX, SlightlySlowerThanDirectRing)
+{
+    // Switch forwarding costs latency but not bandwidth.
+    const Network net = buildBenchmark("AlexNet");
+    double direct = 0.0, switched = 0.0;
+    for (SystemDesign design :
+         {SystemDesign::McDlaB, SystemDesign::McDlaX}) {
+        EventQueue eq;
+        SystemConfig cfg;
+        cfg.design = design;
+        System system(eq, cfg);
+        TrainingSession session(system, net,
+                                ParallelMode::DataParallel, 256);
+        (design == SystemDesign::McDlaB ? direct : switched) =
+            session.run().iterationSeconds();
+    }
+    EXPECT_GE(switched, direct * 0.98);
+    EXPECT_LT(switched, direct * 1.35);
+}
+
+TEST(McdlaX, ScalesBeyondEightDevices)
+{
+    const Network net = buildBenchmark("AlexNet");
+    EventQueue eq;
+    SystemConfig cfg;
+    cfg.design = SystemDesign::McDlaX;
+    cfg.fabric.numDevices = 16;
+    cfg.fabric.switchRadix = 32;
+    System system(eq, cfg);
+    TrainingSession session(system, net, ParallelMode::DataParallel,
+                            16 * 64);
+    const IterationResult r = session.run();
+    EXPECT_GT(r.makespan, 0u);
+    EXPECT_GT(static_cast<double>(system.totalExposedMemory()), 20e12);
+}
+
+} // anonymous namespace
+} // namespace mcdla

@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Unit tests for the simulation core: event queue, units, stats,
+ * logging, and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/units.hh"
+
+namespace mcdla
+{
+namespace
+{
+
+class ThrowingErrors : public ::testing::Test
+{
+  protected:
+    void SetUp() override { LogConfig::throwOnError = true; }
+    void TearDown() override { LogConfig::throwOnError = false; }
+};
+
+// ---------------------------------------------------------------- units
+
+TEST(Units, TickConstantsAreConsistent)
+{
+    EXPECT_EQ(ticksPerSec, 1000 * ticksPerMs);
+    EXPECT_EQ(ticksPerMs, 1000 * ticksPerUs);
+    EXPECT_EQ(ticksPerUs, 1000 * ticksPerNs);
+}
+
+TEST(Units, SecondsRoundTrip)
+{
+    EXPECT_EQ(secondsToTicks(1.0), ticksPerSec);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(ticksPerSec), 1.0);
+    EXPECT_DOUBLE_EQ(ticksToMs(ticksPerMs), 1.0);
+    EXPECT_DOUBLE_EQ(ticksToUs(ticksPerUs), 1.0);
+}
+
+TEST(Units, TransferTicksRoundsUp)
+{
+    // 1 byte at 1 GB/s = 1 ns = 1000 ticks.
+    EXPECT_EQ(transferTicks(1.0, 1e9), 1000u);
+    // Fractional durations round up.
+    EXPECT_EQ(transferTicks(1.0, 3e12), 1u);
+    // Zero bytes take zero time.
+    EXPECT_EQ(transferTicks(0.0, 1e9), 0u);
+    // Non-empty transfers always take at least one tick.
+    EXPECT_GE(transferTicks(1e-3, 1e12), 1u);
+}
+
+TEST(Units, TransferTicksScalesLinearly)
+{
+    const Tick one = transferTicks(1e6, 25e9);
+    const Tick ten = transferTicks(10e6, 25e9);
+    EXPECT_NEAR(static_cast<double>(ten),
+                10.0 * static_cast<double>(one),
+                static_cast<double>(one) * 0.01);
+}
+
+TEST(Units, Formatters)
+{
+    EXPECT_NE(formatTime(123).find("ns"), std::string::npos);
+    EXPECT_NE(formatTime(ticksPerMs * 5).find("ms"), std::string::npos);
+    EXPECT_NE(formatBytes(512).find("B"), std::string::npos);
+    EXPECT_NE(formatBytes(2.0 * kGiB).find("GiB"), std::string::npos);
+    EXPECT_NE(formatBandwidth(25e9).find("GB/s"), std::string::npos);
+}
+
+// ----------------------------------------------------------- event queue
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.run(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(300, [&] { order.push_back(3); });
+    eq.schedule(100, [&] { order.push_back(1); });
+    eq.schedule(200, [&] { order.push_back(2); });
+    EXPECT_EQ(eq.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 300u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(50, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] {
+        ++fired;
+        eq.scheduleAfter(5, [&] { ++fired; });
+    });
+    EXPECT_EQ(eq.run(), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 15u);
+}
+
+TEST(EventQueue, DescheduleCancelsPendingEvent)
+{
+    EventQueue eq;
+    bool fired = false;
+    const EventId id = eq.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(eq.deschedule(id));
+    EXPECT_FALSE(eq.deschedule(id)); // double-cancel is a no-op
+    eq.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, DescheduleOfInvalidIdFails)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.deschedule(invalidEventId));
+    EXPECT_FALSE(eq.deschedule(9999));
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.schedule(30, [&] { ++fired; });
+    EXPECT_EQ(eq.runUntil(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWithoutEvents)
+{
+    EventQueue eq;
+    eq.runUntil(500);
+    EXPECT_EQ(eq.now(), 500u);
+}
+
+TEST(EventQueue, PendingCountTracksLiveEvents)
+{
+    EventQueue eq;
+    const EventId a = eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    EXPECT_EQ(eq.pendingCount(), 2u);
+    eq.deschedule(a);
+    EXPECT_EQ(eq.pendingCount(), 1u);
+    eq.run();
+    EXPECT_EQ(eq.pendingCount(), 0u);
+}
+
+TEST(EventQueue, StepExecutesSingleEvent)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    eq.schedule(50, [] {});
+    eq.reset();
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.executedCount(), 0u);
+}
+
+TEST_F(ThrowingErrors, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(50, [] {}), PanicError);
+}
+
+TEST_F(ThrowingErrors, SchedulingEmptyCallbackPanics)
+{
+    EventQueue eq;
+    EXPECT_THROW(eq.schedule(10, EventQueue::Callback{}), PanicError);
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(Stats, ScalarAccumulates)
+{
+    StatSet stats("test.");
+    Scalar &s = stats.scalar("count", "a counter");
+    s += 2.0;
+    ++s;
+    EXPECT_DOUBLE_EQ(stats.value("count"), 3.0);
+    s = 10.0;
+    EXPECT_DOUBLE_EQ(stats.value("count"), 10.0);
+}
+
+TEST(Stats, ScalarIsIdempotentByName)
+{
+    StatSet stats;
+    stats.scalar("x") += 1.0;
+    stats.scalar("x") += 1.0;
+    EXPECT_DOUBLE_EQ(stats.value("x"), 2.0);
+}
+
+TEST(Stats, FormulaEvaluatesLazily)
+{
+    StatSet stats;
+    Scalar &s = stats.scalar("bytes");
+    stats.formula("kib", [&s] { return s.value() / 1024.0; });
+    s = 2048.0;
+    EXPECT_DOUBLE_EQ(stats.value("kib"), 2.0);
+}
+
+TEST(Stats, DistributionSummaries)
+{
+    StatSet stats;
+    Distribution &d = stats.distribution("lat", 100.0, 10);
+    d.sample(5.0);
+    d.sample(95.0);
+    d.sample(50.0, 2);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.min(), 5.0);
+    EXPECT_DOUBLE_EQ(d.max(), 95.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 50.0);
+    EXPECT_EQ(d.overflow(), 0u);
+    d.sample(150.0);
+    EXPECT_EQ(d.overflow(), 1u);
+}
+
+TEST(Stats, ResetZeroesValues)
+{
+    StatSet stats;
+    stats.scalar("x") = 5.0;
+    stats.distribution("d", 10.0).sample(3.0);
+    stats.reset();
+    EXPECT_DOUBLE_EQ(stats.value("x"), 0.0);
+    EXPECT_EQ(stats.distribution("d", 10.0).count(), 0u);
+}
+
+TEST(Stats, DumpEmitsPrefixedLines)
+{
+    StatSet stats("chan.");
+    stats.scalar("bytes", "payload") = 42.0;
+    std::ostringstream os;
+    stats.dump(os);
+    EXPECT_NE(os.str().find("chan.bytes 42"), std::string::npos);
+    EXPECT_NE(os.str().find("payload"), std::string::npos);
+}
+
+TEST_F(ThrowingErrors, UnknownStatIsFatal)
+{
+    StatSet stats;
+    EXPECT_THROW(stats.value("nope"), FatalError);
+}
+
+TEST(Stats, HasChecksAllKinds)
+{
+    StatSet stats;
+    stats.scalar("s");
+    stats.formula("f", [] { return 1.0; });
+    stats.distribution("d", 1.0);
+    EXPECT_TRUE(stats.has("s"));
+    EXPECT_TRUE(stats.has("f"));
+    EXPECT_TRUE(stats.has("d"));
+    EXPECT_FALSE(stats.has("missing"));
+}
+
+// --------------------------------------------------------------- logging
+
+TEST_F(ThrowingErrors, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("boom %d", 42), PanicError);
+}
+
+TEST_F(ThrowingErrors, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config %s", "x"), FatalError);
+}
+
+TEST(Logging, StrfmtFormats)
+{
+    EXPECT_EQ(strfmt("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(strfmt("plain"), "plain");
+}
+
+// ---------------------------------------------------------------- random
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Random a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    Random r(99);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Random, BetweenIsInclusive)
+{
+    Random r(7);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.between(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        hit_lo |= v == 3;
+        hit_hi |= v == 5;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Random, UniformMeanIsCentered)
+{
+    Random r(42);
+    double sum = 0.0;
+    constexpr int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+} // anonymous namespace
+} // namespace mcdla
