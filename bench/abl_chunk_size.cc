@@ -23,8 +23,23 @@ main()
 
     const double chunks[] = {64e3, 256e3, 512e3, 2e6};
 
+    std::vector<Scenario> scenarios;
+    for (const char *workload : {"VGG-E", "RNN-LSTM-1"})
+        for (double chunk : chunks)
+            for (SystemDesign design :
+                 {SystemDesign::DcDla, SystemDesign::McDlaB}) {
+                Scenario sc;
+                sc.design = design;
+                sc.workload = workload;
+                sc.base.dmaChunkBytes = chunk;
+                sc.base.collectiveChunkBytes = chunk / 2.0;
+                scenarios.push_back(std::move(sc));
+            }
+    SweepRunner runner(SweepConfig{/*threads=*/0, /*progress=*/false});
+    const std::vector<IterationResult> results = runner.run(scenarios);
+
+    SweepCursor cursor(scenarios, results);
     for (const char *workload : {"VGG-E", "RNN-LSTM-1"}) {
-        const Network net = buildBenchmark(workload);
         TablePrinter table({"Chunk(KiB)", "DC-DLA(ms)", "MC-DLA(B)(ms)",
                             "events(DC)", "events(MC)"});
         for (double chunk : chunks) {
@@ -33,11 +48,10 @@ main()
             std::vector<std::string> events;
             for (SystemDesign design :
                  {SystemDesign::DcDla, SystemDesign::McDlaB}) {
-                RunSpec spec;
-                spec.design = design;
-                spec.base.dmaChunkBytes = chunk;
-                spec.base.collectiveChunkBytes = chunk / 2.0;
-                const IterationResult r = simulateIteration(spec, net);
+                if (cursor.peek().base.dmaChunkBytes != chunk)
+                    panic("chunk axis drifted from the sweep order");
+                const IterationResult &r = cursor.next(
+                    workload, design, ParallelMode::DataParallel);
                 row.push_back(
                     TablePrinter::num(r.iterationSeconds() * 1e3, 2));
                 events.push_back(

@@ -22,9 +22,9 @@ main()
     std::cout << "=== Measured energy per iteration (data-parallel, "
                  "batch " << kDefaultBatch << ") ===\n\n";
 
+    Simulator sim;
     std::vector<double> ppw_gain;
     for (const BenchmarkInfo &info : benchmarkCatalog()) {
-        const Network net = info.build();
         TablePrinter table({"Design", "Iter(ms)", "Energy(J)",
                             "AvgPower(W)", "Device(J)", "MemNode(J)",
                             "Link(J)", "Host(J)", "perf/W vs DC"});
@@ -32,15 +32,18 @@ main()
         for (SystemDesign design :
              {SystemDesign::DcDla, SystemDesign::HcDla,
               SystemDesign::McDlaB}) {
-            EventQueue eq;
-            SystemConfig cfg;
-            cfg.design = design;
-            System system(eq, cfg);
-            TrainingSession session(system, net,
-                                    ParallelMode::DataParallel,
-                                    kDefaultBatch);
-            const IterationResult r = session.run();
-            const EnergyReport e = estimateEnergy(system, r);
+            Scenario sc;
+            sc.design = design;
+            sc.workload = info.name;
+            sc.mode = ParallelMode::DataParallel;
+            sc.globalBatch = kDefaultBatch;
+            EnergyReport e;
+            Simulator::Hooks hooks;
+            hooks.postRun = [&](System &system,
+                                const IterationResult &res) {
+                e = estimateEnergy(system, res);
+            };
+            const IterationResult r = sim.run(sc, hooks);
             if (design == SystemDesign::DcDla)
                 dc_ppw = e.perfPerWatt();
             if (design == SystemDesign::McDlaB)

@@ -40,18 +40,33 @@ main()
         {"Xeon-class 80 GB/s", 80.0 * kGB},
     };
 
+    std::vector<Scenario> scenarios;
+    for (SystemDesign design :
+         {SystemDesign::DcDla, SystemDesign::HcDla})
+        for (const BenchmarkInfo &info : benchmarkCatalog())
+            for (const Cap &cap : caps) {
+                Scenario sc;
+                sc.design = design;
+                sc.workload = info.name;
+                sc.base.fabric.socketBandwidth = cap.bw;
+                scenarios.push_back(std::move(sc));
+            }
+    SweepRunner runner(SweepConfig{/*threads=*/0, /*progress=*/false});
+    const std::vector<IterationResult> results = runner.run(scenarios);
+
+    SweepCursor cursor(scenarios, results);
     for (SystemDesign design :
          {SystemDesign::DcDla, SystemDesign::HcDla}) {
         TablePrinter table({"Workload", caps[0].name, caps[1].name,
                             caps[2].name});
         for (const BenchmarkInfo &info : benchmarkCatalog()) {
-            const Network net = info.build();
             std::vector<std::string> row{info.name};
             for (const Cap &cap : caps) {
-                RunSpec spec;
-                spec.design = design;
-                spec.base.fabric.socketBandwidth = cap.bw;
-                const IterationResult r = simulateIteration(spec, net);
+                if (cursor.peek().base.fabric.socketBandwidth
+                    != cap.bw)
+                    panic("cap axis drifted from the sweep order");
+                const IterationResult &r = cursor.next(
+                    info.name, design, ParallelMode::DataParallel);
                 row.push_back(
                     TablePrinter::num(r.iterationSeconds() * 1e3, 2));
             }

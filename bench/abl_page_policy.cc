@@ -53,19 +53,20 @@ main()
     // Part 2: end-to-end MC-DLA(L) vs MC-DLA(B).
     std::cout << "=== System-level: MC-DLA(L) vs MC-DLA(B), batch "
               << kDefaultBatch << " ===\n\n";
+    Simulator sim;
     for (ParallelMode mode : {ParallelMode::DataParallel,
                               ParallelMode::ModelParallel}) {
         TablePrinter table({"Workload", "L(ms)", "B(ms)", "L/B perf"});
         std::vector<double> ratios;
         for (const BenchmarkInfo &info : benchmarkCatalog()) {
-            const Network net = info.build();
             double tl = 0.0, tb = 0.0;
             for (SystemDesign design :
                  {SystemDesign::McDlaL, SystemDesign::McDlaB}) {
-                RunSpec spec;
-                spec.design = design;
-                spec.mode = mode;
-                const IterationResult r = simulateIteration(spec, net);
+                Scenario sc;
+                sc.design = design;
+                sc.workload = info.name;
+                sc.mode = mode;
+                const IterationResult r = sim.run(sc);
                 (design == SystemDesign::McDlaL ? tl : tb) =
                     r.iterationSeconds();
             }

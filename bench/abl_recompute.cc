@@ -23,6 +23,7 @@ main()
                  "on/off (data-parallel, batch " << kDefaultBatch
               << ") ===\n\n";
 
+    Simulator sim;
     for (SystemDesign design :
          {SystemDesign::DcDla, SystemDesign::McDlaB}) {
         TablePrinter table({"Workload", "on(ms)", "off(ms)",
@@ -31,14 +32,14 @@ main()
         for (const BenchmarkInfo &info : benchmarkCatalog()) {
             if (info.recurrent)
                 continue; // recompute matters for CNN activations
-            const Network net = info.build();
             double t_on = 0.0, t_off = 0.0;
             double traffic_on = 0.0, traffic_off = 0.0;
             for (bool recompute : {true, false}) {
-                RunSpec spec;
-                spec.design = design;
-                spec.base.recomputeCheapLayers = recompute;
-                const IterationResult r = simulateIteration(spec, net);
+                Scenario sc;
+                sc.design = design;
+                sc.workload = info.name;
+                sc.base.recomputeCheapLayers = recompute;
+                const IterationResult r = sim.run(sc);
                 (recompute ? t_on : t_off) = r.iterationSeconds();
                 (recompute ? traffic_on : traffic_off) =
                     r.offloadBytesPerDevice;

@@ -18,18 +18,20 @@ using namespace mcdla;
 namespace
 {
 
+Simulator sim;
+
 IterationResult
-run(SystemDesign design, const Network &net, int devices,
+run(SystemDesign design, const std::string &workload, int devices,
     ParallelMode mode)
 {
-    EventQueue eq;
-    SystemConfig cfg;
-    cfg.design = design;
-    cfg.fabric.numDevices = devices;
-    cfg.fabric.switchRadix = 2 * devices; // provision the plane radix
-    System system(eq, cfg);
-    TrainingSession session(system, net, mode, 64LL * devices);
-    return session.run();
+    Scenario sc;
+    sc.design = design;
+    sc.workload = workload;
+    sc.mode = mode;
+    sc.globalBatch = 64LL * devices; // weak scaling
+    sc.base.fabric.numDevices = devices;
+    sc.base.fabric.switchRadix = 2 * devices; // provision the radix
+    return sim.run(sc);
 }
 
 } // anonymous namespace
@@ -44,12 +46,11 @@ main()
     TablePrinter head({"Workload", "MC-DLA(B) ms", "MC-DLA(X) ms",
                        "switch cost"});
     for (const char *workload : {"AlexNet", "VGG-E", "RNN-LSTM-1"}) {
-        const Network net = buildBenchmark(workload);
         const double b =
-            run(SystemDesign::McDlaB, net, 8,
+            run(SystemDesign::McDlaB, workload, 8,
                 ParallelMode::DataParallel).iterationSeconds();
         const double x =
-            run(SystemDesign::McDlaX, net, 8,
+            run(SystemDesign::McDlaX, workload, 8,
                 ParallelMode::DataParallel).iterationSeconds();
         head.addRow({workload, TablePrinter::num(b * 1e3, 2),
                      TablePrinter::num(x * 1e3, 2),
@@ -60,15 +61,14 @@ main()
 
     std::cout << "\n=== Scale-out: switched MC-DLA vs DC-DLA "
                  "(ResNet, data-parallel, 64 samples/device) ===\n\n";
-    const Network net = buildBenchmark("ResNet");
     TablePrinter table({"Devices", "Plane radix", "DC-DLA(ms)",
                         "MC-DLA(X)(ms)", "Speedup", "Pool(TB)"});
     for (int devices : {8, 16, 32}) {
         const IterationResult dc =
-            run(SystemDesign::DcDla, net, devices,
+            run(SystemDesign::DcDla, "ResNet", devices,
                 ParallelMode::DataParallel);
         const IterationResult mc =
-            run(SystemDesign::McDlaX, net, devices,
+            run(SystemDesign::McDlaX, "ResNet", devices,
                 ParallelMode::DataParallel);
         MemoryNodeConfig node;
         table.addRow({std::to_string(devices),

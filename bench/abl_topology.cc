@@ -26,21 +26,33 @@ main()
                                     SystemDesign::McDlaS,
                                     SystemDesign::McDlaB};
 
+    std::vector<Scenario> scenarios;
+    for (ParallelMode mode : {ParallelMode::DataParallel,
+                              ParallelMode::ModelParallel})
+        for (const BenchmarkInfo &info : benchmarkCatalog())
+            for (SystemDesign design : designs) {
+                Scenario sc;
+                sc.design = design;
+                sc.workload = info.name;
+                sc.mode = mode;
+                scenarios.push_back(std::move(sc));
+            }
+    SweepRunner runner(SweepConfig{/*threads=*/0, /*progress=*/false});
+    const std::vector<IterationResult> results = runner.run(scenarios);
+
+    SweepCursor cursor(scenarios, results);
     for (ParallelMode mode : {ParallelMode::DataParallel,
                               ParallelMode::ModelParallel}) {
         TablePrinter table({"Workload", "Fig7a 8/8/24", "Fig7b 8/12/20",
                             "Fig7c ring (B)"});
         std::map<SystemDesign, std::vector<double>> perf;
         for (const BenchmarkInfo &info : benchmarkCatalog()) {
-            const Network net = info.build();
             std::vector<std::string> row{info.name};
             double best = 0.0;
             std::map<SystemDesign, double> t;
             for (SystemDesign design : designs) {
-                RunSpec spec;
-                spec.design = design;
-                spec.mode = mode;
-                const IterationResult r = simulateIteration(spec, net);
+                const IterationResult &r =
+                    cursor.next(info.name, design, mode);
                 t[design] = r.performance();
                 best = std::max(best, r.performance());
             }

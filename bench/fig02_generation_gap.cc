@@ -29,22 +29,23 @@ struct Cell
     double overheadPct = 0.0;   ///< Right axis.
 };
 
+Simulator sim;
+
 Cell
-evaluate(const Network &net, const DeviceConfig &device)
+evaluate(const std::string &workload, const DeviceConfig &device)
 {
     Cell cell;
     for (bool virtualized : {true, false}) {
-        EventQueue eq;
-        SystemConfig cfg;
-        cfg.design = virtualized ? SystemDesign::DcDla
-                                 : SystemDesign::DcDlaOracle;
-        cfg.device = device;
-        cfg.fabric.numDevices = 1;
-        cfg.fabric.numSockets = 1;
-        System system(eq, cfg);
-        TrainingSession session(system, net,
-                                ParallelMode::DataParallel, kBatch);
-        const IterationResult r = session.run();
+        Scenario sc;
+        sc.design = virtualized ? SystemDesign::DcDla
+                                : SystemDesign::DcDlaOracle;
+        sc.workload = workload;
+        sc.mode = ParallelMode::DataParallel;
+        sc.globalBatch = kBatch;
+        sc.base.device = device;
+        sc.base.fabric.numDevices = 1;
+        sc.base.fabric.numSockets = 1;
+        const IterationResult r = sim.run(sc);
         (virtualized ? cell.virtSeconds : cell.deviceSeconds) =
             r.iterationSeconds();
     }
@@ -67,14 +68,13 @@ main()
     const auto generations = deviceGenerationCatalog();
 
     for (const std::string &workload : cnnBenchmarkNames()) {
-        const Network net = buildBenchmark(workload);
         TablePrinter table({"Generation", "DeviceTime(ms)",
                             "Time(norm)", "WithVirt(ms)",
                             "VirtOverhead(%)"});
         double kepler_seconds = 0.0;
         double best_seconds = 1e30;
         for (const DeviceGeneration &gen : generations) {
-            const Cell cell = evaluate(net, gen.config);
+            const Cell cell = evaluate(workload, gen.config);
             if (gen.name == "Kepler")
                 kepler_seconds = cell.deviceSeconds;
             best_seconds = std::min(best_seconds, cell.deviceSeconds);

@@ -22,6 +22,23 @@ int
 main()
 {
     LogConfig::verbose = false;
+
+    std::vector<Scenario> scenarios;
+    for (ParallelMode mode : {ParallelMode::DataParallel,
+                              ParallelMode::ModelParallel})
+        for (const BenchmarkInfo &info : benchmarkCatalog())
+            for (SystemDesign design : kAllDesigns) {
+                Scenario sc;
+                sc.design = design;
+                sc.workload = info.name;
+                sc.mode = mode;
+                sc.globalBatch = kDefaultBatch;
+                scenarios.push_back(std::move(sc));
+            }
+    SweepRunner runner(SweepConfig{/*threads=*/0, /*progress=*/false});
+    const std::vector<IterationResult> results = runner.run(scenarios);
+
+    SweepCursor cursor(scenarios, results);
     for (ParallelMode mode : {ParallelMode::DataParallel,
                               ParallelMode::ModelParallel}) {
         std::cout << "=== Figure 11("
@@ -30,18 +47,14 @@ main()
                   << ", batch " << kDefaultBatch << " ===\n\n";
 
         for (const BenchmarkInfo &info : benchmarkCatalog()) {
-            const Network net = info.build();
             TablePrinter table({"Design", "Compute", "Sync", "Vmem",
                                 "Total", "Compute(ms)", "Sync(ms)",
                                 "Vmem(ms)"});
             std::vector<LatencyBreakdown> rows;
             double tallest = 0.0;
             for (SystemDesign design : kAllDesigns) {
-                RunSpec spec;
-                spec.design = design;
-                spec.mode = mode;
-                spec.globalBatch = kDefaultBatch;
-                const IterationResult r = simulateIteration(spec, net);
+                const IterationResult &r =
+                    cursor.next(info.name, design, mode);
                 rows.push_back(r.breakdown);
                 tallest = std::max(tallest, r.breakdown.total());
             }

@@ -29,19 +29,32 @@ main()
     const SystemDesign designs[] = {SystemDesign::DcDla,
                                     SystemDesign::HcDla,
                                     SystemDesign::McDlaB};
+
+    std::vector<Scenario> scenarios;
+    for (SystemDesign design : designs)
+        for (const BenchmarkInfo &info : benchmarkCatalog())
+            for (ParallelMode mode : {ParallelMode::DataParallel,
+                                      ParallelMode::ModelParallel}) {
+                Scenario sc;
+                sc.design = design;
+                sc.workload = info.name;
+                sc.mode = mode;
+                sc.globalBatch = kDefaultBatch;
+                scenarios.push_back(std::move(sc));
+            }
+    SweepRunner runner(SweepConfig{/*threads=*/0, /*progress=*/false});
+    const std::vector<IterationResult> results = runner.run(scenarios);
+
+    SweepCursor cursor(scenarios, results);
     for (SystemDesign design : designs) {
         TablePrinter table({"Workload", "avg(DP)", "avg(MP)",
                             "max(both)"});
         for (const BenchmarkInfo &info : benchmarkCatalog()) {
-            const Network net = info.build();
             double avg_dp = 0.0, avg_mp = 0.0, peak = 0.0;
             for (ParallelMode mode : {ParallelMode::DataParallel,
                                       ParallelMode::ModelParallel}) {
-                RunSpec spec;
-                spec.design = design;
-                spec.mode = mode;
-                spec.globalBatch = kDefaultBatch;
-                const IterationResult r = simulateIteration(spec, net);
+                const IterationResult &r =
+                    cursor.next(info.name, design, mode);
                 if (mode == ParallelMode::DataParallel)
                     avg_dp = r.hostAvgBwPerSocket;
                 else

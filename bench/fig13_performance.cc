@@ -24,6 +24,24 @@ main()
     LogConfig::verbose = false;
     std::map<SystemDesign, std::vector<double>> speedups_all;
 
+    // The full (mode x workload x design) grid as one declarative
+    // sweep, executed across every core.
+    std::vector<Scenario> scenarios;
+    for (ParallelMode mode : {ParallelMode::DataParallel,
+                              ParallelMode::ModelParallel})
+        for (const BenchmarkInfo &info : benchmarkCatalog())
+            for (SystemDesign design : kAllDesigns) {
+                Scenario sc;
+                sc.design = design;
+                sc.workload = info.name;
+                sc.mode = mode;
+                sc.globalBatch = kDefaultBatch;
+                scenarios.push_back(std::move(sc));
+            }
+    SweepRunner runner(SweepConfig{/*threads=*/0, /*progress=*/false});
+    const std::vector<IterationResult> results = runner.run(scenarios);
+
+    SweepCursor cursor(scenarios, results);
     for (ParallelMode mode : {ParallelMode::DataParallel,
                               ParallelMode::ModelParallel}) {
         std::cout << "=== Figure 13("
@@ -37,15 +55,11 @@ main()
         std::map<SystemDesign, std::vector<double>> speedups;
 
         for (const BenchmarkInfo &info : benchmarkCatalog()) {
-            const Network net = info.build();
             std::map<SystemDesign, double> perf;
             double best = 0.0;
             for (SystemDesign design : kAllDesigns) {
-                RunSpec spec;
-                spec.design = design;
-                spec.mode = mode;
-                spec.globalBatch = kDefaultBatch;
-                const IterationResult r = simulateIteration(spec, net);
+                const IterationResult &r =
+                    cursor.next(info.name, design, mode);
                 perf[design] = r.performance();
                 best = std::max(best, r.performance());
             }

@@ -23,13 +23,13 @@ main()
     std::cout << "=== Figure 14: MC-DLA(B) speedup over DC-DLA vs "
                  "batch size ===\n\n";
 
+    Simulator sim;
     std::vector<double> all_speedups;
     for (std::int64_t batch : batches) {
         TablePrinter table({"Workload", "Data-parallel",
                             "Model-parallel"});
         std::vector<double> dp_speedups, mp_speedups;
         for (const BenchmarkInfo &info : benchmarkCatalog()) {
-            const Network net = info.build();
             std::vector<std::string> row{info.name};
             for (ParallelMode mode : {ParallelMode::DataParallel,
                                       ParallelMode::ModelParallel}) {
@@ -39,12 +39,12 @@ main()
                 try {
                     for (SystemDesign design :
                          {SystemDesign::DcDla, SystemDesign::McDlaB}) {
-                        RunSpec spec;
-                        spec.design = design;
-                        spec.mode = mode;
-                        spec.globalBatch = batch;
-                        const IterationResult r =
-                            simulateIteration(spec, net);
+                        Scenario sc;
+                        sc.design = design;
+                        sc.workload = info.name;
+                        sc.mode = mode;
+                        sc.globalBatch = batch;
+                        const IterationResult r = sim.run(sc);
                         (design == SystemDesign::DcDla ? dc : mc) =
                             r.iterationSeconds();
                     }

@@ -86,21 +86,43 @@ void
 BM_TrainingIteration(benchmark::State &state)
 {
     LogConfig::verbose = false;
-    const Network net = builders::buildAlexNet();
+    Simulator sim;
+    Scenario sc;
+    sc.design = SystemDesign::McDlaB;
+    sc.workload = "AlexNet";
+    sc.mode = ParallelMode::DataParallel;
+    sc.globalBatch = 512;
     for (auto _ : state) {
-        EventQueue eq;
-        SystemConfig cfg;
-        cfg.design = SystemDesign::McDlaB;
-        System system(eq, cfg);
-        TrainingSession session(system, net,
-                                ParallelMode::DataParallel, 512);
-        const IterationResult r = session.run();
+        const IterationResult r = sim.run(sc);
         benchmark::DoNotOptimize(r.makespan);
         state.counters["sim_events"] =
             static_cast<double>(r.eventsExecuted);
     }
 }
 BENCHMARK(BM_TrainingIteration)->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepRunner(benchmark::State &state)
+{
+    LogConfig::verbose = false;
+    const int threads = static_cast<int>(state.range(0));
+    std::vector<Scenario> scenarios;
+    for (SystemDesign design : allSystemDesigns()) {
+        Scenario sc;
+        sc.design = design;
+        sc.workload = "AlexNet";
+        sc.globalBatch = 512;
+        scenarios.push_back(std::move(sc));
+    }
+    for (auto _ : state) {
+        SweepRunner runner(SweepConfig{threads, /*progress=*/false});
+        const auto results = runner.run(scenarios);
+        benchmark::DoNotOptimize(results.size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * scenarios.size()));
+}
+BENCHMARK(BM_SweepRunner)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 } // anonymous namespace
 

@@ -19,23 +19,24 @@ using namespace mcdla;
 namespace
 {
 
+Simulator sim;
+
 double
-iterationSeconds(SystemDesign design, const Network &net, int devices,
-                 std::int64_t batch)
+iterationSeconds(SystemDesign design, const std::string &workload,
+                 int devices, std::int64_t batch)
 {
-    EventQueue eq;
-    SystemConfig cfg;
-    cfg.design = design;
-    cfg.fabric.numDevices = devices;
+    Scenario sc;
+    sc.design = design;
+    sc.workload = workload;
+    sc.mode = ParallelMode::DataParallel;
+    sc.globalBatch = batch;
+    sc.base.fabric.numDevices = devices;
     // Section I's premise: the host-side interface is shared, so the
     // effective host-device bandwidth per device shrinks as devices
     // multiply. Model the shared PCIe root complex as a 16 GB/s socket
     // uplink (4 devices per switch group in a DGX-class chassis).
-    cfg.fabric.socketBandwidth = 16.0 * kGB;
-    System system(eq, cfg);
-    TrainingSession session(system, net, ParallelMode::DataParallel,
-                            batch);
-    return session.run().iterationSeconds();
+    sc.base.fabric.socketBandwidth = 16.0 * kGB;
+    return sim.run(sc).iterationSeconds();
 }
 
 } // anonymous namespace
@@ -53,7 +54,6 @@ main()
                  "(speedup vs 1 device, batch " << batch << ") ===\n\n";
 
     for (const std::string &workload : cnnBenchmarkNames()) {
-        const Network net = buildBenchmark(workload);
         TablePrinter table({"Devices", "DC-DLA (no virt)",
                             "DC-DLA (virt)", "MC-DLA(B)"});
         std::map<SystemDesign, double> base;
@@ -63,7 +63,7 @@ main()
                  {SystemDesign::DcDlaOracle, SystemDesign::DcDla,
                   SystemDesign::McDlaB}) {
                 const double t =
-                    iterationSeconds(design, net, devices, batch);
+                    iterationSeconds(design, workload, devices, batch);
                 if (devices == 1)
                     base[design] = t;
                 row.push_back(TablePrinter::num(base[design] / t, 2));

@@ -28,6 +28,8 @@ struct Variant
     std::int64_t batch = kDefaultBatch;
 };
 
+Simulator sim;
+
 double
 mcdlaSpeedup(const Variant &variant, std::ostream &os)
 {
@@ -38,18 +40,18 @@ mcdlaSpeedup(const Variant &variant, std::ostream &os)
     for (const BenchmarkInfo &info : benchmarkCatalog()) {
         if (variant.cnnsOnly && info.recurrent)
             continue;
-        const Network net = info.build();
         double dc = 0.0, mc = 0.0;
         for (ParallelMode mode : {ParallelMode::DataParallel,
                                   ParallelMode::ModelParallel}) {
             for (SystemDesign design :
                  {SystemDesign::DcDla, SystemDesign::McDlaB}) {
-                RunSpec spec;
-                spec.design = design;
-                spec.mode = mode;
-                spec.base = variant.base;
-                spec.globalBatch = variant.batch;
-                const IterationResult r = simulateIteration(spec, net);
+                Scenario sc;
+                sc.design = design;
+                sc.workload = info.name;
+                sc.mode = mode;
+                sc.base = variant.base;
+                sc.globalBatch = variant.batch;
+                const IterationResult r = sim.run(sc);
                 (design == SystemDesign::DcDla ? dc : mc) +=
                     r.iterationSeconds();
             }

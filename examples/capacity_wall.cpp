@@ -114,23 +114,28 @@ main()
 
     TablePrinter table({"Design", "Exposed memory", "Iter(ms)",
                         "Speedup", "Host traffic(GB)"});
+    Simulator sim;
     double dc = 0.0;
     for (SystemDesign design :
          {SystemDesign::DcDla, SystemDesign::HcDla,
           SystemDesign::McDlaB}) {
-        EventQueue eq;
-        SystemConfig cfg;
-        cfg.design = design;
-        System system(eq, cfg);
-        TrainingSession session(system, net,
-                                ParallelMode::DataParallel, batch);
-        const IterationResult r = session.run();
+        // The captioner is built here, not registered, so hand the
+        // network to the facade directly.
+        Scenario sc;
+        sc.design = design;
+        sc.mode = ParallelMode::DataParallel;
+        sc.globalBatch = batch;
+        std::uint64_t exposed = 0;
+        Simulator::Hooks hooks;
+        hooks.postRun = [&](System &system, const IterationResult &) {
+            exposed = system.totalExposedMemory();
+        };
+        const IterationResult r = sim.run(sc, net, hooks);
         if (design == SystemDesign::DcDla)
             dc = r.iterationSeconds();
         table.addRow({
             systemDesignName(design),
-            formatBytes(static_cast<double>(
-                system.totalExposedMemory())),
+            formatBytes(static_cast<double>(exposed)),
             TablePrinter::num(r.iterationSeconds() * 1e3, 1),
             TablePrinter::num(dc / r.iterationSeconds(), 2),
             TablePrinter::num(r.hostBytes / 1e9, 1),

@@ -14,8 +14,8 @@ using namespace mcdla;
 int
 main()
 {
-    const Network net = buildBenchmark("AlexNet");
-    std::cout << net.summary() << '\n';
+    Simulator sim;
+    std::cout << sim.network("AlexNet")->summary() << '\n';
 
     TablePrinter table({"Design", "Iter(ms)", "Compute(ms)", "Sync(ms)",
                         "Vmem(ms)", "HostAvg(GB/s)", "HostPeak(GB/s)",
@@ -23,13 +23,13 @@ main()
 
     double dc_time = 0.0;
     for (SystemDesign design : kAllDesigns) {
-        RunSpec spec;
-        spec.design = design;
-        spec.workload = "AlexNet";
-        spec.mode = ParallelMode::DataParallel;
-        spec.globalBatch = kDefaultBatch;
+        Scenario sc;
+        sc.design = design;
+        sc.workload = "AlexNet";
+        sc.mode = ParallelMode::DataParallel;
+        sc.globalBatch = kDefaultBatch;
 
-        const IterationResult r = simulateIteration(spec, net);
+        const IterationResult r = sim.run(sc);
         if (design == SystemDesign::DcDla)
             dc_time = r.iterationSeconds();
 

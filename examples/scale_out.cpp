@@ -20,7 +20,7 @@ int
 main()
 {
     LogConfig::verbose = false;
-    const Network net = buildBenchmark("ResNet");
+    Simulator sim;
 
     std::cout << "Scale-out study: ResNet, data-parallel, weak scaling "
                  "at 64 samples/device\n\n";
@@ -28,29 +28,30 @@ main()
     TablePrinter table({"Devices", "Pool(TB)", "DC-DLA(ms)",
                         "MC-DLA(B)(ms)", "Speedup", "Ring stages"});
     for (int devices : {4, 8, 16, 32}) {
-        const std::int64_t batch = 64LL * devices;
         double dc = 0.0, mc = 0.0, pool = 0.0;
         int stages = 0;
         for (SystemDesign design :
              {SystemDesign::DcDla, SystemDesign::McDlaB}) {
-            EventQueue eq;
-            SystemConfig cfg;
-            cfg.design = design;
-            cfg.fabric.numDevices = devices;
-            System system(eq, cfg);
-            TrainingSession session(system, net,
-                                    ParallelMode::DataParallel, batch);
-            const IterationResult r = session.run();
-            if (design == SystemDesign::DcDla) {
-                dc = r.iterationSeconds();
-            } else {
-                mc = r.iterationSeconds();
+            Scenario sc;
+            sc.design = design;
+            sc.workload = "ResNet";
+            sc.mode = ParallelMode::DataParallel;
+            sc.globalBatch = 64LL * devices;
+            sc.base.fabric.numDevices = devices;
+            Simulator::Hooks hooks;
+            hooks.postRun = [&](System &system,
+                                const IterationResult &) {
+                if (design != SystemDesign::McDlaB)
+                    return;
                 pool = static_cast<double>(
                     system.totalExposedMemory());
                 stages = system.fabric().rings().empty()
                     ? 0
                     : system.fabric().rings()[0].stageCount();
-            }
+            };
+            const IterationResult r = sim.run(sc, hooks);
+            (design == SystemDesign::DcDla ? dc : mc) =
+                r.iterationSeconds();
         }
         table.addRow({std::to_string(devices),
                       TablePrinter::num(pool / kTB, 1),

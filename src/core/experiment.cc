@@ -14,24 +14,6 @@
 namespace mcdla
 {
 
-IterationResult
-simulateIteration(const RunSpec &spec, const Network &net)
-{
-    EventQueue eq;
-    SystemConfig cfg = spec.base;
-    cfg.design = spec.design;
-    System system(eq, cfg);
-    TrainingSession session(system, net, spec.mode, spec.globalBatch);
-    return session.run();
-}
-
-IterationResult
-simulateIteration(const RunSpec &spec)
-{
-    const Network net = buildBenchmark(spec.workload);
-    return simulateIteration(spec, net);
-}
-
 double
 harmonicMean(const std::vector<double> &values)
 {

@@ -1,8 +1,8 @@
 /**
  * @file
  * Experiment helpers shared by the benchmark harness and examples:
- * one-call "simulate design X on workload W" plumbing, means, and
- * fixed-width table printing matching the paper's reporting style.
+ * means and fixed-width table printing matching the paper's reporting
+ * style. (One-call scenario execution lives in core/simulator.hh.)
  */
 
 #ifndef MCDLA_CORE_EXPERIMENT_HH
@@ -12,29 +12,8 @@
 #include <string>
 #include <vector>
 
-#include "system/training_session.hh"
-#include "workloads/benchmarks.hh"
-
 namespace mcdla
 {
-
-/** Parameters of one simulation run. */
-struct RunSpec
-{
-    SystemDesign design = SystemDesign::McDlaB;
-    std::string workload = "ResNet";
-    ParallelMode mode = ParallelMode::DataParallel;
-    std::int64_t globalBatch = kDefaultBatch;
-    /** Base configuration; design/topology fields are overridden. */
-    SystemConfig base;
-};
-
-/** Simulate one training iteration for a run spec. */
-IterationResult simulateIteration(const RunSpec &spec);
-
-/** Simulate with an already-built network (avoids rebuild cost). */
-IterationResult simulateIteration(const RunSpec &spec,
-                                  const Network &net);
 
 /** Harmonic mean (the paper's averaging convention, Section V). */
 double harmonicMean(const std::vector<double> &values);

@@ -11,7 +11,9 @@
  *  - mcdla::VmemRuntime — the Table I cudaMallocRemote /
  *    cudaFreeRemote / cudaMemcpyAsync(LocalToRemote|RemoteToLocal) API;
  *  - mcdla::CollectiveEngine — ring all-gather / all-reduce / broadcast;
- *  - experiment helpers (simulateIteration, harmonicMean, TablePrinter).
+ *  - mcdla::Scenario / Simulator / SweepRunner — declarative run
+ *    descriptions, one-call execution, and parallel sweeps;
+ *  - experiment helpers (harmonicMean, TablePrinter).
  */
 
 #ifndef MCDLA_CORE_MCDLA_HH
@@ -19,6 +21,9 @@
 
 #include "collective/ring_collective.hh"
 #include "core/experiment.hh"
+#include "core/report.hh"
+#include "core/scenario.hh"
+#include "core/simulator.hh"
 #include "device/compute_model.hh"
 #include "device/device_config.hh"
 #include "device/device_node.hh"
@@ -49,6 +54,7 @@
 #include "vmem/offload_plan.hh"
 #include "vmem/runtime.hh"
 #include "workloads/benchmarks.hh"
+#include "workloads/registry.hh"
 #include "workloads/synthetic.hh"
 
 #endif // MCDLA_CORE_MCDLA_HH

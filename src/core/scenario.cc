@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Scenario implementation: the string round-trip tables and the CLI
+ * resolution shared by every driver.
+ */
+
+#include "core/scenario.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/options.hh"
+#include "device/device_config.hh"
+#include "memory/dimm.hh"
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+namespace
+{
+
+struct DesignToken
+{
+    SystemDesign design;
+    const char *token;
+};
+
+/** The one table both directions of the round-trip read. */
+constexpr DesignToken kDesignTokens[] = {
+    {SystemDesign::DcDla, "dc"},
+    {SystemDesign::HcDla, "hc"},
+    {SystemDesign::McDlaS, "mc-s"},
+    {SystemDesign::McDlaL, "mc-l"},
+    {SystemDesign::McDlaB, "mc-b"},
+    {SystemDesign::DcDlaOracle, "oracle"},
+    {SystemDesign::McDlaSA, "mc-sa"},
+    {SystemDesign::McDlaX, "mc-x"},
+};
+
+} // anonymous namespace
+
+SystemDesign
+parseSystemDesign(const std::string &name)
+{
+    for (const DesignToken &entry : kDesignTokens)
+        if (name == entry.token || name == systemDesignName(entry.design))
+            return entry.design;
+    fatal("unknown design '%s' (%s)", name.c_str(),
+          systemDesignTokenList().c_str());
+}
+
+const char *
+systemDesignToken(SystemDesign design)
+{
+    for (const DesignToken &entry : kDesignTokens)
+        if (entry.design == design)
+            return entry.token;
+    panic("design %d has no token", static_cast<int>(design));
+}
+
+const std::vector<SystemDesign> &
+allSystemDesigns()
+{
+    static const std::vector<SystemDesign> designs = [] {
+        std::vector<SystemDesign> all;
+        for (const DesignToken &entry : kDesignTokens)
+            all.push_back(entry.design);
+        return all;
+    }();
+    return designs;
+}
+
+const std::string &
+systemDesignTokenList()
+{
+    static const std::string list = [] {
+        std::string tokens;
+        for (const DesignToken &entry : kDesignTokens) {
+            if (!tokens.empty())
+                tokens += ", ";
+            tokens += entry.token;
+        }
+        return tokens;
+    }();
+    return list;
+}
+
+ParallelMode
+parseParallelMode(const std::string &name)
+{
+    if (name == "dp" || name == "data" || name == "data-parallel")
+        return ParallelMode::DataParallel;
+    if (name == "mp" || name == "model" || name == "model-parallel")
+        return ParallelMode::ModelParallel;
+    fatal("unknown mode '%s' (dp, mp)", name.c_str());
+}
+
+const char *
+parallelModeToken(ParallelMode mode)
+{
+    return mode == ParallelMode::DataParallel ? "dp" : "mp";
+}
+
+double
+pcieRawBandwidthForGen(std::int64_t gen)
+{
+    if (gen < 1 || gen > 6)
+        fatal("unsupported --pcie-gen %lld (supported: 1-6)",
+              static_cast<long long>(gen));
+    // gen3 x16 = 16 GB/s per direction; each generation doubles.
+    return 16.0 * kGB * std::ldexp(1.0, static_cast<int>(gen) - 3);
+}
+
+SystemConfig
+Scenario::config() const
+{
+    SystemConfig cfg = base;
+    cfg.design = design;
+    return cfg;
+}
+
+std::string
+Scenario::label() const
+{
+    std::ostringstream os;
+    os << workload << '/' << systemDesignToken(design) << '/'
+       << parallelModeToken(mode) << "/b" << globalBatch;
+    return os.str();
+}
+
+void
+Scenario::addOptions(OptionParser &opts)
+{
+    opts.addString("design", "mc-b",
+                   "system design: " + systemDesignTokenList());
+    opts.addString("workload", "ResNet",
+                   "registered workload name, or 'all'");
+    opts.addString("mode", "dp", "parallelization: dp or mp");
+    opts.addInt("batch", kDefaultBatch, "global minibatch size");
+    opts.addInt("devices", 8, "device-node count");
+    opts.addString("device-gen", "Volta",
+                   "device generation (Kepler..TPUv2)");
+    opts.addInt("pcie-gen", 3, "PCIe generation for the host link");
+    opts.addDouble("link-gbps", 25.0,
+                   "device-side link bandwidth, GB/s per direction");
+    opts.addInt("dimm-gib", 128,
+                "memory-node DIMM capacity (8/16/32/64/128 GiB)");
+    opts.addDouble("socket-gbps", 0.0,
+                   "host socket bandwidth cap, GB/s (0 = uncapped)");
+    opts.addDouble("compression", 1.0, "cDMA compression ratio");
+    opts.addInt("iterations", 1, "training iterations to simulate");
+    opts.addFlag("no-recompute", "disable the footnote-4 optimization");
+}
+
+Scenario
+Scenario::fromOptions(const OptionParser &opts)
+{
+    Scenario sc;
+    sc.design = parseSystemDesign(opts.getString("design"));
+    sc.workload = opts.getString("workload");
+    sc.mode = parseParallelMode(opts.getString("mode"));
+    sc.globalBatch = opts.getInt("batch");
+    if (sc.globalBatch < 1)
+        fatal("--batch must be positive (got %lld)",
+              static_cast<long long>(sc.globalBatch));
+    sc.iterations = static_cast<int>(opts.getInt("iterations"));
+    if (sc.iterations < 1)
+        fatal("--iterations must be positive (got %lld)",
+              static_cast<long long>(opts.getInt("iterations")));
+
+    sc.base.device = deviceGeneration(opts.getString("device-gen"));
+    sc.base.device.linkBandwidth = opts.getDouble("link-gbps") * kGB;
+    sc.base.fabric.numDevices =
+        static_cast<int>(opts.getInt("devices"));
+    sc.base.fabric.pcieRawBandwidth =
+        pcieRawBandwidthForGen(opts.getInt("pcie-gen"));
+    sc.base.fabric.socketBandwidth =
+        opts.getDouble("socket-gbps") * kGB;
+    sc.base.memNode.dimm = dimmByCapacityGib(
+        static_cast<unsigned>(opts.getInt("dimm-gib")));
+    sc.base.dmaCompressionRatio = opts.getDouble("compression");
+    sc.base.recomputeCheapLayers = !opts.getFlag("no-recompute");
+    return sc;
+}
+
+} // namespace mcdla

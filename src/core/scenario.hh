@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Declarative description of one simulation run.
+ *
+ * A Scenario names everything the simulator needs — design point,
+ * workload, parallelization, batch, and a SystemConfig carrying any
+ * device/fabric/memory overrides — so drivers, benches, and sweeps can
+ * be written as plain data. The string round-trip helpers
+ * (parseSystemDesign / systemDesignToken, parseParallelMode /
+ * parallelModeToken) are the single source of truth for the CLI
+ * vocabulary; no per-tool parsers exist anymore.
+ */
+
+#ifndef MCDLA_CORE_SCENARIO_HH
+#define MCDLA_CORE_SCENARIO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "parallel/strategy.hh"
+#include "system/system_config.hh"
+#include "workloads/registry.hh"
+
+namespace mcdla
+{
+
+class OptionParser;
+
+/// @name Design/mode string round-trips
+/// @{
+
+/** Parse a design token ("dc", "hc", "mc-s", ...); fatal if unknown. */
+SystemDesign parseSystemDesign(const std::string &name);
+
+/** Canonical CLI token of a design ("mc-b", "oracle", ...). */
+const char *systemDesignToken(SystemDesign design);
+
+/** Parse a parallelization token ("dp"/"mp", long forms ok); fatal. */
+ParallelMode parseParallelMode(const std::string &name);
+
+/** Canonical CLI token of a mode ("dp" / "mp"). */
+const char *parallelModeToken(ParallelMode mode);
+
+/** Every design the parser accepts (evaluation set plus extras). */
+const std::vector<SystemDesign> &allSystemDesigns();
+
+/** Comma-separated list of accepted design tokens (for help text). */
+const std::string &systemDesignTokenList();
+
+/// @}
+
+/**
+ * Raw per-direction x16 PCIe bandwidth of @p gen (bytes/s).
+ *
+ * Generations 1-6 are accepted (gen3 = 16 GB/s, halving/doubling per
+ * step); anything else is a fatal configuration error. This replaces
+ * the former `1LL << (gen - 3)` expression whose negative shift was
+ * undefined behavior for gen 1-2.
+ */
+double pcieRawBandwidthForGen(std::int64_t gen);
+
+/** Full description of one simulation run. */
+struct Scenario
+{
+    SystemDesign design = SystemDesign::McDlaB;
+    std::string workload = "ResNet";
+    ParallelMode mode = ParallelMode::DataParallel;
+    std::int64_t globalBatch = kDefaultBatch;
+    /** Training iterations to simulate (metrics are the last one's). */
+    int iterations = 1;
+    /** Base configuration; the design field is stamped by config(). */
+    SystemConfig base;
+
+    /** The effective SystemConfig (base with design applied). */
+    SystemConfig config() const;
+
+    /** Compact identity, e.g. "ResNet/mc-b/dp/b512". */
+    std::string label() const;
+
+    /**
+     * Declare the shared simulation knobs (--design, --workload,
+     * --mode, --batch, --devices, --device-gen, --pcie-gen,
+     * --link-gbps, --dimm-gib, --socket-gbps, --compression,
+     * --iterations, --no-recompute) on @p opts.
+     */
+    static void addOptions(OptionParser &opts);
+
+    /**
+     * Resolve a parsed option set (declared via addOptions) into a
+     * scenario; fatal on invalid values. The workload name is taken
+     * verbatim — drivers expand aggregates like "all" themselves.
+     */
+    static Scenario fromOptions(const OptionParser &opts);
+};
+
+} // namespace mcdla
+
+#endif // MCDLA_CORE_SCENARIO_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Simulator facade and parallel sweep runner.
+ *
+ * Simulator turns a Scenario into an IterationResult with one call,
+ * caching built networks by workload name so design/mode/batch grids
+ * pay the network-construction cost once. SweepRunner executes a
+ * scenario list across a thread pool — every scenario owns its private
+ * EventQueue/System, so runs are independent — and returns results in
+ * scenario order regardless of thread count, making parallel sweeps
+ * bit-identical to serial ones.
+ */
+
+#ifndef MCDLA_CORE_SIMULATOR_HH
+#define MCDLA_CORE_SIMULATOR_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/report.hh"
+#include "core/scenario.hh"
+#include "system/training_session.hh"
+
+namespace mcdla
+{
+
+/** One-call scenario execution with workload caching. */
+class Simulator
+{
+  public:
+    /** Optional per-run observers. */
+    struct Hooks
+    {
+        TraceSink *trace = nullptr;   ///< Chrome-tracing sink.
+        std::ostream *stats = nullptr; ///< gem5-style stats dump.
+        /** Inspect the live System after the last iteration. */
+        std::function<void(System &, const IterationResult &)> postRun;
+    };
+
+    /** Run one scenario on its registered workload. */
+    IterationResult run(const Scenario &scenario);
+    IterationResult run(const Scenario &scenario, const Hooks &hooks);
+
+    /** Run one scenario on an externally built network. */
+    IterationResult run(const Scenario &scenario,
+                        const Network &net) const;
+    IterationResult run(const Scenario &scenario, const Network &net,
+                        const Hooks &hooks) const;
+
+    /**
+     * The cached network of a registered workload (built on first
+     * use). Thread-safe; the returned pointer stays valid for the
+     * simulator's lifetime.
+     */
+    std::shared_ptr<const Network> network(const std::string &workload);
+
+  private:
+    std::mutex _mutex;
+    std::map<std::string, std::shared_ptr<const Network>> _networks;
+};
+
+/** Sweep execution parameters. */
+struct SweepConfig
+{
+    /** Worker threads; <= 0 selects the hardware concurrency. */
+    int threads = 1;
+    /** Emit an inform() line as each scenario completes. */
+    bool progress = false;
+};
+
+/** Deterministic multi-threaded execution of a scenario list. */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepConfig cfg = {});
+
+    /**
+     * Run every scenario; results arrive in scenario order no matter
+     * how many threads execute. An error in any scenario (with
+     * LogConfig::throwOnError) is rethrown after the pool drains,
+     * lowest scenario index first.
+     */
+    std::vector<IterationResult>
+    run(const std::vector<Scenario> &scenarios);
+
+    /** Run and collect into the standard result table. */
+    ResultSet runToResults(const std::vector<Scenario> &scenarios);
+
+    /** Columns of runToResults() rows. */
+    static const std::vector<std::string> &resultColumns();
+
+    /** One standard result row. */
+    static std::vector<ReportValue>
+    resultRow(const Scenario &scenario, const IterationResult &result);
+
+    /** The shared simulator (exposes the network cache). */
+    Simulator &simulator() { return _sim; }
+
+  private:
+    SweepConfig _cfg;
+    Simulator _sim;
+};
+
+/**
+ * Checked sequential reader pairing sweep results with the grid loops
+ * that consume them. Reporting code that replays the scenario-building
+ * loops calls next() with its loop variables; the cursor panics the
+ * moment the build and consume loops drift apart, instead of silently
+ * attributing results to the wrong grid cell.
+ */
+class SweepCursor
+{
+  public:
+    /** Both containers must outlive the cursor. */
+    SweepCursor(const std::vector<Scenario> &scenarios,
+                const std::vector<IterationResult> &results);
+
+    /**
+     * Scenario about to be consumed; panics past the end. Lets knob
+     * sweeps (chunk size, socket caps, ...) verify the axes next()
+     * does not compare before taking the result.
+     */
+    const Scenario &peek() const;
+
+    /** Next result; panics unless workload/design/mode all match. */
+    const IterationResult &next(const std::string &workload,
+                                SystemDesign design, ParallelMode mode);
+
+  private:
+    const std::vector<Scenario> &_scenarios;
+    const std::vector<IterationResult> &_results;
+    std::size_t _idx = 0;
+};
+
+} // namespace mcdla
+
+#endif // MCDLA_CORE_SIMULATOR_HH

@@ -9,6 +9,8 @@
 
 #include "dnn/builders.hh"
 
+#include "workloads/registry.hh"
+
 namespace mcdla::builders
 {
 
@@ -57,3 +59,15 @@ buildAlexNet()
 }
 
 } // namespace mcdla::builders
+
+namespace mcdla
+{
+namespace
+{
+
+const WorkloadRegistrar registrar{{"AlexNet", "Image recognition", 8,
+                                   false, 0,
+                                   [] { return builders::buildAlexNet(); }}};
+
+} // anonymous namespace
+} // namespace mcdla

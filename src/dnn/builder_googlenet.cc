@@ -11,6 +11,8 @@
 
 #include "dnn/builders.hh"
 
+#include "workloads/registry.hh"
+
 #include <array>
 
 #include "sim/logging.hh"
@@ -145,3 +147,15 @@ buildGoogLeNet()
 }
 
 } // namespace mcdla::builders
+
+namespace mcdla
+{
+namespace
+{
+
+const WorkloadRegistrar registrar{
+    {"GoogLeNet", "Image recognition", 58, false, 1,
+     [] { return builders::buildGoogLeNet(); }}};
+
+} // anonymous namespace
+} // namespace mcdla

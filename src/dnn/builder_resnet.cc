@@ -11,6 +11,8 @@
 
 #include "dnn/builders.hh"
 
+#include "workloads/registry.hh"
+
 #include <array>
 
 #include "sim/logging.hh"
@@ -110,3 +112,15 @@ buildResNet34()
 }
 
 } // namespace mcdla::builders
+
+namespace mcdla
+{
+namespace
+{
+
+const WorkloadRegistrar registrar{
+    {"ResNet", "Image recognition", 34, false, 3,
+     [] { return builders::buildResNet34(); }}};
+
+} // anonymous namespace
+} // namespace mcdla

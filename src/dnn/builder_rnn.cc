@@ -12,6 +12,8 @@
 
 #include "dnn/builders.hh"
 
+#include "workloads/registry.hh"
+
 #include <functional>
 
 #include "sim/logging.hh"
@@ -109,3 +111,24 @@ buildRnnGru(std::int64_t timesteps, std::int64_t hidden)
 }
 
 } // namespace mcdla::builders
+
+namespace mcdla
+{
+namespace
+{
+
+const WorkloadRegistrar gemv{
+    {"RNN-GEMV", "Speech recognition", 50, true, 4,
+     [] { return builders::buildRnnGemv(); }}};
+const WorkloadRegistrar lstm1{
+    {"RNN-LSTM-1", "Machine translation", 25, true, 5,
+     [] { return builders::buildRnnLstm1(); }}};
+const WorkloadRegistrar lstm2{
+    {"RNN-LSTM-2", "Language modeling", 25, true, 6,
+     [] { return builders::buildRnnLstm2(); }}};
+const WorkloadRegistrar gru{
+    {"RNN-GRU", "Speech recognition", 187, true, 7,
+     [] { return builders::buildRnnGru(); }}};
+
+} // anonymous namespace
+} // namespace mcdla

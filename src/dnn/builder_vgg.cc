@@ -9,6 +9,8 @@
 
 #include "dnn/builders.hh"
 
+#include "workloads/registry.hh"
+
 #include <array>
 
 #include "sim/logging.hh"
@@ -61,3 +63,15 @@ buildVggE()
 }
 
 } // namespace mcdla::builders
+
+namespace mcdla
+{
+namespace
+{
+
+const WorkloadRegistrar registrar{{"VGG-E", "Image recognition", 19,
+                                   false, 2,
+                                   [] { return builders::buildVggE(); }}};
+
+} // anonymous namespace
+} // namespace mcdla

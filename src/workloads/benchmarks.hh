@@ -1,37 +1,28 @@
 /**
  * @file
- * Benchmark catalog (paper Table III).
+ * Benchmark catalog (paper Table III), backed by the workload registry.
  *
  * Four CNNs (AlexNet, GoogLeNet, VGG-E, ResNet — ImageNet classifiers)
  * and four RNNs from the DeepBench suite (vanilla GEMV speech model, two
- * LSTMs, one GRU). The default evaluation batch size is 512.
+ * LSTMs, one GRU) register themselves from their builder translation
+ * units (see workloads/registry.hh). The default evaluation batch size
+ * is 512.
  */
 
 #ifndef MCDLA_WORKLOADS_BENCHMARKS_HH
 #define MCDLA_WORKLOADS_BENCHMARKS_HH
 
-#include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "dnn/builders.hh"
+#include "workloads/registry.hh"
 
 namespace mcdla
 {
 
-/** Default minibatch of the evaluation (Section IV). */
-constexpr std::int64_t kDefaultBatch = 512;
-
 /** One Table III row. */
-struct BenchmarkInfo
-{
-    std::string name;        ///< Table III network name.
-    std::string application; ///< Application domain.
-    std::int64_t depth;      ///< Weighted layers (CNN) or timesteps (RNN).
-    bool recurrent;
-    std::function<Network()> build;
-};
+using BenchmarkInfo = WorkloadInfo;
 
 /** All eight Table III benchmarks, CNNs first. */
 const std::vector<BenchmarkInfo> &benchmarkCatalog();
@@ -42,10 +33,10 @@ std::vector<std::string> cnnBenchmarkNames();
 /** All eight names in Table III order. */
 std::vector<std::string> benchmarkNames();
 
-/** Build a benchmark network by Table III name; fatal if unknown. */
+/** Build a registered workload by name; fatal if unknown. */
 Network buildBenchmark(const std::string &name);
 
-/** Catalog row by name; fatal if unknown. */
+/** Registry entry by name; fatal if unknown. */
 const BenchmarkInfo &benchmarkInfo(const std::string &name);
 
 } // namespace mcdla

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Workload registry implementation.
+ */
+
+#include "workloads/registry.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+WorkloadRegistry &
+WorkloadRegistry::instance()
+{
+    static WorkloadRegistry registry;
+    return registry;
+}
+
+void
+WorkloadRegistry::add(WorkloadInfo info)
+{
+    if (info.name.empty())
+        fatal("cannot register a workload without a name");
+    if (!info.build)
+        fatal("workload '%s' registered without a build function",
+              info.name.c_str());
+    if (find(info.name) != nullptr)
+        fatal("workload '%s' registered twice", info.name.c_str());
+    _entries.push_back(std::move(info));
+}
+
+const WorkloadInfo *
+WorkloadRegistry::find(const std::string &name) const
+{
+    for (const WorkloadInfo &info : _entries)
+        if (info.name == name)
+            return &info;
+    return nullptr;
+}
+
+const WorkloadInfo &
+WorkloadRegistry::at(const std::string &name) const
+{
+    if (const WorkloadInfo *info = find(name))
+        return *info;
+    std::string known;
+    for (const std::string &n : names()) {
+        if (!known.empty())
+            known += ", ";
+        known += n;
+    }
+    fatal("unknown workload '%s' (known: %s)", name.c_str(),
+          known.c_str());
+}
+
+std::vector<const WorkloadInfo *>
+WorkloadRegistry::all() const
+{
+    std::vector<const WorkloadInfo *> sorted;
+    sorted.reserve(_entries.size());
+    for (const WorkloadInfo &info : _entries)
+        sorted.push_back(&info);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const WorkloadInfo *a, const WorkloadInfo *b) {
+                  if (a->catalogOrder != b->catalogOrder)
+                      return a->catalogOrder < b->catalogOrder;
+                  return a->name < b->name;
+              });
+    return sorted;
+}
+
+std::vector<std::string>
+WorkloadRegistry::names() const
+{
+    std::vector<std::string> names;
+    names.reserve(_entries.size());
+    for (const WorkloadInfo *info : all())
+        names.push_back(info->name);
+    return names;
+}
+
+WorkloadRegistrar::WorkloadRegistrar(WorkloadInfo info)
+{
+    WorkloadRegistry::instance().add(std::move(info));
+}
+
+} // namespace mcdla

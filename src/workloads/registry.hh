@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Self-registering workload registry.
+ *
+ * Every network builder translation unit registers its workloads with a
+ * file-scope WorkloadRegistrar, so new networks plug into the catalog —
+ * and therefore into `mcdla_sim --workload`, the benches, and the sweep
+ * runner — without editing any central list. Table III rows carry their
+ * paper ordering so catalog iteration stays in plotting order no matter
+ * which translation unit initializes first.
+ */
+
+#ifndef MCDLA_WORKLOADS_REGISTRY_HH
+#define MCDLA_WORKLOADS_REGISTRY_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dnn/network.hh"
+
+namespace mcdla
+{
+
+/** Default minibatch of the evaluation (Section IV). */
+constexpr std::int64_t kDefaultBatch = 512;
+
+/** One registered workload (a Table III row or an extension). */
+struct WorkloadInfo
+{
+    std::string name;        ///< Lookup name (Table III network name).
+    std::string application; ///< Application domain.
+    std::int64_t depth;      ///< Weighted layers (CNN) or timesteps (RNN).
+    bool recurrent = false;
+    /**
+     * Catalog sort key: Table III rows use their row number (0-7);
+     * extensions register with >= 100 and sort after them by name.
+     */
+    int catalogOrder = 100;
+    std::function<Network()> build;
+};
+
+/** Process-wide workload catalog. */
+class WorkloadRegistry
+{
+  public:
+    static WorkloadRegistry &instance();
+
+    /** Register a workload; fatal on a duplicate or unbuildable entry. */
+    void add(WorkloadInfo info);
+
+    /** Look up by name; nullptr when unknown. */
+    const WorkloadInfo *find(const std::string &name) const;
+
+    /** Look up by name; fatal (listing known names) when unknown. */
+    const WorkloadInfo &at(const std::string &name) const;
+
+    /** Every entry, catalog-ordered (Table III first). */
+    std::vector<const WorkloadInfo *> all() const;
+
+    /** Every name, catalog-ordered. */
+    std::vector<std::string> names() const;
+
+    std::size_t size() const { return _entries.size(); }
+
+  private:
+    WorkloadRegistry() = default;
+
+    /// Deque: references handed out by find()/at() stay valid when
+    /// later registrations grow the catalog.
+    std::deque<WorkloadInfo> _entries;
+};
+
+/**
+ * File-scope self-registration hook:
+ *
+ *     namespace {
+ *     const WorkloadRegistrar registrar{{"MyNet", "Domain", 12, false,
+ *                                        100, [] { return build(); }}};
+ *     } // anonymous namespace
+ */
+struct WorkloadRegistrar
+{
+    explicit WorkloadRegistrar(WorkloadInfo info);
+};
+
+} // namespace mcdla
+
+#endif // MCDLA_WORKLOADS_REGISTRY_HH

@@ -10,6 +10,7 @@
 #include <map>
 
 #include "core/experiment.hh"
+#include "core/simulator.hh"
 #include "sim/logging.hh"
 #include "system/training_session.hh"
 #include "workloads/benchmarks.hh"
@@ -342,13 +343,14 @@ TEST(Experiment, TablePrinterAlignsColumns)
     EXPECT_EQ(TablePrinter::num(1.23456, 2), "1.23");
 }
 
-TEST(Experiment, SimulateIterationRunsFromSpec)
+TEST(Experiment, SimulatorRunsFromScenario)
 {
-    RunSpec spec;
-    spec.design = SystemDesign::McDlaB;
-    spec.workload = "AlexNet";
-    spec.globalBatch = 64;
-    const IterationResult r = simulateIteration(spec);
+    Simulator sim;
+    Scenario sc;
+    sc.design = SystemDesign::McDlaB;
+    sc.workload = "AlexNet";
+    sc.globalBatch = 64;
+    const IterationResult r = sim.run(sc);
     EXPECT_GT(r.makespan, 0u);
 }
 

@@ -2,16 +2,19 @@
  * @file
  * mcdla_sim: the command-line driver of the simulator.
  *
- * Runs one (or every) Table III workload on a chosen system design and
+ * Runs one (or every) registered workload on a chosen system design and
  * parallelization, with overrides for the interesting knobs (device
  * generation, PCIe generation, link bandwidth, DIMM type, batch size,
- * device count, page policy, compression). Emits a human-readable
- * summary plus optional CSV/JSON result rows, a Chrome-tracing timeline
- * of the iteration, and a full gem5-style statistics dump.
+ * device count, page policy, compression). Option resolution lives in
+ * Scenario::fromOptions; execution goes through the Simulator facade,
+ * with a SweepRunner thread pool when --jobs asks for parallelism.
+ * Emits a human-readable summary plus optional CSV/JSON result rows, a
+ * Chrome-tracing timeline of the iteration, and a full gem5-style
+ * statistics dump.
  *
  * Examples:
  *   mcdla_sim --design mc-b --workload VGG-E --mode dp --batch 512
- *   mcdla_sim --workload all --design dc --csv results.csv
+ *   mcdla_sim --workload all --design dc --jobs 4 --csv results.csv
  *   mcdla_sim --design mc-b --trace timeline.json --stats
  */
 
@@ -20,45 +23,8 @@
 
 #include "core/mcdla.hh"
 #include "core/options.hh"
-#include "core/report.hh"
 
 using namespace mcdla;
-
-namespace
-{
-
-SystemDesign
-parseDesign(const std::string &name)
-{
-    if (name == "dc")
-        return SystemDesign::DcDla;
-    if (name == "hc")
-        return SystemDesign::HcDla;
-    if (name == "mc-s")
-        return SystemDesign::McDlaS;
-    if (name == "mc-l")
-        return SystemDesign::McDlaL;
-    if (name == "mc-b")
-        return SystemDesign::McDlaB;
-    if (name == "oracle")
-        return SystemDesign::DcDlaOracle;
-    if (name == "mc-sa")
-        return SystemDesign::McDlaSA;
-    fatal("unknown design '%s' (dc, hc, mc-s, mc-l, mc-b, mc-sa, "
-          "oracle)", name.c_str());
-}
-
-ParallelMode
-parseMode(const std::string &name)
-{
-    if (name == "dp")
-        return ParallelMode::DataParallel;
-    if (name == "mp")
-        return ParallelMode::ModelParallel;
-    fatal("unknown mode '%s' (dp, mp)", name.c_str());
-}
-
-} // anonymous namespace
 
 int
 main(int argc, char **argv)
@@ -67,32 +33,15 @@ main(int argc, char **argv)
         "mcdla_sim",
         "Memory-centric DL system simulator (MICRO-51 2018 "
         "reproduction)");
-    opts.addString("design", "mc-b",
-                   "system design: dc, hc, mc-s, mc-l, mc-b, mc-sa, "
-                   "oracle");
-    opts.addString("workload", "ResNet",
-                   "Table III network name, or 'all'");
-    opts.addString("mode", "dp", "parallelization: dp or mp");
-    opts.addInt("batch", kDefaultBatch, "global minibatch size");
-    opts.addInt("devices", 8, "device-node count");
-    opts.addString("device-gen", "Volta",
-                   "device generation (Kepler..TPUv2)");
-    opts.addInt("pcie-gen", 3, "PCIe generation for the host link");
-    opts.addDouble("link-gbps", 25.0,
-                   "device-side link bandwidth, GB/s per direction");
-    opts.addInt("dimm-gib", 128,
-                "memory-node DIMM capacity (8/16/32/64/128 GiB)");
-    opts.addDouble("socket-gbps", 0.0,
-                   "host socket bandwidth cap, GB/s (0 = uncapped)");
-    opts.addDouble("compression", 1.0, "cDMA compression ratio");
-    opts.addInt("iterations", 1, "training iterations to simulate");
-    opts.addFlag("no-recompute", "disable the footnote-4 optimization");
+    Scenario::addOptions(opts);
+    opts.addInt("jobs", 1,
+                "sweep worker threads (0 = hardware concurrency)");
     opts.addString("csv", "", "write result rows to this CSV file");
     opts.addString("json", "", "write result rows to this JSON file");
     opts.addString("trace", "",
                    "write a Chrome-tracing timeline (one iteration)");
     opts.addFlag("stats", "dump component statistics after the run");
-    opts.addFlag("list", "list the Table III workloads and exit");
+    opts.addFlag("list", "list the registered workloads and exit");
     opts.addFlag("quiet", "suppress informational output");
 
     if (!opts.parse(argc, argv, std::cerr))
@@ -101,87 +50,75 @@ main(int argc, char **argv)
     if (opts.getFlag("list")) {
         TablePrinter table({"Network", "Application",
                             "Layers/Timesteps"});
-        for (const BenchmarkInfo &info : benchmarkCatalog())
-            table.addRow({info.name, info.application,
-                          std::to_string(info.depth)});
+        for (const WorkloadInfo *info :
+             WorkloadRegistry::instance().all())
+            table.addRow({info->name, info->application,
+                          std::to_string(info->depth)});
         table.print(std::cout);
         return 0;
     }
     if (opts.getFlag("quiet"))
         LogConfig::verbose = false;
 
-    // Resolve configuration.
-    SystemConfig cfg;
-    cfg.design = parseDesign(opts.getString("design"));
-    cfg.device = deviceGeneration(opts.getString("device-gen"));
-    cfg.device.linkBandwidth = opts.getDouble("link-gbps") * kGB;
-    cfg.fabric.numDevices = static_cast<int>(opts.getInt("devices"));
-    cfg.fabric.pcieRawBandwidth =
-        16.0 * kGB
-        * static_cast<double>(1LL << (opts.getInt("pcie-gen") - 3));
-    cfg.fabric.socketBandwidth = opts.getDouble("socket-gbps") * kGB;
-    cfg.memNode.dimm = dimmByCapacityGib(
-        static_cast<unsigned>(opts.getInt("dimm-gib")));
-    cfg.dmaCompressionRatio = opts.getDouble("compression");
-    cfg.recomputeCheapLayers = !opts.getFlag("no-recompute");
+    const Scenario prototype = Scenario::fromOptions(opts);
 
-    const ParallelMode mode = parseMode(opts.getString("mode"));
-    const std::int64_t batch = opts.getInt("batch");
-    const auto iterations =
-        static_cast<int>(opts.getInt("iterations"));
+    std::vector<Scenario> scenarios;
+    if (prototype.workload == "all") {
+        for (const std::string &name :
+             WorkloadRegistry::instance().names()) {
+            Scenario sc = prototype;
+            sc.workload = name;
+            scenarios.push_back(std::move(sc));
+        }
+    } else {
+        WorkloadRegistry::instance().at(prototype.workload);
+        scenarios.push_back(prototype);
+    }
 
-    std::vector<std::string> workloads;
-    if (opts.getString("workload") == "all")
-        workloads = benchmarkNames();
-    else
-        workloads.push_back(opts.getString("workload"));
+    // The trace and stats observers need a serial run over the live
+    // System; otherwise the sweep runner handles any thread count.
+    const bool observed = !opts.getString("trace").empty()
+        || opts.getFlag("stats");
+    if (observed && opts.getInt("jobs") != 1)
+        warn("--trace/--stats require a serial run; ignoring --jobs");
 
-    ResultSet results({"workload", "design", "mode", "batch",
-                       "iteration_ms", "compute_ms", "sync_ms",
-                       "vmem_ms", "host_gb", "host_peak_gbps",
-                       "events"});
+    TraceSink trace;
+    SweepRunner runner(SweepConfig{
+        observed ? 1 : static_cast<int>(opts.getInt("jobs")),
+        /*progress=*/false});
+
+    ResultSet results(SweepRunner::resultColumns());
+    if (observed) {
+        Simulator::Hooks hooks;
+        if (!opts.getString("trace").empty())
+            hooks.trace = &trace;
+        if (opts.getFlag("stats"))
+            hooks.stats = &std::cout;
+        for (const Scenario &sc : scenarios)
+            results.addRow(SweepRunner::resultRow(
+                sc, runner.simulator().run(sc, hooks)));
+    } else {
+        results = runner.runToResults(scenarios);
+    }
+
     TablePrinter table({"Workload", "Iter(ms)", "Compute(ms)",
                         "Sync(ms)", "Vmem(ms)", "Host(GB)",
                         "Events"});
-    TraceSink trace;
-
-    for (const std::string &workload : workloads) {
-        const Network net = buildBenchmark(workload);
-        EventQueue eq;
-        System system(eq, cfg);
-        TrainingSession session(system, net, mode, batch);
-        if (!opts.getString("trace").empty())
-            session.setTraceSink(&trace);
-
-        IterationResult r;
-        for (int i = 0; i < iterations; ++i)
-            r = session.run();
-
-        results.addRow({workload,
-                        std::string(systemDesignName(cfg.design)),
-                        std::string(parallelModeName(mode)), batch,
-                        r.iterationSeconds() * 1e3,
-                        r.breakdown.computeSec * 1e3,
-                        r.breakdown.syncSec * 1e3,
-                        r.breakdown.vmemSec * 1e3, r.hostBytes / 1e9,
-                        r.hostPeakBwPerSocket / kGB,
-                        static_cast<std::int64_t>(r.eventsExecuted)});
-        table.addRow({workload,
-                      TablePrinter::num(r.iterationSeconds() * 1e3, 2),
-                      TablePrinter::num(r.breakdown.computeSec * 1e3,
-                                        2),
-                      TablePrinter::num(r.breakdown.syncSec * 1e3, 2),
-                      TablePrinter::num(r.breakdown.vmemSec * 1e3, 2),
-                      TablePrinter::num(r.hostBytes / 1e9, 2),
-                      std::to_string(r.eventsExecuted)});
-
-        if (opts.getFlag("stats"))
-            dumpSystemStats(system, std::cout);
+    for (std::size_t r = 0; r < results.rowCount(); ++r) {
+        auto num = [&](std::size_t col, int digits) {
+            return TablePrinter::num(
+                std::get<double>(results.cell(r, col)), digits);
+        };
+        table.addRow({scenarios[r].workload, num(4, 2), num(5, 2),
+                      num(6, 2), num(7, 2), num(8, 2),
+                      std::to_string(std::get<std::int64_t>(
+                          results.cell(r, 10)))});
     }
 
-    std::cout << systemDesignName(cfg.design) << ", "
-              << parallelModeName(mode) << ", batch " << batch << ", "
-              << cfg.fabric.numDevices << " devices ("
+    std::cout << systemDesignName(prototype.design) << ", "
+              << parallelModeName(prototype.mode) << ", batch "
+              << prototype.globalBatch << ", "
+              << prototype.base.fabric.numDevices << " devices ("
               << opts.getString("device-gen") << "-class)\n\n";
     table.print(std::cout);
 
