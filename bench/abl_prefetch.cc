@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Ablation: prefetch policy x HBM capacity x workload.
+ *
+ * Sweeps the paged device-memory subsystem's policies over a range of
+ * device HBM capacities on MC-DLA(B):
+ *
+ *  - static-plan reproduces the paper's vDNN schedule and is
+ *    capacity-insensitive by construction (it migrates everything,
+ *    always);
+ *  - on-demand pays a fault stall for every stash that capacity
+ *    pressure pushed out, so it degrades as HBM shrinks but moves no
+ *    bytes at all when the stash fits;
+ *  - history behaves like on-demand in its first (recording)
+ *    iteration and then prefetches ahead of the recorded access
+ *    sequence, recovering the hit rate without static-plan's
+ *    unconditional traffic.
+ *
+ * Two iterations are simulated per point so history reaches steady
+ * state; the reported metrics are the second iteration's.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "core/mcdla.hh"
+
+using namespace mcdla;
+
+namespace
+{
+
+constexpr std::int64_t kBatch = 256;
+
+const std::vector<double> kHbmGib = {3.0, 4.0, 6.0, 16.0};
+
+const std::vector<PrefetchPolicyKind> kPolicies = {
+    PrefetchPolicyKind::StaticPlan,
+    PrefetchPolicyKind::OnDemand,
+    PrefetchPolicyKind::History,
+};
+
+const std::vector<std::string> kWorkloads = {"AlexNet", "GoogLeNet",
+                                             "VGG-E"};
+
+Scenario
+makeScenario(const std::string &workload, PrefetchPolicyKind policy,
+             double hbm_gib)
+{
+    Scenario sc;
+    sc.design = SystemDesign::McDlaB;
+    sc.workload = workload;
+    sc.mode = ParallelMode::DataParallel;
+    sc.globalBatch = kBatch;
+    sc.iterations = 2;
+    sc.base.paging.prefetch = policy;
+    sc.base.device.memCapacity =
+        static_cast<std::uint64_t>(hbm_gib * kGiB);
+    return sc;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    LogConfig::verbose = false;
+
+    std::vector<Scenario> scenarios;
+    for (const std::string &workload : kWorkloads)
+        for (double gib : kHbmGib)
+            for (PrefetchPolicyKind policy : kPolicies)
+                scenarios.push_back(makeScenario(workload, policy, gib));
+
+    SweepRunner runner(SweepConfig{/*threads=*/0, /*progress=*/false});
+    const std::vector<IterationResult> results = runner.run(scenarios);
+    SweepCursor cursor(scenarios, results);
+
+    std::cout << "=== Prefetch-policy ablation: MC-DLA(B), dp, batch "
+              << kBatch << ", steady-state iteration ===\n\n";
+
+    for (const std::string &workload : kWorkloads) {
+        TablePrinter table({"HBM", "Policy", "Iter(ms)", "Vmem(ms)",
+                            "Stall(ms)", "Hit%", "Fills", "WBs",
+                            "Early"});
+        double static_ms = 0.0;
+        for (double gib : kHbmGib) {
+            for (PrefetchPolicyKind policy : kPolicies) {
+                const Scenario &sc = cursor.peek();
+                if (sc.base.paging.prefetch != policy)
+                    panic("sweep cursor misaligned on policy");
+                const IterationResult &r = cursor.next(
+                    workload, SystemDesign::McDlaB,
+                    ParallelMode::DataParallel);
+                if (policy == PrefetchPolicyKind::StaticPlan) {
+                    if (static_ms == 0.0)
+                        static_ms = r.iterationSeconds();
+                    else if (r.iterationSeconds() != static_ms)
+                        warn("%s: static-plan time varies with HBM "
+                             "capacity",
+                             workload.c_str());
+                }
+                table.addRow(
+                    {TablePrinter::num(gib, 0) + " GiB",
+                     prefetchPolicyToken(policy),
+                     TablePrinter::num(r.iterationSeconds() * 1e3, 2),
+                     TablePrinter::num(r.breakdown.vmemSec * 1e3, 2),
+                     TablePrinter::num(r.paging.stallSec * 1e3, 2),
+                     TablePrinter::num(r.paging.hitRate() * 100.0, 1),
+                     std::to_string(r.paging.fills),
+                     std::to_string(r.paging.writebacks),
+                     std::to_string(r.paging.earlyEvictions)});
+            }
+        }
+        std::cout << "-- " << workload << " --\n";
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    std::cout
+        << "static-plan is capacity-insensitive (it always migrates "
+           "the full stash);\non-demand trades traffic for fault "
+           "stalls as HBM shrinks; history removes\nthe stalls again "
+           "once its recorded sequence warms up.\n";
+    return 0;
+}

@@ -10,6 +10,9 @@
  *    with latency breakdowns, host-bandwidth, and makespan metrics;
  *  - mcdla::VmemRuntime — the Table I cudaMallocRemote /
  *    cudaFreeRemote / cudaMemcpyAsync(LocalToRemote|RemoteToLocal) API;
+ *  - mcdla::DevicePager / PageTable / PrefetchPolicy / EvictionPolicy —
+ *    the paged device-memory subsystem (static-plan, on-demand, and
+ *    history prefetching over a capacity-tracked HBM frame budget);
  *  - mcdla::CollectiveEngine — ring all-gather / all-reduce / broadcast;
  *  - mcdla::Scenario / Simulator / SweepRunner — declarative run
  *    descriptions, one-call execution, and parallel sweeps;
@@ -52,6 +55,12 @@
 #include "system/training_session.hh"
 #include "vmem/dma_engine.hh"
 #include "vmem/offload_plan.hh"
+#include "vmem/paging/eviction_policy.hh"
+#include "vmem/paging/fault_handler.hh"
+#include "vmem/paging/page_table.hh"
+#include "vmem/paging/pager.hh"
+#include "vmem/paging/paging_config.hh"
+#include "vmem/paging/prefetch_policy.hh"
 #include "vmem/runtime.hh"
 #include "workloads/benchmarks.hh"
 #include "workloads/registry.hh"

@@ -5,6 +5,8 @@
 
 #include "core/report.hh"
 
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
 
 #include "sim/logging.hh"
@@ -41,8 +43,11 @@ void
 ResultSet::emitCsvField(std::ostream &os, const ReportValue &v)
 {
     if (std::holds_alternative<std::string>(v)) {
+        // RFC 4180: fields containing separators, quotes, or line
+        // breaks (LF or CR) are quoted, with embedded quotes doubled.
         const std::string &s = std::get<std::string>(v);
-        const bool quote = s.find_first_of(",\"\n") != std::string::npos;
+        const bool quote =
+            s.find_first_of(",\"\n\r") != std::string::npos;
         if (!quote) {
             os << s;
             return;
@@ -90,12 +95,31 @@ ResultSet::emitJsonValue(std::ostream &os, const ReportValue &v)
               case '"': os << "\\\""; break;
               case '\\': os << "\\\\"; break;
               case '\n': os << "\\n"; break;
-              default: os << c;
+              case '\r': os << "\\r"; break;
+              case '\t': os << "\\t"; break;
+              case '\b': os << "\\b"; break;
+              case '\f': os << "\\f"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    // Remaining control characters need \uXXXX form.
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                    os << buf;
+                } else {
+                    os << c;
+                }
             }
         }
         os << '"';
     } else if (std::holds_alternative<double>(v)) {
-        os << std::setprecision(10) << std::get<double>(v);
+        const double d = std::get<double>(v);
+        // JSON has no NaN/Infinity literals; emit null (RFC 8259).
+        if (!std::isfinite(d))
+            os << "null";
+        else
+            os << std::setprecision(10) << d;
     } else {
         os << std::get<std::int64_t>(v);
     }

@@ -126,6 +126,14 @@ Scenario::label() const
     std::ostringstream os;
     os << workload << '/' << systemDesignToken(design) << '/'
        << parallelModeToken(mode) << "/b" << globalBatch;
+    // Paging knobs only distinguish scenarios off the default policy;
+    // default labels stay stable for existing tooling.
+    if (base.paging.prefetch != PrefetchPolicyKind::StaticPlan) {
+        os << '/' << prefetchPolicyToken(base.paging.prefetch) << "/hbm"
+           << (static_cast<double>(base.device.memCapacity)
+               / static_cast<double>(kGiB))
+           << 'g';
+    }
     return os.str();
 }
 
@@ -151,6 +159,15 @@ Scenario::addOptions(OptionParser &opts)
     opts.addDouble("compression", 1.0, "cDMA compression ratio");
     opts.addInt("iterations", 1, "training iterations to simulate");
     opts.addFlag("no-recompute", "disable the footnote-4 optimization");
+    opts.addString("prefetch-policy", "static-plan",
+                   "stash paging policy: " + prefetchPolicyTokenList());
+    opts.addInt("prefetch-lookahead", 8,
+                "prefetch window in ops (static-plan and history)");
+    opts.addString("eviction-policy", "last-fwd-use",
+                   "paged eviction policy: "
+                       + evictionPolicyTokenList());
+    opts.addDouble("hbm-capacity", 0.0,
+                   "device HBM capacity in GiB (0 = device default)");
 }
 
 Scenario
@@ -181,6 +198,23 @@ Scenario::fromOptions(const OptionParser &opts)
         static_cast<unsigned>(opts.getInt("dimm-gib")));
     sc.base.dmaCompressionRatio = opts.getDouble("compression");
     sc.base.recomputeCheapLayers = !opts.getFlag("no-recompute");
+
+    sc.base.paging.prefetch =
+        parsePrefetchPolicy(opts.getString("prefetch-policy"));
+    sc.base.paging.eviction =
+        parseEvictionPolicy(opts.getString("eviction-policy"));
+    const std::int64_t lookahead = opts.getInt("prefetch-lookahead");
+    if (lookahead < 0)
+        fatal("--prefetch-lookahead must be >= 0 (got %lld)",
+              static_cast<long long>(lookahead));
+    sc.base.paging.lookahead = static_cast<std::size_t>(lookahead);
+    const double hbm_gib = opts.getDouble("hbm-capacity");
+    if (hbm_gib < 0.0)
+        fatal("--hbm-capacity must be >= 0 GiB (got %g)", hbm_gib);
+    if (hbm_gib > 0.0) {
+        sc.base.device.memCapacity =
+            static_cast<std::uint64_t>(hbm_gib * kGiB);
+    }
     return sc;
 }
 

@@ -82,7 +82,9 @@ struct Scenario
      * Declare the shared simulation knobs (--design, --workload,
      * --mode, --batch, --devices, --device-gen, --pcie-gen,
      * --link-gbps, --dimm-gib, --socket-gbps, --compression,
-     * --iterations, --no-recompute) on @p opts.
+     * --iterations, --no-recompute, --prefetch-policy,
+     * --prefetch-lookahead, --eviction-policy, --hbm-capacity) on
+     * @p opts.
      */
     static void addOptions(OptionParser &opts);
 

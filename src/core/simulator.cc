@@ -62,8 +62,10 @@ Simulator::run(const Scenario &scenario, const Network &net,
     IterationResult result;
     for (int i = 0; i < scenario.iterations; ++i)
         result = session.run();
-    if (hooks.stats != nullptr)
+    if (hooks.stats != nullptr) {
         dumpSystemStats(system, *hooks.stats);
+        session.dumpPagingStats(*hooks.stats);
+    }
     if (hooks.postRun)
         hooks.postRun(system, result);
     return result;

@@ -11,6 +11,7 @@
 #include "memory/address_map.hh"
 #include "memory/memory_node.hh"
 #include "vmem/offload_plan.hh"
+#include "vmem/paging/paging_config.hh"
 
 namespace mcdla
 {
@@ -106,6 +107,14 @@ struct SystemConfig
 
     /** Collective pipeline chunk granularity. */
     double collectiveChunkBytes = 128.0 * 1024.0;
+
+    /**
+     * Paged device-memory policies: how stash fills are scheduled
+     * (static plan / on-demand faulting / history prefetch), how
+     * victims are chosen under HBM pressure, and the prefetch
+     * lookahead window.
+     */
+    PagingConfig paging;
 
     /** vDNN policy implied by the design. */
     OffloadPolicy

@@ -74,7 +74,7 @@ TrainingSession::buildSchedule()
             _net.layer(id), _strategy.scaling(_net.layer(id))));
 
     // Map each offloaded tensor to the op after which its last forward
-    // use completes.
+    // use completes (the static plan's writeback trigger).
     std::map<LayerId, std::vector<LayerId>> offload_after; // trigger->ps
     for (LayerId id = 0; id < layer_count; ++id) {
         if (_plan.entry(id).action != TensorAction::Offload)
@@ -86,6 +86,7 @@ TrainingSession::buildSchedule()
     }
 
     _ops.clear();
+    _pagingSchedule.clear();
 
     // Forward pass.
     for (LayerId id : _net.topoOrder()) {
@@ -94,9 +95,15 @@ TrainingSession::buildSchedule()
         op.layer = id;
         op.duration = _timings[static_cast<std::size_t>(id)].forward;
         op.syncAfter = _strategy.forwardSync(id);
+
+        PageAccess access;
+        if (_plan.entry(id).action == TensorAction::Offload)
+            access.produces.push_back(id);
         if (auto it = offload_after.find(id); it != offload_after.end())
-            op.offloadAfter = it->second;
+            access.planWritebacks = it->second;
+
         _ops.push_back(std::move(op));
+        _pagingSchedule.push_back(std::move(access));
     }
 
     // Backward pass in reverse topological order.
@@ -115,18 +122,20 @@ TrainingSession::buildSchedule()
         op.syncAfter = _strategy.backwardSync(id);
 
         // Backward consumes the stashes of this layer and its effective
-        // producers; anything offloaded must be prefetched first.
+        // producers; anything offloaded must be paged in first.
+        PageAccess access;
         auto need = [&](LayerId p) {
             if (_plan.entry(p).action == TensorAction::Offload)
-                op.needsPrefetch.push_back(p);
+                access.reads.push_back(p);
         };
         need(id);
         for (LayerId p : effectiveProducers(id))
             need(p);
 
-        if (op.duration == 0 && !op.syncAfter && op.needsPrefetch.empty())
+        if (op.duration == 0 && !op.syncAfter && access.reads.empty())
             continue; // structural no-op
         _ops.push_back(std::move(op));
+        _pagingSchedule.push_back(std::move(access));
     }
 
     // Weight updates (gated by dW all-reduce under data parallelism).
@@ -145,7 +154,17 @@ TrainingSession::buildSchedule()
             _timings[static_cast<std::size_t>(id)].weightUpdate;
         op.needsDwLatch = dp_sync;
         _ops.push_back(std::move(op));
+        _pagingSchedule.emplace_back();
     }
+
+    // Each stash dies at its last reader; the pager frees its frames
+    // when that op retires.
+    std::map<LayerId, std::size_t> last_reader;
+    for (std::size_t i = 0; i < _pagingSchedule.size(); ++i)
+        for (LayerId layer : _pagingSchedule[i].reads)
+            last_reader[layer] = i;
+    for (const auto &[layer, op_index] : last_reader)
+        _pagingSchedule[op_index].releases.push_back(layer);
 }
 
 std::uint64_t
@@ -219,93 +238,64 @@ TrainingSession::allocateBuffers()
                     static_cast<std::uint64_t>(bytes) + 1);
         }
     }
+
+    createPagers();
 }
 
 void
-TrainingSession::issueOffload(int dev, LayerId layer)
+TrainingSession::createPagers()
 {
-    auto &latches = _offloadLatch[static_cast<std::size_t>(dev)];
-    auto latch_it = latches.find(layer);
-    if (latch_it == latches.end())
-        panic("offload of layer %d lacks a pre-created latch", layer);
-    auto latch = latch_it->second;
+    const int n = _system.numDevices();
+    const SystemConfig &cfg = _system.config();
+    const auto layer_count = static_cast<std::size_t>(_net.size());
 
-    const double bytes =
-        _strategy.offloadBytesPerDevice(_net.layer(layer))
-        / _system.config().dmaCompressionRatio;
-    const bool tracked = dev == 0;
-    const Tick issued = _system.eventQueue().now();
-    if (tracked)
-        _vmemTracker.begin(issued);
-    _system.runtime(dev).memcpyAsync(
-        _remotePtrs[static_cast<std::size_t>(dev)].at(layer), bytes,
-        DmaDirection::LocalToRemote,
-        [this, latch, tracked, issued, layer] {
-            const Tick now = _system.eventQueue().now();
-            if (tracked) {
-                _vmemTracker.end(now);
-                if (_trace)
-                    _trace->addSpan("dev0.dma",
-                                    "offload "
-                                        + _net.layer(layer).name(),
-                                    issued, now - issued, "dma");
-            }
-            latch->complete();
-        });
-}
-
-void
-TrainingSession::ensurePrefetchIssued(int dev, LayerId layer)
-{
-    auto &latches = _prefetchLatch[static_cast<std::size_t>(dev)];
-    if (latches.count(layer))
-        return;
-    auto latch = std::make_shared<Latch>();
-    latches.emplace(layer, latch);
-
-    auto &off = _offloadLatch[static_cast<std::size_t>(dev)];
-    auto off_it = off.find(layer);
-    if (off_it == off.end())
-        panic("prefetch of layer %d before its offload latch exists",
-              layer);
-
-    // Write-before-read: the prefetch DMA starts only once the offload
-    // of the same tensor has fully drained.
-    off_it->second->whenDone([this, dev, layer, latch] {
+    std::vector<double> wire_bytes(layer_count, 0.0);
+    std::vector<std::uint64_t> frame_bytes(layer_count, 0);
+    for (LayerId id = 0; id < static_cast<LayerId>(_net.size()); ++id) {
+        if (_plan.entry(id).action != TensorAction::Offload)
+            continue;
         const double bytes =
-            _strategy.offloadBytesPerDevice(_net.layer(layer))
-            / _system.config().dmaCompressionRatio;
-        const bool tracked = dev == 0;
-        const Tick issued = _system.eventQueue().now();
-        if (tracked)
-            _vmemTracker.begin(issued);
-        _system.runtime(dev).memcpyAsync(
-            _remotePtrs[static_cast<std::size_t>(dev)].at(layer), bytes,
-            DmaDirection::RemoteToLocal,
-            [this, latch, tracked, issued, layer] {
-                const Tick now = _system.eventQueue().now();
-                if (tracked) {
-                    _vmemTracker.end(now);
-                    if (_trace)
-                        _trace->addSpan("dev0.dma",
-                                        "prefetch "
-                                            + _net.layer(layer).name(),
-                                        issued, now - issued, "dma");
-                }
-                latch->complete();
-            });
-    });
+            _strategy.offloadBytesPerDevice(_net.layer(id));
+        wire_bytes[static_cast<std::size_t>(id)] =
+            bytes / cfg.dmaCompressionRatio;
+        frame_bytes[static_cast<std::size_t>(id)] =
+            static_cast<std::uint64_t>(bytes) + 1;
+    }
+
+    _pagers.clear();
+    for (int d = 0; d < n; ++d) {
+        DevicePager::Wiring wiring;
+        wiring.runtime = &_system.runtime(d);
+        wiring.remotePtrs = &_remotePtrs[static_cast<std::size_t>(d)];
+        wiring.net = &_net;
+        wiring.schedule = &_pagingSchedule;
+        wiring.wireBytes = wire_bytes;
+        wiring.frameBytes = frame_bytes;
+        // HBM left after weights, keep-local stash, and working
+        // buffers is the stash frame budget.
+        const DeviceAddressSpace &space = _system.addressSpace(d);
+        wiring.frameCapacity =
+            space.localCapacity() - space.localUsed();
+        wiring.config = cfg.paging;
+        wiring.tracker = d == 0 ? &_vmemTracker : nullptr;
+        _pagers.push_back(std::make_unique<DevicePager>(
+            "dev" + std::to_string(d) + ".pager", std::move(wiring)));
+    }
+}
+
+DevicePager &
+TrainingSession::pager(int dev)
+{
+    if (_pagers.empty())
+        allocateBuffers();
+    return *_pagers.at(static_cast<std::size_t>(dev));
 }
 
 void
-TrainingSession::prefetchWindow(int dev)
+TrainingSession::dumpPagingStats(std::ostream &os) const
 {
-    const DeviceCtx &ctx = _devs[static_cast<std::size_t>(dev)];
-    const std::size_t end =
-        std::min(ctx.nextOp + kPrefetchLookahead, _ops.size());
-    for (std::size_t i = ctx.nextOp; i < end; ++i)
-        for (LayerId p : _ops[i].needsPrefetch)
-            ensurePrefetchIssued(dev, p);
+    for (const auto &pager : _pagers)
+        pager->stats().dump(os);
 }
 
 void
@@ -323,15 +313,11 @@ TrainingSession::tryIssue(int dev)
         cat = 1;
     }
     if (!wait) {
-        for (LayerId p : op.needsPrefetch) {
-            ensurePrefetchIssued(dev, p);
-            Latch &latch =
-                *_prefetchLatch[static_cast<std::size_t>(dev)].at(p);
-            if (!latch.done()) {
-                wait = &latch;
-                cat = 2;
-                break;
-            }
+        if (Latch *gate =
+                _pagers[static_cast<std::size_t>(dev)]->demand(
+                    ctx.nextOp)) {
+            wait = gate;
+            cat = 2;
         }
     }
     if (!wait && op.needsDwLatch) {
@@ -354,6 +340,10 @@ TrainingSession::tryIssue(int dev)
     ctx.running = true;
     ctx.blockingGate = nullptr;
     const Tick now = _system.eventQueue().now();
+    if (ctx.waitedCat == 2) {
+        _pagers[static_cast<std::size_t>(dev)]->noteStall(
+            now - ctx.readyAt);
+    }
     if (dev == 0) {
         _computeTicks += op.duration;
         if (ctx.waitedCat == 1)
@@ -386,8 +376,7 @@ TrainingSession::completeOp(int dev)
                         ctx.readyAt - op.duration, op.duration);
     }
 
-    for (LayerId p : op.offloadAfter)
-        issueOffload(dev, p);
+    _pagers[static_cast<std::size_t>(dev)]->opRetired(op_index);
 
     if (op.syncAfter) {
         auto it = _syncPoints.find(op_index);
@@ -399,7 +388,8 @@ TrainingSession::completeOp(int dev)
     }
 
     ++ctx.nextOp;
-    prefetchWindow(dev);
+    _pagers[static_cast<std::size_t>(dev)]->frontierAdvanced(
+        ctx.nextOp);
     tryIssue(dev);
 }
 
@@ -414,8 +404,6 @@ TrainingSession::run()
     // Reset per-iteration state.
     _system.resetStats();
     _devs.assign(static_cast<std::size_t>(n), DeviceCtx{});
-    _offloadLatch.assign(static_cast<std::size_t>(n), {});
-    _prefetchLatch.assign(static_cast<std::size_t>(n), {});
     _syncPoints.clear();
     _dwSync.clear();
     _syncTracker.reset();
@@ -426,16 +414,10 @@ TrainingSession::run()
     _startTick = eq.now();
     const std::uint64_t events_before = eq.executedCount();
 
-    // Pre-create offload latches (prefetches chain off them even when
-    // issued out of order) and sync points.
-    for (int d = 0; d < n; ++d) {
-        for (const auto &[layer, ptr] :
-             _remotePtrs[static_cast<std::size_t>(d)]) {
-            (void)ptr;
-            _offloadLatch[static_cast<std::size_t>(d)].emplace(
-                layer, std::make_shared<Latch>());
-        }
-    }
+    for (int d = 0; d < n; ++d)
+        _pagers[static_cast<std::size_t>(d)]->beginIteration(
+            d == 0 ? _trace : nullptr);
+
     double sync_bytes = 0.0;
     for (std::size_t i = 0; i < _ops.size(); ++i) {
         if (!_ops[i].syncAfter)
@@ -471,7 +453,7 @@ TrainingSession::run()
 
     // Start every device's program.
     for (int d = 0; d < n; ++d) {
-        prefetchWindow(d);
+        _pagers[static_cast<std::size_t>(d)]->frontierAdvanced(0);
         tryIssue(d);
     }
     eq.run();
@@ -505,6 +487,7 @@ TrainingSession::run()
         + _system.dma(0).bytesPrefetched();
     result.syncBytes = sync_bytes;
     result.eventsExecuted = eq.executedCount() - events_before;
+    result.paging = _pagers[0]->counters();
     return result;
 }
 

@@ -6,9 +6,13 @@
  * order, backward pass in reverse, then weight updates — on its serial
  * compute stream, while:
  *
- *  - the vDNN memory manager offloads each stashed tensor after its last
- *    forward use and prefetches it (with lookahead) before its backward
- *    use, over the device's backing-store paths;
+ *  - the paged device-memory subsystem (src/vmem/paging) migrates each
+ *    stashed tensor between device HBM and the backing store under the
+ *    configured prefetch/eviction policies: the default static-plan
+ *    policy reproduces the vDNN schedule (offload after the last
+ *    forward use, prefetch with a lookahead window), while the
+ *    on-demand and history policies fault, stall, and fill against a
+ *    finite HBM frame budget;
  *  - parallel-training synchronization points launch ring collectives on
  *    the fabric when the last device arrives (blocking for
  *    model-parallel X/dX aggregation, update-gating for data-parallel
@@ -27,6 +31,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <ostream>
 #include <vector>
 
 #include "parallel/strategy.hh"
@@ -34,6 +39,7 @@
 #include "system/latch.hh"
 #include "system/system.hh"
 #include "vmem/offload_plan.hh"
+#include "vmem/paging/pager.hh"
 
 namespace mcdla
 {
@@ -65,6 +71,7 @@ struct IterationResult
     double offloadBytesPerDevice = 0.0;
     double syncBytes = 0.0;        ///< Collective payload launched.
     std::uint64_t eventsExecuted = 0;
+    PagingCounters paging;         ///< Device-0 paging activity.
 
     double iterationSeconds() const { return ticksToSeconds(makespan); }
 
@@ -108,6 +115,15 @@ class TrainingSession
      */
     void setTraceSink(TraceSink *sink) { _trace = sink; }
 
+    /**
+     * Device @p dev's pager (valid after the first run()); exposes the
+     * page table and the hit/miss/stall statistics.
+     */
+    DevicePager &pager(int dev);
+
+    /** Dump every device's paging statistics (gem5-style). */
+    void dumpPagingStats(std::ostream &os) const;
+
   private:
     /// One scheduled operation of the SPMD program.
     struct OpSpec
@@ -117,8 +133,6 @@ class TrainingSession
         LayerId layer = invalidLayerId;
         Tick duration = 0;
         std::optional<SyncOp> syncAfter;
-        std::vector<LayerId> offloadAfter;
-        std::vector<LayerId> needsPrefetch;
         bool needsDwLatch = false;
     };
 
@@ -136,6 +150,7 @@ class TrainingSession
 
     void buildSchedule();
     void allocateBuffers();
+    void createPagers();
 
     /// Producers whose outputs this layer's backward reads, looking
     /// through structural views (concat).
@@ -145,9 +160,6 @@ class TrainingSession
 
     void tryIssue(int dev);
     void completeOp(int dev);
-    void issueOffload(int dev, LayerId layer);
-    void ensurePrefetchIssued(int dev, LayerId layer);
-    void prefetchWindow(int dev);
 
     System &_system;
     const Network &_net;
@@ -155,15 +167,19 @@ class TrainingSession
     OffloadPlan _plan;
 
     std::vector<OpSpec> _ops;
+    /// Paging actions per op (produced stashes, plan writebacks, stash
+    /// reads, releases), consumed by the per-device pagers.
+    PagingSchedule _pagingSchedule;
     std::vector<LayerTiming> _timings;
     bool _allocated = false;
     /// Remote allocations per device, by layer.
     std::vector<std::map<LayerId, RemotePtr>> _remotePtrs;
+    /// Paged device-memory managers, one per device (persistent across
+    /// iterations so history-based policies can learn).
+    std::vector<std::unique_ptr<DevicePager>> _pagers;
 
     // Per-iteration state.
     std::vector<DeviceCtx> _devs;
-    std::vector<std::map<LayerId, std::shared_ptr<Latch>>> _offloadLatch;
-    std::vector<std::map<LayerId, std::shared_ptr<Latch>>> _prefetchLatch;
     std::map<std::size_t, std::unique_ptr<SyncPoint>> _syncPoints;
     std::map<LayerId, SyncPoint *> _dwSync;
     TraceSink *_trace = nullptr;
@@ -173,9 +189,6 @@ class TrainingSession
     Tick _stallSync = 0;
     Tick _stallVmem = 0;
     Tick _startTick = 0;
-
-    /// Prefetch lookahead window in ops.
-    static constexpr std::size_t kPrefetchLookahead = 8;
 };
 
 } // namespace mcdla

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * EvictionPolicy implementations.
+ */
+
+#include "vmem/paging/eviction_policy.hh"
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+namespace
+{
+
+bool
+evictable(const PageEntry &e)
+{
+    return e.state == PageState::Resident && !e.pinned;
+}
+
+} // anonymous namespace
+
+LayerId
+LruEviction::chooseVictim(const PageTable &table,
+                          std::size_t frontier_op) const
+{
+    (void)frontier_op;
+    LayerId victim = invalidLayerId;
+    Tick oldest = 0;
+    for (const auto &[layer, e] : table.entries()) {
+        if (!evictable(e))
+            continue;
+        if (victim == invalidLayerId || e.lastTouch < oldest) {
+            victim = layer;
+            oldest = e.lastTouch;
+        }
+    }
+    return victim;
+}
+
+LayerId
+LastForwardUseEviction::chooseVictim(const PageTable &table,
+                                     std::size_t frontier_op) const
+{
+    // First choice: groups forward is done with, oldest trigger first
+    // (their backward reads are the furthest away). Fallback: LRU
+    // among groups forward still needs.
+    LayerId victim = invalidLayerId;
+    std::size_t earliest_trigger = 0;
+    LayerId fallback = invalidLayerId;
+    Tick oldest = 0;
+    for (const auto &[layer, e] : table.entries()) {
+        if (!evictable(e))
+            continue;
+        if (e.lastForwardUseOp < frontier_op) {
+            if (victim == invalidLayerId
+                || e.lastForwardUseOp < earliest_trigger) {
+                victim = layer;
+                earliest_trigger = e.lastForwardUseOp;
+            }
+        } else if (fallback == invalidLayerId || e.lastTouch < oldest) {
+            fallback = layer;
+            oldest = e.lastTouch;
+        }
+    }
+    return victim != invalidLayerId ? victim : fallback;
+}
+
+std::unique_ptr<EvictionPolicy>
+makeEvictionPolicy(EvictionPolicyKind kind)
+{
+    switch (kind) {
+      case EvictionPolicyKind::Lru:
+        return std::make_unique<LruEviction>();
+      case EvictionPolicyKind::LastForwardUse:
+        return std::make_unique<LastForwardUseEviction>();
+    }
+    panic("unknown eviction policy kind %d", static_cast<int>(kind));
+}
+
+} // namespace mcdla

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * FaultHandler implementation.
+ */
+
+#include "vmem/paging/fault_handler.hh"
+
+#include "dnn/network.hh"
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace mcdla
+{
+
+FaultHandler::FaultHandler(
+    VmemRuntime &runtime,
+    const std::map<LayerId, RemotePtr> &remote_ptrs,
+    const std::vector<double> &wire_bytes, const Network &net,
+    ActivityTracker *tracker)
+    : _runtime(runtime), _remotePtrs(remote_ptrs),
+      _wireBytes(wire_bytes), _net(net), _tracker(tracker)
+{}
+
+void
+FaultHandler::beginIteration(TraceSink *trace,
+                             bool precreate_writeback_latches)
+{
+    _trace = trace;
+    _writebackLatch.clear();
+    _fillLatch.clear();
+    if (precreate_writeback_latches) {
+        // Static-plan fills chain on writebacks that may not have been
+        // issued yet, so every offloaded layer's latch exists up front.
+        for (const auto &[layer, ptr] : _remotePtrs) {
+            (void)ptr;
+            _writebackLatch.emplace(layer, std::make_shared<Latch>());
+        }
+    }
+}
+
+double
+FaultHandler::wireBytes(LayerId layer) const
+{
+    return _wireBytes.at(static_cast<std::size_t>(layer));
+}
+
+void
+FaultHandler::transfer(LayerId layer, DmaDirection direction,
+                       const char *label, Handler on_drain)
+{
+    const double bytes = wireBytes(layer);
+    const bool tracked = _tracker != nullptr;
+    const Tick issued = _runtime.dma().now();
+    if (tracked)
+        _tracker->begin(issued);
+    _runtime.memcpyAsync(
+        _remotePtrs.at(layer), bytes, direction,
+        [this, tracked, issued, layer, label,
+         on_drain = std::move(on_drain)] {
+            const Tick now = _runtime.dma().now();
+            if (tracked) {
+                _tracker->end(now);
+                if (_trace)
+                    _trace->addSpan("dev0.dma",
+                                    label + _net.layer(layer).name(),
+                                    issued, now - issued, "dma");
+            }
+            if (on_drain)
+                on_drain();
+        });
+}
+
+void
+FaultHandler::writeback(LayerId layer, Handler on_drain)
+{
+    auto it = _writebackLatch.find(layer);
+    if (it == _writebackLatch.end())
+        panic("offload of layer %d lacks a pre-created latch", layer);
+    auto latch = it->second;
+    transfer(layer, DmaDirection::LocalToRemote, "offload ",
+             [latch, on_drain = std::move(on_drain)] {
+                 if (on_drain)
+                     on_drain();
+                 latch->complete();
+             });
+}
+
+bool
+FaultHandler::fill(LayerId layer, bool demand, Handler on_issue,
+                   Handler on_drain)
+{
+    if (_fillLatch.count(layer))
+        return false;
+    auto latch = std::make_shared<Latch>();
+    _fillLatch.emplace(layer, latch);
+
+    auto wb = _writebackLatch.find(layer);
+    if (wb == _writebackLatch.end())
+        panic("prefetch of layer %d before its offload latch exists",
+              layer);
+
+    // Write-before-read: the fill DMA starts only once the writeback
+    // of the same group has fully drained.
+    wb->second->whenDone([this, layer, demand, latch,
+                          on_issue = std::move(on_issue),
+                          on_drain = std::move(on_drain)] {
+        if (on_issue)
+            on_issue();
+        transfer(layer, DmaDirection::RemoteToLocal,
+                 demand ? "fault " : "prefetch ",
+                 [latch, on_drain] {
+                     if (on_drain)
+                         on_drain();
+                     latch->complete();
+                 });
+    });
+    return true;
+}
+
+Latch *
+FaultHandler::fillLatch(LayerId layer) const
+{
+    auto it = _fillLatch.find(layer);
+    return it == _fillLatch.end() ? nullptr : it->second.get();
+}
+
+void
+FaultHandler::issueWritebackDma(LayerId layer, Handler on_drain)
+{
+    transfer(layer, DmaDirection::LocalToRemote, "evict ",
+             std::move(on_drain));
+}
+
+void
+FaultHandler::issueFillDma(LayerId layer, bool demand, Handler on_drain)
+{
+    transfer(layer, DmaDirection::RemoteToLocal,
+             demand ? "fault " : "prefetch ", std::move(on_drain));
+}
+
+} // namespace mcdla

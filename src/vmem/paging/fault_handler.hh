@@ -1,0 +1,128 @@
+/**
+ * @file
+ * FaultHandler: DMA issue and completion signaling for page traffic.
+ *
+ * The handler issues page fills and writebacks as cudaMemcpyAsync
+ * transfers through the device's VmemRuntime, feeds the device-0 vmem
+ * activity tracker and the Chrome-tracing sink, and offers two levels
+ * of service:
+ *
+ *  - the plan-driven level (writeback/fill) owns per-layer one-shot
+ *    latches and enforces the write-before-read hazard by chaining a
+ *    fill on the same group's (possibly not yet issued) writeback —
+ *    this replays the original vDNN latch machinery exactly;
+ *  - the low-level level (issueWritebackDma/issueFillDma) just moves
+ *    the bytes and reports drain — demand-paged policies sequence
+ *    transfers through the PageTable state machine instead.
+ *
+ * Trace spans keep the original labels for plan-driven traffic
+ * ("offload"/"prefetch") and distinguish pressure-driven traffic
+ * ("evict"/"fault").
+ */
+
+#ifndef MCDLA_VMEM_PAGING_FAULT_HANDLER_HH
+#define MCDLA_VMEM_PAGING_FAULT_HANDLER_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "dnn/layer.hh"
+#include "system/latch.hh"
+#include "vmem/runtime.hh"
+
+namespace mcdla
+{
+
+class Network;
+class TraceSink;
+
+/** Per-device DMA orchestration for the paging subsystem. */
+class FaultHandler
+{
+  public:
+    using Handler = std::function<void()>;
+
+    /**
+     * @param runtime The device's Table I runtime.
+     * @param remote_ptrs Backing-store allocation per offloaded layer.
+     * @param wire_bytes Post-compression transfer size per layer.
+     * @param net Network (trace span labels).
+     * @param tracker Figure 11 vmem activity tracker (device 0 only;
+     *                nullptr elsewhere).
+     */
+    FaultHandler(VmemRuntime &runtime,
+                 const std::map<LayerId, RemotePtr> &remote_ptrs,
+                 const std::vector<double> &wire_bytes,
+                 const Network &net, ActivityTracker *tracker);
+
+    /**
+     * Reset latches for a new iteration.
+     *
+     * @param trace Current tracing sink (may be nullptr).
+     * @param precreate_writeback_latches Static-plan mode: create every
+     *        layer's writeback latch up front so fills can chain on
+     *        writebacks that have not been issued yet.
+     */
+    void beginIteration(TraceSink *trace,
+                        bool precreate_writeback_latches);
+
+    /// @name Plan-driven service (static-plan policy)
+    /// @{
+
+    /**
+     * Issue the writeback DMA of @p layer, completing its pre-created
+     * latch on drain. @p on_drain runs first.
+     */
+    void writeback(LayerId layer, Handler on_drain);
+
+    /**
+     * Request the fill of @p layer, chaining on its (possibly future)
+     * writeback.
+     *
+     * @param demand Demand fault (trace label "fault") vs prefetch.
+     * @param on_issue Runs immediately before the DMA is issued (after
+     *        the writeback chain fires) — frame-state bookkeeping.
+     * @param on_drain Runs when the DMA drains, before the latch fires.
+     * @return true when a new fill was created; false when one already
+     *         existed.
+     */
+    bool fill(LayerId layer, bool demand, Handler on_issue,
+              Handler on_drain);
+
+    /** The layer's fill latch; nullptr when no fill was requested. */
+    Latch *fillLatch(LayerId layer) const;
+
+    /// @}
+
+    /// @name Low-level service (demand-paged policies)
+    /// @{
+
+    /** Issue a pressure-driven writeback DMA now. */
+    void issueWritebackDma(LayerId layer, Handler on_drain);
+
+    /** Issue a fill DMA now. */
+    void issueFillDma(LayerId layer, bool demand, Handler on_drain);
+
+    /// @}
+
+  private:
+    double wireBytes(LayerId layer) const;
+    void transfer(LayerId layer, DmaDirection direction,
+                  const char *label, Handler on_drain);
+
+    VmemRuntime &_runtime;
+    const std::map<LayerId, RemotePtr> &_remotePtrs;
+    const std::vector<double> &_wireBytes;
+    const Network &_net;
+    ActivityTracker *_tracker;
+    TraceSink *_trace = nullptr;
+
+    std::map<LayerId, std::shared_ptr<Latch>> _writebackLatch;
+    std::map<LayerId, std::shared_ptr<Latch>> _fillLatch;
+};
+
+} // namespace mcdla
+
+#endif // MCDLA_VMEM_PAGING_FAULT_HANDLER_HH

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * PageTable implementation.
+ */
+
+#include "vmem/paging/page_table.hh"
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+const char *
+pageStateName(PageState state)
+{
+    switch (state) {
+      case PageState::Invalid: return "invalid";
+      case PageState::Resident: return "resident";
+      case PageState::Evicting: return "evicting";
+      case PageState::NotResident: return "not-resident";
+      case PageState::Filling: return "filling";
+    }
+    return "unknown";
+}
+
+void
+PageTable::addEntry(LayerId layer, std::uint64_t bytes,
+                    std::size_t last_forward_use_op)
+{
+    if (_entries.count(layer))
+        panic("page group for layer %d registered twice", layer);
+    PageEntry e;
+    e.layer = layer;
+    e.bytes = bytes;
+    e.lastForwardUseOp = last_forward_use_op;
+    _entries.emplace(layer, e);
+}
+
+PageEntry &
+PageTable::entry(LayerId layer)
+{
+    auto it = _entries.find(layer);
+    if (it == _entries.end())
+        panic("layer %d has no page group", layer);
+    return it->second;
+}
+
+const PageEntry &
+PageTable::entry(LayerId layer) const
+{
+    auto it = _entries.find(layer);
+    if (it == _entries.end())
+        panic("layer %d has no page group", layer);
+    return it->second;
+}
+
+void
+PageTable::expect(const PageEntry &e, PageState state,
+                  const char *transition) const
+{
+    if (e.state != state)
+        panic("page group of layer %d is %s; %s requires %s", e.layer,
+              pageStateName(e.state), transition, pageStateName(state));
+}
+
+void
+PageTable::charge(std::uint64_t bytes)
+{
+    _used += bytes;
+    if (_used > _peakUsed)
+        _peakUsed = _used;
+}
+
+void
+PageTable::uncharge(std::uint64_t bytes)
+{
+    if (bytes > _used)
+        panic("page table accounting underflow (%llu < %llu)",
+              static_cast<unsigned long long>(_used),
+              static_cast<unsigned long long>(bytes));
+    _used -= bytes;
+}
+
+void
+PageTable::produce(LayerId layer, Tick now)
+{
+    PageEntry &e = entry(layer);
+    expect(e, PageState::Invalid, "produce");
+    e.state = PageState::Resident;
+    e.dirty = true;
+    e.lastTouch = now;
+    charge(e.bytes);
+}
+
+void
+PageTable::beginEvict(LayerId layer)
+{
+    PageEntry &e = entry(layer);
+    expect(e, PageState::Resident, "beginEvict");
+    e.state = PageState::Evicting;
+    ++_evicting;
+    _evictingBytes += e.bytes;
+}
+
+void
+PageTable::finishEvict(LayerId layer)
+{
+    PageEntry &e = entry(layer);
+    expect(e, PageState::Evicting, "finishEvict");
+    e.state = PageState::NotResident;
+    e.dirty = false;
+    --_evicting;
+    _evictingBytes -= e.bytes;
+    uncharge(e.bytes);
+}
+
+void
+PageTable::discard(LayerId layer)
+{
+    PageEntry &e = entry(layer);
+    expect(e, PageState::Resident, "discard");
+    if (e.dirty)
+        panic("discarding dirty page group of layer %d", layer);
+    e.state = PageState::NotResident;
+    uncharge(e.bytes);
+}
+
+void
+PageTable::beginFill(LayerId layer)
+{
+    PageEntry &e = entry(layer);
+    expect(e, PageState::NotResident, "beginFill");
+    e.state = PageState::Filling;
+    ++_filling;
+    charge(e.bytes);
+}
+
+void
+PageTable::finishFill(LayerId layer, Tick now)
+{
+    PageEntry &e = entry(layer);
+    expect(e, PageState::Filling, "finishFill");
+    e.state = PageState::Resident;
+    --_filling;
+    e.lastTouch = now;
+}
+
+void
+PageTable::release(LayerId layer)
+{
+    PageEntry &e = entry(layer);
+    if (e.state == PageState::Filling)
+        --_filling;
+    if (e.state == PageState::Resident || e.state == PageState::Filling)
+        uncharge(e.bytes);
+    else if (e.state == PageState::Evicting)
+        panic("releasing layer %d while its writeback is in flight",
+              layer);
+    e.state = PageState::Invalid;
+    e.dirty = false;
+    e.pinned = false;
+}
+
+void
+PageTable::touch(LayerId layer, Tick now)
+{
+    entry(layer).lastTouch = now;
+}
+
+void
+PageTable::resetIteration()
+{
+    for (auto &[layer, e] : _entries) {
+        (void)layer;
+        e.state = PageState::Invalid;
+        e.dirty = false;
+        e.pinned = false;
+        e.lastTouch = 0;
+    }
+    _used = 0;
+    _peakUsed = 0;
+    _evicting = 0;
+    _evictingBytes = 0;
+    _filling = 0;
+}
+
+} // namespace mcdla

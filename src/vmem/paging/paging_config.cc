@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Policy-selector string round-trips (the CLI vocabulary).
+ */
+
+#include "vmem/paging/paging_config.hh"
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+namespace
+{
+
+struct PrefetchToken
+{
+    PrefetchPolicyKind kind;
+    const char *token;
+};
+
+constexpr PrefetchToken kPrefetchTokens[] = {
+    {PrefetchPolicyKind::StaticPlan, "static-plan"},
+    {PrefetchPolicyKind::OnDemand, "on-demand"},
+    {PrefetchPolicyKind::History, "history"},
+};
+
+struct EvictionToken
+{
+    EvictionPolicyKind kind;
+    const char *token;
+};
+
+constexpr EvictionToken kEvictionTokens[] = {
+    {EvictionPolicyKind::Lru, "lru"},
+    {EvictionPolicyKind::LastForwardUse, "last-fwd-use"},
+};
+
+template <typename Table>
+std::string
+tokenList(const Table &table)
+{
+    std::string tokens;
+    for (const auto &entry : table) {
+        if (!tokens.empty())
+            tokens += ", ";
+        tokens += entry.token;
+    }
+    return tokens;
+}
+
+} // anonymous namespace
+
+PrefetchPolicyKind
+parsePrefetchPolicy(const std::string &name)
+{
+    for (const PrefetchToken &entry : kPrefetchTokens)
+        if (name == entry.token)
+            return entry.kind;
+    fatal("unknown prefetch policy '%s' (%s)", name.c_str(),
+          prefetchPolicyTokenList().c_str());
+}
+
+const char *
+prefetchPolicyToken(PrefetchPolicyKind kind)
+{
+    for (const PrefetchToken &entry : kPrefetchTokens)
+        if (entry.kind == kind)
+            return entry.token;
+    panic("prefetch policy %d has no token", static_cast<int>(kind));
+}
+
+const std::string &
+prefetchPolicyTokenList()
+{
+    static const std::string list = tokenList(kPrefetchTokens);
+    return list;
+}
+
+EvictionPolicyKind
+parseEvictionPolicy(const std::string &name)
+{
+    for (const EvictionToken &entry : kEvictionTokens)
+        if (name == entry.token)
+            return entry.kind;
+    fatal("unknown eviction policy '%s' (%s)", name.c_str(),
+          evictionPolicyTokenList().c_str());
+}
+
+const char *
+evictionPolicyToken(EvictionPolicyKind kind)
+{
+    for (const EvictionToken &entry : kEvictionTokens)
+        if (entry.kind == kind)
+            return entry.token;
+    panic("eviction policy %d has no token", static_cast<int>(kind));
+}
+
+const std::string &
+evictionPolicyTokenList()
+{
+    static const std::string list = tokenList(kEvictionTokens);
+    return list;
+}
+
+} // namespace mcdla

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * PrefetchPolicy implementations.
+ */
+
+#include "vmem/paging/prefetch_policy.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "vmem/paging/pager.hh"
+
+namespace mcdla
+{
+
+// ------------------------------------------------------- static plan
+
+void
+StaticPlanPrefetcher::opRetired(DevicePager &pager, std::size_t op)
+{
+    for (LayerId layer : pager.schedule()[op].planWritebacks)
+        pager.planWriteback(layer);
+}
+
+void
+StaticPlanPrefetcher::frontierAdvanced(DevicePager &pager,
+                                       std::size_t op)
+{
+    const PagingSchedule &schedule = pager.schedule();
+    const std::size_t end =
+        std::min(op + pager.config().lookahead, schedule.size());
+    for (std::size_t i = op; i < end; ++i)
+        for (LayerId layer : schedule[i].reads)
+            pager.requestFill(layer, false);
+}
+
+// ----------------------------------------------------------- history
+
+void
+HistoryPrefetcher::beginIteration(DevicePager &pager)
+{
+    (void)pager;
+    ++_iteration;
+    _recording = _iteration == 1;
+    _cursor = 0;
+    if (_recording)
+        _history.clear();
+}
+
+void
+HistoryPrefetcher::accessed(DevicePager &pager, LayerId layer)
+{
+    if (_recording) {
+        _history.push_back(layer);
+        return;
+    }
+    // Steady state: sync the cursor to this access's position in the
+    // recorded sequence (accesses repeat identically across
+    // iterations), then run ahead of it.
+    for (std::size_t i = _cursor; i < _history.size(); ++i) {
+        if (_history[i] == layer) {
+            _cursor = i + 1;
+            break;
+        }
+    }
+    const std::size_t end = std::min(
+        _cursor + pager.config().lookahead, _history.size());
+    for (std::size_t i = _cursor; i < end; ++i)
+        pager.requestFill(_history[i], false);
+}
+
+// ----------------------------------------------------------- factory
+
+std::unique_ptr<PrefetchPolicy>
+makePrefetchPolicy(PrefetchPolicyKind kind)
+{
+    switch (kind) {
+      case PrefetchPolicyKind::StaticPlan:
+        return std::make_unique<StaticPlanPrefetcher>();
+      case PrefetchPolicyKind::OnDemand:
+        return std::make_unique<OnDemandPager>();
+      case PrefetchPolicyKind::History:
+        return std::make_unique<HistoryPrefetcher>();
+    }
+    panic("unknown prefetch policy kind %d", static_cast<int>(kind));
+}
+
+} // namespace mcdla

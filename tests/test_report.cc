@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "core/mcdla.hh"
@@ -52,6 +53,62 @@ TEST(ResultSet, JsonIsWellFormedEnough)
     EXPECT_EQ(json.front(), '[');
     EXPECT_NE(json.find("{\"k\": \"x\", \"v\": 1}"), std::string::npos);
     EXPECT_NE(json.find("y\\\"z"), std::string::npos);
+}
+
+TEST(ResultSet, CsvQuotesNewlinesAndCarriageReturns)
+{
+    // RFC 4180: line breaks inside a field force quoting; the field is
+    // emitted verbatim inside the quotes.
+    ResultSet rs({"a", "b"});
+    rs.addRow({std::string("line1\nline2"), std::string("cr\rhere")});
+    std::ostringstream os;
+    rs.writeCsv(os);
+    const std::string csv = os.str();
+    EXPECT_NE(csv.find("\"line1\nline2\""), std::string::npos);
+    EXPECT_NE(csv.find("\"cr\rhere\""), std::string::npos);
+}
+
+TEST(ResultSet, CsvQuoteCommaNewlineCombined)
+{
+    ResultSet rs({"a"});
+    rs.addRow({std::string("say \"hi\",\nbye")});
+    std::ostringstream os;
+    rs.writeCsv(os);
+    // Quotes doubled, the rest verbatim, all inside one quoted field.
+    EXPECT_NE(os.str().find("\"say \"\"hi\"\",\nbye\""),
+              std::string::npos);
+}
+
+TEST(ResultSet, JsonEscapesControlCharacters)
+{
+    ResultSet rs({"k"});
+    rs.addRow({std::string("tab\there\rcr\x01raw")});
+    std::ostringstream os;
+    rs.writeJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("tab\\there\\rcr\\u0001raw"),
+              std::string::npos);
+    // No raw control bytes survive in the output.
+    for (char c : json)
+        EXPECT_TRUE(c == '\n'
+                    || static_cast<unsigned char>(c) >= 0x20)
+            << static_cast<int>(c);
+}
+
+TEST(ResultSet, JsonEmitsNullForNanAndInf)
+{
+    // JSON has no NaN/Infinity literals (RFC 8259); they become null.
+    ResultSet rs({"a", "b", "c", "d"});
+    rs.addRow({std::nan(""), HUGE_VAL, -HUGE_VAL, 2.5});
+    std::ostringstream os;
+    rs.writeJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"a\": null"), std::string::npos);
+    EXPECT_NE(json.find("\"b\": null"), std::string::npos);
+    EXPECT_NE(json.find("\"c\": null"), std::string::npos);
+    EXPECT_NE(json.find("\"d\": 2.5"), std::string::npos);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+    EXPECT_EQ(json.find("nan"), std::string::npos);
 }
 
 TEST(ResultSet, CellAccess)

@@ -41,19 +41,42 @@ main(int argc, char **argv)
     opts.addString("trace", "",
                    "write a Chrome-tracing timeline (one iteration)");
     opts.addFlag("stats", "dump component statistics after the run");
-    opts.addFlag("list", "list the registered workloads and exit");
+    opts.addFlag("list", "alias for --list-workloads");
+    opts.addFlag("list-workloads",
+                 "print the workload-registry catalog and exit");
+    opts.addFlag("list-designs",
+                 "print the supported system designs and exit");
     opts.addFlag("quiet", "suppress informational output");
 
     if (!opts.parse(argc, argv, std::cerr))
         return 1;
 
-    if (opts.getFlag("list")) {
+    if (opts.getFlag("list") || opts.getFlag("list-workloads")) {
         TablePrinter table({"Network", "Application",
                             "Layers/Timesteps"});
         for (const WorkloadInfo *info :
              WorkloadRegistry::instance().all())
             table.addRow({info->name, info->application,
                           std::to_string(info->depth)});
+        table.print(std::cout);
+        return 0;
+    }
+    if (opts.getFlag("list-designs")) {
+        TablePrinter table({"Token", "Design", "Backing store",
+                            "Page policy"});
+        for (SystemDesign design : allSystemDesigns()) {
+            SystemConfig cfg;
+            cfg.design = design;
+            const char *backing = !designVirtualizesMemory(design)
+                ? "none (infinite local)"
+                : (designUsesHostMemory(design) ? "host DRAM"
+                                                : "memory nodes");
+            table.addRow({systemDesignToken(design),
+                          systemDesignName(design), backing,
+                          designVirtualizesMemory(design)
+                              ? pagePolicyName(cfg.pagePolicy())
+                              : "-"});
+        }
         table.print(std::cout);
         return 0;
     }
