@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Ablation: pipeline stages x microbatches x design.
+ *
+ * Sweeps GPipe-style pipeline parallelism over stage counts and
+ * microbatch counts on the device-centric and memory-centric designs,
+ * reporting the DES iteration time against the pipeline-aware analytic
+ * lower/upper bounds:
+ *
+ *  - more stages shrink per-stage memory pressure but lengthen the
+ *    fill/drain bubble and multiply boundary transfers;
+ *  - more microbatches amortize the bubble but shrink the per-wave
+ *    batch, and every stashed tensor pages once per microbatch;
+ *  - the boundary transfers share fabric channels with paging DMA, so
+ *    the design's interconnect decides how much of the bubble is
+ *    hidden.
+ *
+ * Options: --smoke runs a single configuration (CI keeps it per-PR as
+ * a perf canary), --csv writes the result rows for regression diffing,
+ * --jobs sets the sweep thread count.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "core/mcdla.hh"
+#include "core/options.hh"
+
+using namespace mcdla;
+
+namespace
+{
+
+constexpr std::int64_t kBatch = 256;
+
+struct GridPoint
+{
+    std::string workload;
+    SystemDesign design;
+    int stages;
+    int microbatches;
+};
+
+Scenario
+makeScenario(const GridPoint &point)
+{
+    Scenario sc;
+    sc.design = point.design;
+    sc.workload = point.workload;
+    sc.mode = ParallelMode::Pipeline;
+    sc.globalBatch = kBatch;
+    sc.pipelineStages = point.stages;
+    sc.microbatches = point.microbatches;
+    return sc;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    OptionParser opts("abl_pipeline",
+                      "Pipeline-parallelism ablation: stages x "
+                      "microbatches x design");
+    opts.addFlag("smoke", "run a single configuration (CI canary)");
+    opts.addString("csv", "", "write result rows to this CSV file");
+    opts.addInt("jobs", 0,
+                "sweep worker threads (0 = hardware concurrency)");
+    if (!opts.parse(argc, argv, std::cerr))
+        return 1;
+
+    LogConfig::verbose = false;
+    const bool smoke = opts.getFlag("smoke");
+
+    const std::vector<std::string> workloads =
+        smoke ? std::vector<std::string>{"ResNet"}
+              : std::vector<std::string>{"ResNet", "RNN-GEMV"};
+    const std::vector<SystemDesign> designs =
+        smoke ? std::vector<SystemDesign>{SystemDesign::McDlaB}
+              : std::vector<SystemDesign>{SystemDesign::DcDla,
+                                          SystemDesign::McDlaB};
+    const std::vector<int> stage_counts =
+        smoke ? std::vector<int>{4} : std::vector<int>{2, 4, 8};
+    const std::vector<int> microbatch_counts =
+        smoke ? std::vector<int>{8} : std::vector<int>{4, 8, 16};
+
+    std::vector<GridPoint> grid;
+    std::vector<Scenario> scenarios;
+    for (const std::string &workload : workloads)
+        for (SystemDesign design : designs)
+            for (int stages : stage_counts)
+                for (int microbatches : microbatch_counts) {
+                    grid.push_back(GridPoint{workload, design, stages,
+                                             microbatches});
+                    scenarios.push_back(makeScenario(grid.back()));
+                }
+
+    SweepRunner runner(SweepConfig{
+        static_cast<int>(opts.getInt("jobs")), /*progress=*/false});
+    const std::vector<IterationResult> results = runner.run(scenarios);
+    SweepCursor cursor(scenarios, results);
+
+    std::cout << "=== Pipeline-parallelism ablation: batch " << kBatch
+              << ", GPipe schedule ===\n\n";
+
+    ResultSet table_rows({"workload", "design", "stages", "microbatches",
+                          "iteration_ms", "compute_ms", "sync_ms",
+                          "vmem_ms", "analytic_lower_ms",
+                          "analytic_upper_ms", "events"});
+    for (const std::string &workload : workloads) {
+        TablePrinter table({"Design", "Stages", "uBatches", "Iter(ms)",
+                            "Compute(ms)", "P2P(ms)", "Vmem(ms)",
+                            "Lower(ms)", "Upper(ms)"});
+        for (SystemDesign design : designs) {
+            for (int stages : stage_counts) {
+                for (int microbatches : microbatch_counts) {
+                    const Scenario &sc = cursor.peek();
+                    if (sc.pipelineStages != stages
+                        || sc.microbatches != microbatches)
+                        panic("sweep cursor misaligned on the "
+                              "pipeline grid");
+                    const IterationResult &r = cursor.next(
+                        workload, design, ParallelMode::Pipeline);
+                    const AnalyticEstimate est = estimateIteration(
+                        sc.config(),
+                        *runner.simulator().network(workload),
+                        ParallelMode::Pipeline, kBatch, stages,
+                        microbatches);
+                    table.addRow(
+                        {systemDesignToken(design),
+                         std::to_string(stages),
+                         std::to_string(microbatches),
+                         TablePrinter::num(
+                             r.iterationSeconds() * 1e3, 2),
+                         TablePrinter::num(
+                             r.breakdown.computeSec * 1e3, 2),
+                         TablePrinter::num(
+                             r.breakdown.syncSec * 1e3, 2),
+                         TablePrinter::num(
+                             r.breakdown.vmemSec * 1e3, 2),
+                         TablePrinter::num(
+                             est.lowerBoundSec() * 1e3, 2),
+                         TablePrinter::num(
+                             est.upperBoundSec() * 1e3, 2)});
+                    table_rows.addRow(
+                        {workload,
+                         std::string(systemDesignToken(design)),
+                         static_cast<std::int64_t>(stages),
+                         static_cast<std::int64_t>(microbatches),
+                         r.iterationSeconds() * 1e3,
+                         r.breakdown.computeSec * 1e3,
+                         r.breakdown.syncSec * 1e3,
+                         r.breakdown.vmemSec * 1e3,
+                         est.lowerBoundSec() * 1e3,
+                         est.upperBoundSec() * 1e3,
+                         static_cast<std::int64_t>(
+                             r.eventsExecuted)});
+                }
+            }
+        }
+        std::cout << "-- " << workload << " --\n";
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    std::cout << "more microbatches amortize the fill/drain bubble but "
+                 "page every stash once\nper microbatch; the "
+                 "memory-centric designs hide the extra traffic on "
+                 "their\nrings while DC-DLA serializes it behind "
+                 "PCIe.\n";
+
+    if (!opts.getString("csv").empty()) {
+        std::ofstream out(opts.getString("csv"));
+        table_rows.writeCsv(out);
+        std::cout << "\nwrote " << opts.getString("csv") << '\n';
+    }
+    return 0;
+}

@@ -39,37 +39,52 @@ buildVideoCaptioner(std::int64_t frames, std::int64_t hidden = 1024)
         Layer::input("video", TensorShape{frames, 3, 112, 112}));
 
     LayerId h = invalidLayerId;
+    // Frame-0 layers own the weights shared across frames.
+    std::map<std::string, LayerId> owners;
+    auto tie_or_own = [&](Layer layer, const std::string &role) {
+        auto it = owners.find(role);
+        if (it != owners.end())
+            layer.markWeightsTied(it->second);
+        return layer;
+    };
     for (std::int64_t t = 0; t < frames; ++t) {
         const std::string p = "f" + std::to_string(t);
-        const bool tied = t > 0; // encoder weights shared across frames
-        auto maybe_tie = [tied](Layer layer) {
-            if (tied)
-                layer.markWeightsTied();
-            return layer;
-        };
+        const bool first = t == 0;
         LayerId x = net.addAfter(
-            maybe_tie(Layer::conv2d(p + "/conv1", frame_shape, 64, 3,
-                                    1, 1)),
+            tie_or_own(Layer::conv2d(p + "/conv1", frame_shape, 64, 3,
+                                     1, 1),
+                       "conv1"),
             video);
+        if (first)
+            owners["conv1"] = x;
         TensorShape s = net.layer(x).outShape();
         x = net.addAfter(Layer::pool(p + "/pool1", s, 2, 2), x);
         s = net.layer(x).outShape();
         x = net.addAfter(
-            maybe_tie(Layer::conv2d(p + "/conv2", s, 128, 3, 1, 1)), x);
+            tie_or_own(Layer::conv2d(p + "/conv2", s, 128, 3, 1, 1),
+                       "conv2"),
+            x);
+        if (first)
+            owners["conv2"] = x;
         s = net.layer(x).outShape();
         x = net.addAfter(Layer::globalPool(p + "/gap", s), x);
         x = net.addAfter(
-            maybe_tie(Layer::fullyConnected(p + "/proj", 128, hidden)),
+            tie_or_own(Layer::fullyConnected(p + "/proj", 128, hidden),
+                       "proj"),
             x);
+        if (first)
+            owners["proj"] = x;
 
         // Temporal model.
         Layer cell = Layer::lstmCell("t" + std::to_string(t), hidden);
-        if (t > 0)
-            cell.markWeightsTied();
+        if (!first)
+            cell.markWeightsTied(owners.at("cell"));
         std::vector<LayerId> inputs{x};
         if (h != invalidLayerId)
             inputs.push_back(h);
         h = net.addLayer(std::move(cell), std::move(inputs));
+        if (first)
+            owners["cell"] = h;
     }
     LayerId fc = net.addAfter(
         Layer::fullyConnected("caption", hidden, 10000), h);

@@ -8,6 +8,8 @@
  *  - mcdla::SystemConfig / System — the six design points of Figure 13;
  *  - mcdla::TrainingSession — event-driven training-iteration simulation
  *    with latency breakdowns, host-bandwidth, and makespan metrics;
+ *  - mcdla::ParallelStrategy / PipelinePartition — data-, model-, and
+ *    GPipe-style pipeline-parallel training strategies;
  *  - mcdla::VmemRuntime — the Table I cudaMallocRemote /
  *    cudaFreeRemote / cudaMemcpyAsync(LocalToRemote|RemoteToLocal) API;
  *  - mcdla::DevicePager / PageTable / PrefetchPolicy / EvictionPolicy —
@@ -33,6 +35,7 @@
 #include "dnn/builders.hh"
 #include "dnn/layer.hh"
 #include "dnn/network.hh"
+#include "dnn/pipeline.hh"
 #include "dnn/tensor.hh"
 #include "interconnect/channel.hh"
 #include "interconnect/fabric.hh"

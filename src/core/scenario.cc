@@ -93,13 +93,48 @@ parseParallelMode(const std::string &name)
         return ParallelMode::DataParallel;
     if (name == "mp" || name == "model" || name == "model-parallel")
         return ParallelMode::ModelParallel;
-    fatal("unknown mode '%s' (dp, mp)", name.c_str());
+    if (name == "pp" || name == "pipeline"
+        || name == "pipeline-parallel")
+        return ParallelMode::Pipeline;
+    fatal("unknown mode '%s' (%s)", name.c_str(),
+          parallelModeTokenList().c_str());
 }
 
 const char *
 parallelModeToken(ParallelMode mode)
 {
-    return mode == ParallelMode::DataParallel ? "dp" : "mp";
+    switch (mode) {
+      case ParallelMode::DataParallel: return "dp";
+      case ParallelMode::ModelParallel: return "mp";
+      case ParallelMode::Pipeline: return "pp";
+    }
+    panic("mode %d has no token", static_cast<int>(mode));
+}
+
+const std::vector<ParallelMode> &
+allParallelModes()
+{
+    static const std::vector<ParallelMode> modes = {
+        ParallelMode::DataParallel,
+        ParallelMode::ModelParallel,
+        ParallelMode::Pipeline,
+    };
+    return modes;
+}
+
+const std::string &
+parallelModeTokenList()
+{
+    static const std::string list = [] {
+        std::string tokens;
+        for (ParallelMode mode : allParallelModes()) {
+            if (!tokens.empty())
+                tokens += ", ";
+            tokens += parallelModeToken(mode);
+        }
+        return tokens;
+    }();
+    return list;
 }
 
 double
@@ -126,6 +161,12 @@ Scenario::label() const
     std::ostringstream os;
     os << workload << '/' << systemDesignToken(design) << '/'
        << parallelModeToken(mode) << "/b" << globalBatch;
+    if (mode == ParallelMode::Pipeline) {
+        os << "/s"
+           << (pipelineStages > 0 ? pipelineStages
+                                  : base.fabric.numDevices)
+           << "/mb" << microbatches;
+    }
     // Paging knobs only distinguish scenarios off the default policy;
     // default labels stay stable for existing tooling.
     if (base.paging.prefetch != PrefetchPolicyKind::StaticPlan) {
@@ -144,8 +185,13 @@ Scenario::addOptions(OptionParser &opts)
                    "system design: " + systemDesignTokenList());
     opts.addString("workload", "ResNet",
                    "registered workload name, or 'all'");
-    opts.addString("mode", "dp", "parallelization: dp or mp");
+    opts.addString("mode", "dp",
+                   "parallelization: " + parallelModeTokenList());
     opts.addInt("batch", kDefaultBatch, "global minibatch size");
+    opts.addInt("pipeline-stages", 0,
+                "pipeline stage count (--mode pp; 0 = one per device)");
+    opts.addInt("microbatches", 4,
+                "GPipe microbatches per iteration (--mode pp)");
     opts.addInt("devices", 8, "device-node count");
     opts.addString("device-gen", "Volta",
                    "device generation (Kepler..TPUv2)");
@@ -185,6 +231,21 @@ Scenario::fromOptions(const OptionParser &opts)
     if (sc.iterations < 1)
         fatal("--iterations must be positive (got %lld)",
               static_cast<long long>(opts.getInt("iterations")));
+    sc.pipelineStages =
+        static_cast<int>(opts.getInt("pipeline-stages"));
+    if (sc.pipelineStages < 0)
+        fatal("--pipeline-stages must be >= 0 (got %lld)",
+              static_cast<long long>(opts.getInt("pipeline-stages")));
+    sc.microbatches = static_cast<int>(opts.getInt("microbatches"));
+    if (sc.microbatches < 1)
+        fatal("--microbatches must be positive (got %lld)",
+              static_cast<long long>(opts.getInt("microbatches")));
+    if (sc.mode == ParallelMode::Pipeline) {
+        if (sc.globalBatch % sc.microbatches != 0)
+            fatal("--batch %lld is not divisible by --microbatches %d",
+                  static_cast<long long>(sc.globalBatch),
+                  sc.microbatches);
+    }
 
     sc.base.device = deviceGeneration(opts.getString("device-gen"));
     sc.base.device.linkBandwidth = opts.getDouble("link-gbps") * kGB;
@@ -203,9 +264,11 @@ Scenario::fromOptions(const OptionParser &opts)
         parsePrefetchPolicy(opts.getString("prefetch-policy"));
     sc.base.paging.eviction =
         parseEvictionPolicy(opts.getString("eviction-policy"));
+    // A zero window silently degrades static-plan/history into a
+    // never-prefetching no-op; reject it like the other capacity knobs.
     const std::int64_t lookahead = opts.getInt("prefetch-lookahead");
-    if (lookahead < 0)
-        fatal("--prefetch-lookahead must be >= 0 (got %lld)",
+    if (lookahead < 1)
+        fatal("--prefetch-lookahead must be positive (got %lld)",
               static_cast<long long>(lookahead));
     sc.base.paging.lookahead = static_cast<std::size_t>(lookahead);
     const double hbm_gib = opts.getDouble("hbm-capacity");

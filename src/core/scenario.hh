@@ -36,11 +36,18 @@ SystemDesign parseSystemDesign(const std::string &name);
 /** Canonical CLI token of a design ("mc-b", "oracle", ...). */
 const char *systemDesignToken(SystemDesign design);
 
-/** Parse a parallelization token ("dp"/"mp", long forms ok); fatal. */
+/** Parse a parallelization token ("dp"/"mp"/"pp", long forms ok);
+    fatal. */
 ParallelMode parseParallelMode(const std::string &name);
 
-/** Canonical CLI token of a mode ("dp" / "mp"). */
+/** Canonical CLI token of a mode ("dp" / "mp" / "pp"). */
 const char *parallelModeToken(ParallelMode mode);
+
+/** Every mode the parser accepts. */
+const std::vector<ParallelMode> &allParallelModes();
+
+/** Comma-separated list of accepted mode tokens (for help text). */
+const std::string &parallelModeTokenList();
 
 /** Every design the parser accepts (evaluation set plus extras). */
 const std::vector<SystemDesign> &allSystemDesigns();
@@ -67,6 +74,10 @@ struct Scenario
     std::string workload = "ResNet";
     ParallelMode mode = ParallelMode::DataParallel;
     std::int64_t globalBatch = kDefaultBatch;
+    /** Pipeline stage count (--mode pp; 0 = one stage per device). */
+    int pipelineStages = 0;
+    /** GPipe microbatches per iteration (--mode pp only). */
+    int microbatches = 4;
     /** Training iterations to simulate (metrics are the last one's). */
     int iterations = 1;
     /** Base configuration; the design field is stamped by config(). */
@@ -75,7 +86,11 @@ struct Scenario
     /** The effective SystemConfig (base with design applied). */
     SystemConfig config() const;
 
-    /** Compact identity, e.g. "ResNet/mc-b/dp/b512". */
+    /**
+     * Compact identity, e.g. "ResNet/mc-b/dp/b512"; pipeline scenarios
+     * append the stage/microbatch grid, e.g.
+     * "ResNet/mc-b/pp/b512/s4/mb8".
+     */
     std::string label() const;
 
     /**
@@ -83,8 +98,8 @@ struct Scenario
      * --mode, --batch, --devices, --device-gen, --pcie-gen,
      * --link-gbps, --dimm-gib, --socket-gbps, --compression,
      * --iterations, --no-recompute, --prefetch-policy,
-     * --prefetch-lookahead, --eviction-policy, --hbm-capacity) on
-     * @p opts.
+     * --prefetch-lookahead, --eviction-policy, --hbm-capacity,
+     * --pipeline-stages, --microbatches) on @p opts.
      */
     static void addOptions(OptionParser &opts);
 

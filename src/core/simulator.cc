@@ -55,7 +55,9 @@ Simulator::run(const Scenario &scenario, const Network &net,
     EventQueue eq;
     System system(eq, scenario.config());
     TrainingSession session(system, net, scenario.mode,
-                            scenario.globalBatch);
+                            scenario.globalBatch,
+                            scenario.pipelineStages,
+                            scenario.microbatches);
     if (hooks.trace != nullptr)
         session.setTraceSink(hooks.trace);
 

@@ -50,17 +50,20 @@ buildUnrolled(const std::string &name, std::int64_t timesteps,
         Layer::input("sequence", TensorShape{timesteps, hidden}));
 
     LayerId h = seq_in;
+    LayerId owner = invalidLayerId; // t0 owns the shared weights
     for (std::int64_t t = 0; t < timesteps; ++t) {
         const std::string cell_name = "t" + std::to_string(t);
         Layer cell = make_cell(cell_name, hidden);
         if (t > 0)
-            cell.markWeightsTied(); // one weight tensor, T readers
+            cell.markWeightsTied(owner); // one weight tensor, T readers
         // Every cell consumes the input sequence and (after t=0) the
         // previous hidden state.
         std::vector<LayerId> inputs{seq_in};
         if (t > 0)
             inputs.push_back(h);
         h = net.addLayer(std::move(cell), std::move(inputs));
+        if (t == 0)
+            owner = h;
     }
 
     LayerId fc = net.addAfter(

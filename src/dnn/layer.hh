@@ -163,10 +163,21 @@ class Layer
      * Weight tying: unrolled recurrent cells share one weight tensor.
      * Tied layers still *read* the shared weights every execution, but
      * contribute no extra model storage, no extra dW synchronization,
-     * and no extra optimizer work.
+     * and no extra optimizer work. @p owner names the untied layer
+     * that owns the shared tensor (drives pipeline-parallel tie-group
+     * analysis).
      */
     bool weightsTied() const { return _weightsTied; }
-    Layer &markWeightsTied() { _weightsTied = true; return *this; }
+    Layer &
+    markWeightsTied(LayerId owner)
+    {
+        _weightsTied = true;
+        _tiedOwner = owner;
+        return *this;
+    }
+
+    /** Owning layer of a tied weight tensor; invalid when untied. */
+    LayerId tiedOwner() const { return _tiedOwner; }
 
     /** Weight parameter count (including bias terms). */
     std::int64_t paramCount() const { return _paramCount; }
@@ -240,6 +251,7 @@ class Layer
     double _bwdMacFactor = 2.0;
     bool _countsTowardDepth = false;
     bool _weightsTied = false;
+    LayerId _tiedOwner = invalidLayerId;
 };
 
 } // namespace mcdla

@@ -54,6 +54,46 @@ Network::inputsOf(LayerId id) const
     return _inputs[static_cast<std::size_t>(id)];
 }
 
+std::vector<LayerId>
+Network::effectiveProducers(LayerId id) const
+{
+    std::vector<LayerId> out;
+    std::vector<LayerId> work(inputsOf(id));
+    while (!work.empty()) {
+        const LayerId p = work.back();
+        work.pop_back();
+        const Layer &l = layer(p);
+        if (l.costClass() == CostClass::Structural
+            && l.kind() != LayerKind::Input) {
+            for (LayerId pp : inputsOf(p))
+                work.push_back(pp);
+        } else {
+            out.push_back(p);
+        }
+    }
+    return out;
+}
+
+std::vector<LayerId>
+Network::effectiveConsumers(LayerId id) const
+{
+    std::vector<LayerId> out;
+    std::vector<LayerId> work(consumersOf(id));
+    while (!work.empty()) {
+        const LayerId c = work.back();
+        work.pop_back();
+        const Layer &l = layer(c);
+        if (l.costClass() == CostClass::Structural
+            && l.kind() != LayerKind::Input) {
+            for (LayerId cc : consumersOf(c))
+                work.push_back(cc);
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
 const std::vector<LayerId> &
 Network::consumersOf(LayerId id) const
 {

@@ -51,6 +51,16 @@ class Network
     const std::vector<LayerId> &consumersOf(LayerId id) const;
 
     /**
+     * Producers whose outputs @p id's backward pass reads, looking
+     * through structural views (concat): the non-structural layers
+     * reached by walking input edges across structural nodes.
+     */
+    std::vector<LayerId> effectiveProducers(LayerId id) const;
+
+    /** Consumers of @p id's output, looking through structural views. */
+    std::vector<LayerId> effectiveConsumers(LayerId id) const;
+
+    /**
      * Layers in a deterministic topological order (insertion order is
      * required to already be topological; this is validated).
      */

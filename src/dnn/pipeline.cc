@@ -1,0 +1,118 @@
+/**
+ * @file
+ * PipelinePartition implementation.
+ */
+
+#include "dnn/pipeline.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+PipelinePartition::PipelinePartition(const Network &net,
+                                     const std::vector<double> &cost,
+                                     int num_stages)
+{
+    const std::size_t n = net.size();
+    if (cost.size() != n)
+        fatal("pipeline partition: %zu costs for %zu layers",
+              cost.size(), n);
+    if (num_stages < 1)
+        fatal("pipeline partition requires at least one stage (got %d)",
+              num_stages);
+    if (static_cast<std::size_t>(num_stages) > n)
+        fatal("pipeline partition: %d stages exceed the %zu layers of "
+              "%s",
+              num_stages, n, net.name().c_str());
+
+    const std::vector<LayerId> &topo = net.topoOrder();
+    const auto P = static_cast<std::size_t>(num_stages);
+
+    // Prefix sums over the topological order.
+    std::vector<double> prefix(n + 1, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double c = cost[static_cast<std::size_t>(topo[i])];
+        if (c < 0.0)
+            fatal("pipeline partition: negative cost for layer %d",
+                  topo[i]);
+        prefix[i + 1] = prefix[i] + c;
+    }
+    auto span = [&](std::size_t lo, std::size_t hi) {
+        return prefix[hi] - prefix[lo];
+    };
+
+    // best[k][i]: minimal max-stage cost of splitting the first i
+    // layers into k+1 stages (each non-empty); cut[k][i] reconstructs
+    // the last cut point. Ties take the earliest cut so earlier stages
+    // never grow without improving the bottleneck — deterministic.
+    const double inf = std::numeric_limits<double>::infinity();
+    std::vector<std::vector<double>> best(
+        P, std::vector<double>(n + 1, inf));
+    std::vector<std::vector<std::size_t>> cut(
+        P, std::vector<std::size_t>(n + 1, 0));
+    for (std::size_t i = 1; i <= n; ++i)
+        best[0][i] = span(0, i);
+    for (std::size_t k = 1; k < P; ++k) {
+        for (std::size_t i = k + 1; i <= n; ++i) {
+            for (std::size_t j = k; j < i; ++j) {
+                const double candidate =
+                    std::max(best[k - 1][j], span(j, i));
+                if (candidate < best[k][i]) {
+                    best[k][i] = candidate;
+                    cut[k][i] = j;
+                }
+            }
+        }
+    }
+
+    // Reconstruct stage boundaries.
+    std::vector<std::size_t> bounds(P + 1, 0);
+    bounds[P] = n;
+    for (std::size_t k = P; k-- > 1;)
+        bounds[k] = cut[k][bounds[k + 1]];
+
+    _stages.resize(P);
+    _stageOf.assign(n, 0);
+    for (std::size_t s = 0; s < P; ++s) {
+        PipelineStage &stage = _stages[s];
+        for (std::size_t i = bounds[s]; i < bounds[s + 1]; ++i) {
+            stage.layers.push_back(topo[i]);
+            _stageOf[static_cast<std::size_t>(topo[i])] =
+                static_cast<int>(s);
+        }
+        stage.cost = span(bounds[s], bounds[s + 1]);
+        _maxStageCost = std::max(_maxStageCost, stage.cost);
+    }
+    _totalCost = prefix[n];
+}
+
+const PipelineStage &
+PipelinePartition::stage(int s) const
+{
+    if (s < 0 || s >= numStages())
+        panic("pipeline stage %d out of range [0, %d)", s, numStages());
+    return _stages[static_cast<std::size_t>(s)];
+}
+
+int
+PipelinePartition::stageOf(LayerId id) const
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= _stageOf.size())
+        panic("pipeline partition: unknown layer %d", id);
+    return _stageOf[static_cast<std::size_t>(id)];
+}
+
+double
+PipelinePartition::imbalance() const
+{
+    if (_totalCost <= 0.0 || _stages.empty())
+        return 1.0;
+    return _maxStageCost
+        / (_totalCost / static_cast<double>(_stages.size()));
+}
+
+} // namespace mcdla

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * PipelinePartition: split a Network into balanced pipeline stages.
+ *
+ * GPipe-style pipeline parallelism assigns a contiguous slice of the
+ * topological layer order to each of P stage devices; microbatches
+ * stream through the stages, so the iteration time is governed by the
+ * most expensive stage (plus the fill/drain bubble). The partitioner
+ * therefore solves the classic contiguous min-max partition problem:
+ * choose P-1 cut points in the topological order that minimize the
+ * maximum per-stage cost, where the per-layer cost is supplied by the
+ * caller (the parallel strategy feeds roofline forward+backward
+ * timings from the ComputeModel, keeping this layer free of device
+ * dependencies).
+ *
+ * The exact optimum is found by dynamic programming (O(P * n^2), with
+ * n the layer count — negligible against simulation time) with
+ * deterministic tie-breaking, so partitions are stable across runs.
+ */
+
+#ifndef MCDLA_DNN_PIPELINE_HH
+#define MCDLA_DNN_PIPELINE_HH
+
+#include <vector>
+
+#include "dnn/network.hh"
+
+namespace mcdla
+{
+
+/** One pipeline stage: a contiguous slice of the topological order. */
+struct PipelineStage
+{
+    /** Member layers in topological order. */
+    std::vector<LayerId> layers;
+    /** Sum of the members' costs. */
+    double cost = 0.0;
+};
+
+/** A balanced contiguous partition of a network's topological order. */
+class PipelinePartition
+{
+  public:
+    PipelinePartition() = default;
+
+    /**
+     * Partition @p net into @p num_stages stages minimizing the
+     * maximum stage cost.
+     *
+     * @param net Workload network.
+     * @param cost Per-layer cost, indexed by LayerId (any non-negative
+     *        unit; relative magnitudes drive the balance).
+     * @param num_stages Stage count; must be in [1, net.size()].
+     */
+    PipelinePartition(const Network &net, const std::vector<double> &cost,
+                      int num_stages);
+
+    int numStages() const { return static_cast<int>(_stages.size()); }
+    const std::vector<PipelineStage> &stages() const { return _stages; }
+    const PipelineStage &stage(int s) const;
+
+    /** Stage owning @p id; panics on an unknown layer. */
+    int stageOf(LayerId id) const;
+
+    double totalCost() const { return _totalCost; }
+    double maxStageCost() const { return _maxStageCost; }
+
+    /**
+     * Load imbalance: maxStageCost / (totalCost / numStages).
+     * 1.0 is a perfect split; the optimal contiguous partition is
+     * bounded by avg + max single-layer cost.
+     */
+    double imbalance() const;
+
+  private:
+    std::vector<PipelineStage> _stages;
+    /** Stage index per layer, indexed by LayerId. */
+    std::vector<int> _stageOf;
+    double _totalCost = 0.0;
+    double _maxStageCost = 0.0;
+};
+
+} // namespace mcdla
+
+#endif // MCDLA_DNN_PIPELINE_HH

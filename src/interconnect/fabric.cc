@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fabric query implementation (point-to-point route construction).
+ */
+
+#include "interconnect/fabric.hh"
+
+namespace mcdla
+{
+
+Route
+Fabric::deviceRoute(int src, int dst) const
+{
+    Route best;
+    std::size_t best_len = 0;
+    if (src == dst)
+        return best;
+    for (const RingPath &ring : _rings) {
+        const int start = ring.stageOfDevice(src);
+        if (start < 0)
+            continue;
+        Route walk;
+        bool found = false;
+        int pos = start;
+        for (int step = 0; step < ring.stageCount(); ++step) {
+            const Route &hop =
+                ring.hops[static_cast<std::size_t>(pos)];
+            walk.hops.insert(walk.hops.end(), hop.hops.begin(),
+                             hop.hops.end());
+            pos = (pos + 1) % ring.stageCount();
+            const RingStage &stage =
+                ring.stages[static_cast<std::size_t>(pos)];
+            if (stage.isDevice && stage.index == dst) {
+                found = true;
+                break;
+            }
+        }
+        if (found && (!best.valid() || walk.hops.size() < best_len)) {
+            best_len = walk.hops.size();
+            best = std::move(walk);
+        }
+    }
+    return best;
+}
+
+} // namespace mcdla

@@ -148,6 +148,17 @@ class Fabric
     /// @{
     const std::vector<RingPath> &rings() const { return _rings; }
 
+    /**
+     * A point-to-point channel route from device @p src to device
+     * @p dst, built by walking the collective rings and taking the
+     * fewest physical channel traversals (memory-node stages along the
+     * way store-and-forward). Used for pipeline-parallel boundary
+     * transfers, which thereby contend with paging DMA and collective
+     * chunks on the shared channels. Returns an invalid (empty) route
+     * when no ring connects the two devices.
+     */
+    Route deviceRoute(int src, int dst) const;
+
     /** Paths to this device's backing store; empty if it has none. */
     const std::vector<VmemPath> &
     vmemPaths(int device) const

@@ -17,29 +17,59 @@
  * reduce-scatter of the output gradients. This is still far more
  * frequent synchronization than data parallelism (Figure 3b), especially
  * for RNNs, which sync twice per timestep.
+ *
+ * Pipeline-parallel (GPipe-style): the network is split into P
+ * contiguous stages balanced by roofline cost; the minibatch is split
+ * into M microbatches that stream through the stages. There are no
+ * collectives at all — stages exchange boundary activations (forward)
+ * and their gradients (backward) point-to-point on the fabric, and
+ * each stage owns its slice of the weights, so weight updates are
+ * local except for tied weight tensors spanning stages (unrolled RNN
+ * cells), whose dW contributions reduce point-to-point to the owning
+ * stage before its update. The communication volume is the boundary
+ * cut plus those tied-dW exchanges, far smaller than either collective
+ * mode, at the price of the fill/drain bubble and per-stage load
+ * imbalance.
  */
 
 #ifndef MCDLA_PARALLEL_STRATEGY_HH
 #define MCDLA_PARALLEL_STRATEGY_HH
 
 #include <cstdint>
+#include <map>
 #include <optional>
+#include <vector>
 
 #include "collective/ring_collective.hh"
 #include "device/compute_model.hh"
 #include "dnn/network.hh"
+#include "dnn/pipeline.hh"
 
 namespace mcdla
 {
+
+class OffloadPlan;
 
 /** Parallelization mode. */
 enum class ParallelMode
 {
     DataParallel,
     ModelParallel,
+    Pipeline,
 };
 
 const char *parallelModeName(ParallelMode mode);
+
+/** Pipeline-mode knobs (ignored for dp/mp). */
+struct PipelineConfig
+{
+    /** Stage count; 0 resolves to one stage per device. */
+    int stages = 0;
+    /** GPipe microbatches per iteration (>= 1). */
+    int microbatches = 1;
+    /** Roofline device used to balance the stage partition. */
+    DeviceConfig device;
+};
 
 /** One synchronization requirement attached to a layer. */
 struct SyncOp
@@ -60,18 +90,24 @@ class ParallelStrategy
   public:
     /**
      * @param net Workload network (drives sync-boundary analysis).
-     * @param mode Data- or model-parallel.
+     * @param mode Data-, model-, or pipeline-parallel.
      * @param num_devices Worker count.
      * @param global_batch Total minibatch size (512 in the paper).
+     * @param pipe Pipeline knobs (stage count, microbatches); ignored
+     *        unless @p mode is Pipeline.
      */
     ParallelStrategy(const Network &net, ParallelMode mode,
-                     int num_devices, std::int64_t global_batch);
+                     int num_devices, std::int64_t global_batch,
+                     PipelineConfig pipe = {});
 
     ParallelMode mode() const { return _mode; }
     int numDevices() const { return _numDevices; }
     std::int64_t globalBatch() const { return _globalBatch; }
 
-    /** Per-device batch size. */
+    /**
+     * Per-device batch size: the batch one layer execution processes
+     * (a microbatch under pipeline parallelism).
+     */
     std::int64_t perDeviceBatch() const;
 
     /** Compute/memory scaling of one layer on one device. */
@@ -95,15 +131,74 @@ class ParallelStrategy
     /**
      * Per-device bytes migrated per offloaded tensor: data-parallel
      * stashes 1/P of the batch; model-parallel stashes this device's
-     * output/aux shard of the full batch.
+     * output/aux shard of the full batch; pipeline stashes one
+     * microbatch (each of the M microbatch copies is its own page
+     * group).
      */
     double offloadBytesPerDevice(const Layer &layer) const;
+
+    /// @name Pipeline queries (meaningful only when isPipeline())
+    /// @{
+    bool isPipeline() const { return _mode == ParallelMode::Pipeline; }
+
+    /** Resolved stage count (1 for dp/mp). */
+    int pipelineStages() const;
+
+    /** Microbatches per iteration (1 for dp/mp). */
+    int microbatches() const { return _microbatches; }
+
+    /** Samples per microbatch (globalBatch / microbatches). */
+    std::int64_t microbatchSize() const;
+
+    /** The balanced stage partition; panics unless isPipeline(). */
+    const PipelinePartition &partition() const;
+
+    /** Stage owning @p id; panics unless isPipeline(). */
+    int stageOfLayer(LayerId id) const;
+
+    /**
+     * Activation bytes crossing the cut between stage @p boundary and
+     * stage boundary+1 for one microbatch: the distinct producer
+     * outputs with a consumer on the far side. The backward gradient
+     * transfer of the same boundary carries the same volume.
+     */
+    double boundaryBytesPerMicrobatch(int boundary) const;
+
+    /**
+     * Stash tensors paged by stage @p s's device: the stage's own
+     * Offload-class layers plus the offloaded boundary inputs whose
+     * activations the stage's backward pass re-reads (each becomes M
+     * page groups, one per microbatch). Deterministic order.
+     */
+    std::vector<LayerId> stageStashLayers(int s,
+                                          const OffloadPlan &plan) const;
+
+    /**
+     * Weight bytes resident on stage @p s's device: untied stage
+     * weights plus one copy per tied weight group whose owning cell
+     * lives on another stage.
+     */
+    std::uint64_t stageWeightBytes(int s) const;
+
+    /**
+     * Tied weight groups that span stages: owner layer -> sorted
+     * distinct stages holding members (owner included). Groups
+     * confined to one stage are omitted. Each spanning group requires
+     * a cross-stage dW reduction to the owner before its weight
+     * update.
+     */
+    std::map<LayerId, std::vector<int>> tieGroupStages() const;
+    /// @}
 
   private:
     const Network &_net;
     ParallelMode _mode;
     int _numDevices;
     std::int64_t _globalBatch;
+    int _microbatches = 1;
+    PipelinePartition _partition;
+    /** Cut bytes per sample for each of the P-1 stage boundaries. */
+    std::vector<double> _boundaryBytesPerSample;
 };
 
 } // namespace mcdla

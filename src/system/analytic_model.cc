@@ -73,15 +73,143 @@ designRingCount(const SystemConfig &cfg)
 
 } // anonymous namespace
 
+namespace
+{
+
+/**
+ * Pipeline-mode estimate: per-stage roofline totals with GPipe
+ * fill/drain bounds. The lower-bound components are per-device floors
+ * (bottleneck stage compute, bottleneck stage vmem, most loaded
+ * boundary link); everything the other stages add lands in
+ * pipelineBubbleSec so the zero-overlap upper bound stays honest.
+ */
 AnalyticEstimate
-estimateIteration(const SystemConfig &cfg, const Network &net,
-                  ParallelMode mode, std::int64_t global_batch)
+estimatePipelineIteration(const SystemConfig &cfg, const Network &net,
+                          const ParallelStrategy &strategy,
+                          const OffloadPlan &plan,
+                          const ComputeModel &model)
 {
     AnalyticEstimate est;
-    const ParallelStrategy strategy(net, mode, cfg.fabric.numDevices,
-                                    global_batch);
+    const PipelinePartition &part = strategy.partition();
+    const int P = part.numStages();
+    const auto M = static_cast<double>(strategy.microbatches());
+
+    // Per-stage per-microbatch compute and per-stage update time.
+    std::vector<double> stage_compute(static_cast<std::size_t>(P));
+    std::vector<double> stage_update(static_cast<std::size_t>(P));
+    for (int s = 0; s < P; ++s) {
+        Tick compute = 0;
+        Tick update = 0;
+        for (LayerId id : part.stage(s).layers) {
+            const Layer &layer = net.layer(id);
+            const LayerTiming t =
+                model.layerTiming(layer, strategy.scaling(layer));
+            compute += t.forward + t.backward;
+            if (plan.entry(id).action == TensorAction::Recompute)
+                compute += t.forward;
+            if (layer.hasWeights() && !layer.weightsTied())
+                update += t.weightUpdate;
+        }
+        stage_compute[static_cast<std::size_t>(s)] =
+            ticksToSeconds(compute);
+        stage_update[static_cast<std::size_t>(s)] =
+            ticksToSeconds(update);
+    }
+    double round_trip = 0.0;
+    double max_compute = 0.0;
+    double busiest_stage = 0.0;
+    double update_total = 0.0;
+    for (int s = 0; s < P; ++s) {
+        const double c = stage_compute[static_cast<std::size_t>(s)];
+        const double u = stage_update[static_cast<std::size_t>(s)];
+        round_trip += c;
+        max_compute = std::max(max_compute, c);
+        busiest_stage = std::max(busiest_stage, M * c + u);
+        update_total += u;
+    }
+    // Lower bound: the bottleneck stage must run its M waves serially,
+    // and one microbatch must round-trip every stage.
+    est.computeSec = std::max(busiest_stage, round_trip);
+    // Upper bound adds the fill/drain bubble and load imbalance of the
+    // blocking GPipe schedule.
+    const double compute_upper =
+        round_trip + (M - 1.0) * max_compute + update_total;
+    est.pipelineBubbleSec += compute_upper - est.computeSec;
+
+    // vmem: each stage migrates its page groups (own stashes plus
+    // boundary inputs) out and back, M microbatch copies each.
+    est.vmemBandwidth = designVmemBandwidth(cfg);
+    double vmem_total = 0.0;
+    double vmem_max = 0.0;
+    for (int s = 0; s < P; ++s) {
+        double stage_bytes = 0.0;
+        for (LayerId id : strategy.stageStashLayers(s, plan))
+            stage_bytes += 2.0 * M
+                * strategy.offloadBytesPerDevice(net.layer(id))
+                / cfg.dmaCompressionRatio;
+        vmem_total += stage_bytes;
+        vmem_max = std::max(vmem_max, stage_bytes);
+    }
+    est.vmemBytes = vmem_max;
+    if (est.vmemBandwidth > 0.0) {
+        // Writebacks and fills ride opposite link directions, so the
+        // hard per-device floor is one direction's volume (half the
+        // round-trip bytes); the upper bound still serializes all of
+        // every stage's traffic.
+        est.vmemSec = vmem_max / 2.0 / est.vmemBandwidth;
+        est.pipelineBubbleSec +=
+            (vmem_total - vmem_max / 2.0) / est.vmemBandwidth;
+    }
+
+    // Boundary transfers: per boundary and direction, M microbatch
+    // payloads serialize on the connecting link.
+    double sync_total = 0.0;
+    double sync_max = 0.0;
+    for (int b = 0; b + 1 < P; ++b) {
+        const double bytes = strategy.boundaryBytesPerMicrobatch(b);
+        est.syncBytes += 2.0 * M * bytes;
+        const double dir_sec =
+            M * bytes / cfg.device.linkBandwidth
+            + M * ticksToSeconds(cfg.fabric.linkLatency);
+        sync_total += 2.0 * dir_sec;
+        sync_max = std::max(sync_max, dir_sec);
+    }
+    // Tied weight tensors spanning stages reduce their dW to the owner
+    // before its update; the transfers overlap the pipeline drain, so
+    // they only widen the upper bound.
+    for (const auto &[owner, member_stages] :
+         strategy.tieGroupStages()) {
+        const double bytes =
+            static_cast<double>(net.layer(owner).weightBytes());
+        const double senders =
+            static_cast<double>(member_stages.size() - 1);
+        est.syncBytes += senders * bytes;
+        sync_total += senders
+            * (bytes / cfg.device.linkBandwidth
+               + ticksToSeconds(cfg.fabric.linkLatency));
+    }
+    est.syncSec = sync_max;
+    est.pipelineBubbleSec += sync_total - sync_max;
+    return est;
+}
+
+} // anonymous namespace
+
+AnalyticEstimate
+estimateIteration(const SystemConfig &cfg, const Network &net,
+                  ParallelMode mode, std::int64_t global_batch,
+                  int pipeline_stages, int microbatches)
+{
+    AnalyticEstimate est;
+    const ParallelStrategy strategy(
+        net, mode, cfg.fabric.numDevices, global_batch,
+        PipelineConfig{pipeline_stages, microbatches, cfg.device});
     const OffloadPlan plan(net, cfg.offloadPolicy());
     const ComputeModel model(cfg.device);
+
+    if (mode == ParallelMode::Pipeline)
+        return estimatePipelineIteration(cfg, net, strategy, plan,
+                                         model);
 
     // Compute: sum of layer timings plus recompute charges.
     Tick compute = 0;

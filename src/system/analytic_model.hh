@@ -31,15 +31,39 @@ namespace mcdla
 /** Closed-form per-iteration estimate. */
 struct AnalyticEstimate
 {
+    /**
+     * Compute lower-bound component. For dp/mp this is the per-device
+     * serial compute; for pipeline it is the larger of the bottleneck
+     * stage's serial work and one full fwd+bwd round trip of a
+     * microbatch through every stage (the fill/drain critical path).
+     */
     double computeSec = 0.0;
+    /**
+     * Vmem lower-bound component: migration volume over the design's
+     * aggregate backing-store bandwidth (the bottleneck stage's volume
+     * under pipeline parallelism).
+     */
     double vmemSec = 0.0;
+    /**
+     * Communication lower-bound component: analytic ring-collective
+     * latencies (dp/mp), or the most loaded boundary link's serialized
+     * microbatch transfers (pipeline).
+     */
     double syncSec = 0.0;
+    /**
+     * Pipeline-only upper-bound slack: the fill/drain bubble and stage
+     * imbalance, plus the non-bottleneck stages' vmem and boundary
+     * traffic (which the lower-bound components exclude because they
+     * overlap across devices). Zero for dp/mp, keeping their bounds
+     * bit-identical to the pre-pipeline model.
+     */
+    double pipelineBubbleSec = 0.0;
 
     /** Aggregate backing-store bandwidth per device (bytes/s). */
     double vmemBandwidth = 0.0;
     /** Migration volume per device (offload + prefetch). */
     double vmemBytes = 0.0;
-    /** Collective payload per iteration. */
+    /** Collective (dp/mp) or boundary-transfer (pp) payload. */
     double syncBytes = 0.0;
 
     /** Perfect-overlap makespan bound. */
@@ -53,7 +77,7 @@ struct AnalyticEstimate
     double
     upperBoundSec() const
     {
-        return computeSec + vmemSec + syncSec;
+        return computeSec + pipelineBubbleSec + vmemSec + syncSec;
     }
 };
 
@@ -64,11 +88,16 @@ struct AnalyticEstimate
  * @param net Workload.
  * @param mode Parallelization.
  * @param global_batch Minibatch size.
+ * @param pipeline_stages Pipeline stage count (Pipeline mode only;
+ *        0 = one stage per device).
+ * @param microbatches GPipe microbatches (Pipeline mode only).
  */
 AnalyticEstimate estimateIteration(const SystemConfig &cfg,
                                    const Network &net,
                                    ParallelMode mode,
-                                   std::int64_t global_batch);
+                                   std::int64_t global_batch,
+                                   int pipeline_stages = 0,
+                                   int microbatches = 1);
 
 /**
  * Aggregate vmem bandwidth per device implied by a design (bytes/s):

@@ -6,7 +6,9 @@
 #include "system/training_session.hh"
 
 #include <algorithm>
+#include <set>
 
+#include "interconnect/flow.hh"
 #include "sim/logging.hh"
 
 namespace mcdla
@@ -14,52 +16,30 @@ namespace mcdla
 
 TrainingSession::TrainingSession(System &system, const Network &net,
                                  ParallelMode mode,
-                                 std::int64_t global_batch)
+                                 std::int64_t global_batch,
+                                 int pipeline_stages, int microbatches)
     : _system(system), _net(net),
-      _strategy(net, mode, system.numDevices(), global_batch),
+      _strategy(net, mode, system.numDevices(), global_batch,
+                PipelineConfig{pipeline_stages, microbatches,
+                               system.config().device}),
       _plan(net, system.config().offloadPolicy())
 {
     buildSchedule();
 }
 
-std::vector<LayerId>
-TrainingSession::effectiveProducers(LayerId id) const
+const std::vector<TrainingSession::OpSpec> &
+TrainingSession::program(int dev) const
 {
-    std::vector<LayerId> out;
-    std::vector<LayerId> work(_net.inputsOf(id));
-    while (!work.empty()) {
-        const LayerId p = work.back();
-        work.pop_back();
-        const Layer &layer = _net.layer(p);
-        if (layer.costClass() == CostClass::Structural
-            && layer.kind() != LayerKind::Input) {
-            for (LayerId pp : _net.inputsOf(p))
-                work.push_back(pp);
-        } else {
-            out.push_back(p);
-        }
-    }
-    return out;
+    if (_strategy.isPipeline())
+        return _stagePrograms.at(static_cast<std::size_t>(dev));
+    return _ops;
 }
 
-std::vector<LayerId>
-TrainingSession::effectiveConsumers(LayerId id) const
+LayerId
+TrainingSession::groupId(LayerId layer, int microbatch) const
 {
-    std::vector<LayerId> out;
-    std::vector<LayerId> work(_net.consumersOf(id));
-    while (!work.empty()) {
-        const LayerId c = work.back();
-        work.pop_back();
-        const Layer &layer = _net.layer(c);
-        if (layer.costClass() == CostClass::Structural
-            && layer.kind() != LayerKind::Input) {
-            for (LayerId cc : _net.consumersOf(c))
-                work.push_back(cc);
-        } else {
-            out.push_back(c);
-        }
-    }
-    return out;
+    return layer * static_cast<LayerId>(_strategy.microbatches())
+        + static_cast<LayerId>(microbatch);
 }
 
 void
@@ -73,6 +53,11 @@ TrainingSession::buildSchedule()
         _timings.push_back(model.layerTiming(
             _net.layer(id), _strategy.scaling(_net.layer(id))));
 
+    if (_strategy.isPipeline()) {
+        buildPipelineSchedule();
+        return;
+    }
+
     // Map each offloaded tensor to the op after which its last forward
     // use completes (the static plan's writeback trigger).
     std::map<LayerId, std::vector<LayerId>> offload_after; // trigger->ps
@@ -80,7 +65,7 @@ TrainingSession::buildSchedule()
         if (_plan.entry(id).action != TensorAction::Offload)
             continue;
         LayerId trigger = id;
-        for (LayerId c : effectiveConsumers(id))
+        for (LayerId c : _net.effectiveConsumers(id))
             trigger = std::max(trigger, c);
         offload_after[trigger].push_back(id);
     }
@@ -129,7 +114,7 @@ TrainingSession::buildSchedule()
                 access.reads.push_back(p);
         };
         need(id);
-        for (LayerId p : effectiveProducers(id))
+        for (LayerId p : _net.effectiveProducers(id))
             need(p);
 
         if (op.duration == 0 && !op.syncAfter && access.reads.empty())
@@ -167,9 +152,289 @@ TrainingSession::buildSchedule()
         _pagingSchedule[op_index].releases.push_back(layer);
 }
 
+void
+TrainingSession::buildPipelineSchedule()
+{
+    const PipelinePartition &part = _strategy.partition();
+    const int P = part.numStages();
+    const int M = _strategy.microbatches();
+    const int n = _system.numDevices();
+
+    if (n > P)
+        warn("%s: %d pipeline stages on %d devices; devices %d..%d "
+             "idle",
+             _net.name().c_str(), P, n, P, n - 1);
+
+    _stagePrograms.assign(static_cast<std::size_t>(n), {});
+    _stageSchedules.assign(static_cast<std::size_t>(n), {});
+    _stageTensors.assign(static_cast<std::size_t>(n), {});
+    _p2pRoutes.clear();
+    _p2pBytesTotal = 0.0;
+
+    // Boundary-transfer tokens: forward boundary b carries wave m with
+    // token b*M + m; backward transfers follow after (P-1)*M. Tied-dW
+    // reduction tokens are appended after the boundary ones.
+    auto fwd_token = [M](int boundary, int m) {
+        return boundary * M + m;
+    };
+    auto bwd_token = [M, P](int boundary, int m) {
+        return (P - 1) * M + boundary * M + m;
+    };
+    int next_token = 2 * (P - 1) * M;
+
+    // Tied weight tensors spanning stages: every member stage reduces
+    // its dW contribution to the owning stage before the owner's
+    // weight update. (owner, sender stage) -> token.
+    const std::map<LayerId, std::vector<int>> tie_groups =
+        _strategy.tieGroupStages();
+    std::map<std::pair<LayerId, int>, int> tie_tokens;
+    for (const auto &[owner, member_stages] : tie_groups) {
+        const int owner_stage = _strategy.stageOfLayer(owner);
+        for (int member : member_stages)
+            if (member != owner_stage)
+                tie_tokens[{owner, member}] = next_token++;
+    }
+    _p2pTokenCount = next_token;
+
+    auto ensure_route = [&](int src, int dst) {
+        if (_p2pRoutes.count(src * n + dst))
+            return;
+        Route route = _system.fabric().deviceRoute(src, dst);
+        if (!route.valid())
+            fatal("%s: no device-to-device path from %d to %d for "
+                  "pipeline transfers",
+                  systemDesignName(_system.config().design), src, dst);
+        _p2pRoutes.emplace(src * n + dst, std::move(route));
+    };
+    // Adjacent-stage boundary routes plus tied-dW reduction routes.
+    for (int b = 0; b + 1 < P; ++b) {
+        ensure_route(b, b + 1);
+        ensure_route(b + 1, b);
+    }
+    for (const auto &[key, token] : tie_tokens) {
+        (void)token;
+        ensure_route(key.second, _strategy.stageOfLayer(key.first));
+    }
+
+    for (int s = 0; s < P; ++s) {
+        auto &ops = _stagePrograms[static_cast<std::size_t>(s)];
+        auto &sched = _stageSchedules[static_cast<std::size_t>(s)];
+        const std::vector<LayerId> &stage_layers = part.stage(s).layers;
+
+        std::vector<LayerId> tensors =
+            _strategy.stageStashLayers(s, _plan);
+        _stageTensors[static_cast<std::size_t>(s)] = tensors;
+        const std::set<LayerId> tensor_set(tensors.begin(),
+                                           tensors.end());
+        std::map<LayerId, std::size_t> wave_index;
+        for (std::size_t i = 0; i < stage_layers.size(); ++i)
+            wave_index[stage_layers[i]] = i;
+
+        // Within one forward wave, each stashed tensor's writeback
+        // triggers at its last local forward use.
+        std::map<LayerId, std::size_t> trigger_offset;
+        for (LayerId t : tensors) {
+            std::size_t off = 0;
+            if (auto it = wave_index.find(t); it != wave_index.end())
+                off = it->second;
+            for (LayerId c : _net.effectiveConsumers(t))
+                if (auto it = wave_index.find(c);
+                    it != wave_index.end())
+                    off = std::max(off, it->second);
+            trigger_offset[t] = off;
+        }
+        // Boundary inputs become resident when the wave's first op can
+        // run (their activations arrived with the recv).
+        std::vector<LayerId> boundary_inputs;
+        for (LayerId t : tensors)
+            if (wave_index.count(t) == 0)
+                boundary_inputs.push_back(t);
+
+        // Forward waves, one per microbatch.
+        for (int m = 0; m < M; ++m) {
+            const std::size_t wave_start = ops.size();
+            for (LayerId id : stage_layers) {
+                OpSpec op;
+                op.kind = OpSpec::Kind::Fwd;
+                op.layer = id;
+                op.duration =
+                    _timings[static_cast<std::size_t>(id)].forward;
+
+                PageAccess access;
+                if (tensor_set.count(id))
+                    access.produces.push_back(groupId(id, m));
+                ops.push_back(std::move(op));
+                sched.push_back(std::move(access));
+            }
+            for (LayerId p : boundary_inputs)
+                sched[wave_start].produces.push_back(groupId(p, m));
+            for (const auto &[tensor, off] : trigger_offset)
+                sched[wave_start + off].planWritebacks.push_back(
+                    groupId(tensor, m));
+            if (s > 0)
+                ops[wave_start].recvTokens.push_back(
+                    fwd_token(s - 1, m));
+            if (s + 1 < P) {
+                const double bytes =
+                    _strategy.boundaryBytesPerMicrobatch(s);
+                ops.back().sends.push_back(
+                    P2pSend{fwd_token(s, m), s + 1, bytes});
+                _p2pBytesTotal += bytes;
+            }
+        }
+
+        // Backward waves in reverse microbatch order (GPipe drains the
+        // last-filled microbatch first).
+        for (int m = M - 1; m >= 0; --m) {
+            const std::size_t wave_start = ops.size();
+            for (auto it = stage_layers.rbegin();
+                 it != stage_layers.rend(); ++it) {
+                const LayerId id = *it;
+                const LayerTiming &t =
+                    _timings[static_cast<std::size_t>(id)];
+
+                OpSpec op;
+                op.kind = OpSpec::Kind::Bwd;
+                op.layer = id;
+                op.duration = t.backward;
+                if (_plan.entry(id).action == TensorAction::Recompute)
+                    op.duration += t.forward;
+
+                PageAccess access;
+                auto need = [&](LayerId p) {
+                    if (tensor_set.count(p))
+                        access.reads.push_back(groupId(p, m));
+                };
+                need(id);
+                for (LayerId p : _net.effectiveProducers(id))
+                    need(p);
+
+                if (op.duration == 0 && access.reads.empty())
+                    continue; // structural no-op
+                ops.push_back(std::move(op));
+                sched.push_back(std::move(access));
+            }
+            if (ops.size() == wave_start) {
+                // All-structural stage: keep a zero-cost op so the
+                // boundary tokens have a carrier.
+                OpSpec op;
+                op.kind = OpSpec::Kind::Bwd;
+                op.layer = stage_layers.front();
+                ops.push_back(std::move(op));
+                sched.emplace_back();
+            }
+            if (s + 1 < P)
+                ops[wave_start].recvTokens.push_back(bwd_token(s, m));
+            if (s > 0) {
+                const double bytes =
+                    _strategy.boundaryBytesPerMicrobatch(s - 1);
+                ops.back().sends.push_back(
+                    P2pSend{bwd_token(s - 1, m), s - 1, bytes});
+                _p2pBytesTotal += bytes;
+            }
+        }
+
+        // Tied-dW reduction: once this stage's final backward wave
+        // retires, its accumulated contributions to remotely-owned tied
+        // weight tensors travel to the owning stage.
+        for (const auto &[owner, member_stages] : tie_groups) {
+            (void)member_stages;
+            auto it = tie_tokens.find({owner, s});
+            if (it == tie_tokens.end())
+                continue;
+            const double bytes = static_cast<double>(
+                _net.layer(owner).weightBytes());
+            ops.back().sends.push_back(P2pSend{
+                it->second, _strategy.stageOfLayer(owner), bytes});
+            _p2pBytesTotal += bytes;
+        }
+
+        // Stage-local weight updates. No dW collective to gate on, but
+        // the owner of a stage-spanning tied weight tensor waits for
+        // the other member stages' dW contributions.
+        const auto &topo = _net.topoOrder();
+        for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+            const LayerId id = *it;
+            if (part.stageOf(id) != s)
+                continue;
+            const Layer &layer = _net.layer(id);
+            if (!layer.hasWeights() || layer.weightsTied())
+                continue;
+            OpSpec op;
+            op.kind = OpSpec::Kind::Wup;
+            op.layer = id;
+            op.duration =
+                _timings[static_cast<std::size_t>(id)].weightUpdate;
+            if (auto group = tie_groups.find(id);
+                group != tie_groups.end()) {
+                for (int member : group->second)
+                    if (member != s)
+                        op.recvTokens.push_back(
+                            tie_tokens.at({id, member}));
+            }
+            ops.push_back(std::move(op));
+            sched.emplace_back();
+        }
+
+        // Each page group dies at its last reader.
+        std::map<LayerId, std::size_t> last_reader;
+        for (std::size_t i = 0; i < sched.size(); ++i)
+            for (LayerId group : sched[i].reads)
+                last_reader[group] = i;
+        for (const auto &[group, op_index] : last_reader)
+            sched[op_index].releases.push_back(group);
+    }
+}
+
+std::uint64_t
+TrainingSession::stageFootprintBytes(int s) const
+{
+    const PipelineStage &stage = _strategy.partition().stage(s);
+    const auto mb =
+        static_cast<std::uint64_t>(_strategy.microbatchSize());
+    const auto waves =
+        static_cast<std::uint64_t>(_strategy.microbatches());
+    std::uint64_t resident = 0;
+    std::uint64_t largest = 0;
+    std::set<LayerId> kept_inputs;
+    for (LayerId id : stage.layers) {
+        const Layer &layer = _net.layer(id);
+        const TensorPlan &entry = _plan.entry(id);
+        // Every microbatch's kept stash is live across the fwd->bwd
+        // turn of the pipeline.
+        if (entry.action == TensorAction::KeepLocal) {
+            resident += (entry.outBytesPerSample
+                         + entry.auxBytesPerSample)
+                * mb * waves;
+        }
+        const std::uint64_t working =
+            (layer.inBytesPerSample() + layer.outBytesPerSample()
+             + layer.auxStashBytesPerSample())
+            * mb;
+        largest = std::max(largest, working);
+        // Received boundary activations the plan does not page stay
+        // resident until their backward wave.
+        for (LayerId p : _net.effectiveProducers(id)) {
+            if (_strategy.stageOfLayer(p) < s
+                && _plan.entry(p).action != TensorAction::Offload)
+                kept_inputs.insert(p);
+        }
+    }
+    for (LayerId p : kept_inputs)
+        resident += _net.layer(p).outBytesPerSample() * mb * waves;
+    return _strategy.stageWeightBytes(s) + resident + largest;
+}
+
 std::uint64_t
 TrainingSession::footprintBytesPerDevice() const
 {
+    if (_strategy.isPipeline()) {
+        std::uint64_t worst = 0;
+        for (int s = 0; s < _strategy.pipelineStages(); ++s)
+            worst = std::max(worst, stageFootprintBytes(s));
+        return worst;
+    }
+
     const std::int64_t batch = _strategy.perDeviceBatch();
     std::uint64_t resident = 0;
     std::uint64_t largest = 0;
@@ -206,6 +471,46 @@ TrainingSession::allocateBuffers()
 
     const int n = _system.numDevices();
     _remotePtrs.assign(static_cast<std::size_t>(n), {});
+
+    if (_strategy.isPipeline()) {
+        const int P = _strategy.pipelineStages();
+        const int M = _strategy.microbatches();
+        for (int d = 0; d < n; ++d) {
+            DeviceAddressSpace &space = _system.addressSpace(d);
+            const std::uint64_t footprint =
+                d < P ? stageFootprintBytes(d) : 0;
+            if (!space.fitsLocal(footprint)) {
+                fatal("%s: stage-%d footprint %s exceeds devicelocal "
+                      "capacity %s for %s (batch %lld, %s, %d stages x "
+                      "%d microbatches) — the memory capacity wall; "
+                      "raise --microbatches or --pipeline-stages",
+                      systemDesignName(_system.config().design), d,
+                      formatBytes(
+                          static_cast<double>(footprint)).c_str(),
+                      formatBytes(static_cast<double>(
+                          space.localCapacity())).c_str(),
+                      _net.name().c_str(),
+                      static_cast<long long>(_strategy.globalBatch()),
+                      parallelModeName(_strategy.mode()), P, M);
+            }
+            space.mallocLocal(footprint);
+            if (d >= P)
+                continue;
+            for (LayerId layer :
+                 _stageTensors[static_cast<std::size_t>(d)]) {
+                const double bytes = _strategy.offloadBytesPerDevice(
+                    _net.layer(layer));
+                for (int m = 0; m < M; ++m) {
+                    _remotePtrs[static_cast<std::size_t>(d)]
+                               [groupId(layer, m)] =
+                        _system.runtime(d).mallocRemote(
+                            static_cast<std::uint64_t>(bytes) + 1);
+                }
+            }
+        }
+        createPagers();
+        return;
+    }
 
     for (int d = 0; d < n; ++d) {
         DeviceAddressSpace &space = _system.addressSpace(d);
@@ -248,18 +553,30 @@ TrainingSession::createPagers()
     const int n = _system.numDevices();
     const SystemConfig &cfg = _system.config();
     const auto layer_count = static_cast<std::size_t>(_net.size());
+    const bool pipeline = _strategy.isPipeline();
+    const auto waves = pipeline
+        ? static_cast<std::size_t>(_strategy.microbatches())
+        : std::size_t{1};
+    const std::size_t group_count = layer_count * waves;
 
-    std::vector<double> wire_bytes(layer_count, 0.0);
-    std::vector<std::uint64_t> frame_bytes(layer_count, 0);
+    std::vector<double> wire_bytes(group_count, 0.0);
+    std::vector<std::uint64_t> frame_bytes(group_count, 0);
+    std::vector<LayerId> group_layer;
+    if (pipeline) {
+        group_layer.resize(group_count);
+        for (std::size_t g = 0; g < group_count; ++g)
+            group_layer[g] = static_cast<LayerId>(g / waves);
+    }
     for (LayerId id = 0; id < static_cast<LayerId>(_net.size()); ++id) {
         if (_plan.entry(id).action != TensorAction::Offload)
             continue;
         const double bytes =
             _strategy.offloadBytesPerDevice(_net.layer(id));
-        wire_bytes[static_cast<std::size_t>(id)] =
-            bytes / cfg.dmaCompressionRatio;
-        frame_bytes[static_cast<std::size_t>(id)] =
-            static_cast<std::uint64_t>(bytes) + 1;
+        for (std::size_t m = 0; m < waves; ++m) {
+            const auto g = static_cast<std::size_t>(id) * waves + m;
+            wire_bytes[g] = bytes / cfg.dmaCompressionRatio;
+            frame_bytes[g] = static_cast<std::uint64_t>(bytes) + 1;
+        }
     }
 
     _pagers.clear();
@@ -268,16 +585,22 @@ TrainingSession::createPagers()
         wiring.runtime = &_system.runtime(d);
         wiring.remotePtrs = &_remotePtrs[static_cast<std::size_t>(d)];
         wiring.net = &_net;
-        wiring.schedule = &_pagingSchedule;
+        wiring.schedule = pipeline
+            ? &_stageSchedules[static_cast<std::size_t>(d)]
+            : &_pagingSchedule;
         wiring.wireBytes = wire_bytes;
         wiring.frameBytes = frame_bytes;
+        wiring.groupLayer = group_layer;
         // HBM left after weights, keep-local stash, and working
         // buffers is the stash frame budget.
         const DeviceAddressSpace &space = _system.addressSpace(d);
         wiring.frameCapacity =
             space.localCapacity() - space.localUsed();
         wiring.config = cfg.paging;
-        wiring.tracker = d == 0 ? &_vmemTracker : nullptr;
+        // SPMD modes track device 0's DMA (every device is the same);
+        // pipeline unions all stages so vmemSec reflects the machine.
+        wiring.tracker =
+            (pipeline || d == 0) ? &_vmemTracker : nullptr;
         _pagers.push_back(std::make_unique<DevicePager>(
             "dev" + std::to_string(d) + ".pager", std::move(wiring)));
     }
@@ -302,15 +625,27 @@ void
 TrainingSession::tryIssue(int dev)
 {
     DeviceCtx &ctx = _devs[static_cast<std::size_t>(dev)];
-    if (ctx.running || ctx.nextOp >= _ops.size())
+    const std::vector<OpSpec> &ops = program(dev);
+    if (ctx.running || ctx.nextOp >= ops.size())
         return;
-    const OpSpec &op = _ops[ctx.nextOp];
+    const OpSpec &op = ops[ctx.nextOp];
 
     Latch *wait = nullptr;
     int cat = 0;
     if (ctx.blockingGate && !ctx.blockingGate->done()) {
         wait = ctx.blockingGate;
         cat = 1;
+    }
+    if (!wait) {
+        for (int token : op.recvTokens) {
+            Latch *recv = _p2pLatches.at(
+                static_cast<std::size_t>(token)).get();
+            if (!recv->done()) {
+                wait = recv;
+                cat = 1;
+                break;
+            }
+        }
     }
     if (!wait) {
         if (Latch *gate =
@@ -344,13 +679,12 @@ TrainingSession::tryIssue(int dev)
         _pagers[static_cast<std::size_t>(dev)]->noteStall(
             now - ctx.readyAt);
     }
-    if (dev == 0) {
-        _computeTicks += op.duration;
-        if (ctx.waitedCat == 1)
-            _stallSync += now - ctx.readyAt;
-        else if (ctx.waitedCat == 2)
-            _stallVmem += now - ctx.readyAt;
-    }
+    const auto udev = static_cast<std::size_t>(dev);
+    _computeTicks[udev] += op.duration;
+    if (ctx.waitedCat == 1)
+        _stallSync[udev] += now - ctx.readyAt;
+    else if (ctx.waitedCat == 2)
+        _stallVmem[udev] += now - ctx.readyAt;
     ctx.waitedCat = 0;
     _system.device(dev).occupyCompute(now, op.duration);
     _system.eventQueue().scheduleAfter(
@@ -359,11 +693,54 @@ TrainingSession::tryIssue(int dev)
 }
 
 void
+TrainingSession::issueP2p(int src, const P2pSend &send)
+{
+    Latch *latch =
+        _p2pLatches.at(static_cast<std::size_t>(send.token)).get();
+    if (send.bytes <= 0.0) {
+        latch->complete();
+        return;
+    }
+    const Route &route =
+        _p2pRoutes.at(src * _system.numDevices() + send.dst);
+    const Tick launched = _system.eventQueue().now();
+    _syncTracker.begin(launched);
+    const int dst = send.dst;
+    sendFlow({route}, send.bytes,
+             _system.config().collectiveChunkBytes,
+             [this, latch, launched, src, dst] {
+                 const Tick now = _system.eventQueue().now();
+                 _syncTracker.end(now);
+                 if (_trace) {
+                     _trace->addSpan(
+                         "p2p",
+                         "xfer d" + std::to_string(src) + "->d"
+                             + std::to_string(dst),
+                         launched, now - launched, "sync");
+                 }
+                 latch->complete();
+             });
+}
+
+int
+TrainingSession::reportDevice() const
+{
+    if (!_strategy.isPipeline())
+        return 0;
+    int best = 0;
+    for (int d = 1; d < _system.numDevices(); ++d)
+        if (_computeTicks[static_cast<std::size_t>(d)]
+            > _computeTicks[static_cast<std::size_t>(best)])
+            best = d;
+    return best;
+}
+
+void
 TrainingSession::completeOp(int dev)
 {
     DeviceCtx &ctx = _devs[static_cast<std::size_t>(dev)];
     const std::size_t op_index = ctx.nextOp;
-    const OpSpec &op = _ops[op_index];
+    const OpSpec &op = program(dev)[op_index];
     ctx.running = false;
     ctx.readyAt = _system.eventQueue().now();
 
@@ -377,6 +754,9 @@ TrainingSession::completeOp(int dev)
     }
 
     _pagers[static_cast<std::size_t>(dev)]->opRetired(op_index);
+
+    for (const P2pSend &send : op.sends)
+        issueP2p(dev, send);
 
     if (op.syncAfter) {
         auto it = _syncPoints.find(op_index);
@@ -406,11 +786,14 @@ TrainingSession::run()
     _devs.assign(static_cast<std::size_t>(n), DeviceCtx{});
     _syncPoints.clear();
     _dwSync.clear();
+    _p2pLatches.clear();
+    for (int t = 0; t < _p2pTokenCount; ++t)
+        _p2pLatches.push_back(std::make_unique<Latch>());
     _syncTracker.reset();
     _vmemTracker.reset();
-    _computeTicks = 0;
-    _stallSync = 0;
-    _stallVmem = 0;
+    _computeTicks.assign(static_cast<std::size_t>(n), 0);
+    _stallSync.assign(static_cast<std::size_t>(n), 0);
+    _stallVmem.assign(static_cast<std::size_t>(n), 0);
     _startTick = eq.now();
     const std::uint64_t events_before = eq.executedCount();
 
@@ -419,36 +802,42 @@ TrainingSession::run()
             d == 0 ? _trace : nullptr);
 
     double sync_bytes = 0.0;
-    for (std::size_t i = 0; i < _ops.size(); ++i) {
-        if (!_ops[i].syncAfter)
-            continue;
-        const SyncOp sync = *_ops[i].syncAfter;
-        sync_bytes += sync.bytes;
-        const std::string sync_label =
-            std::string(collectiveKindName(sync.kind)) + " "
-            + _net.layer(_ops[i].layer).name();
-        auto point = std::make_unique<SyncPoint>(
-            n, [this, sync, sync_label](Latch &latch) {
-                const Tick launched = _system.eventQueue().now();
-                _syncTracker.begin(launched);
-                _system.collectives().launch(
-                    sync.kind, sync.bytes,
-                    [this, &latch, launched, sync_label] {
-                        const Tick now = _system.eventQueue().now();
-                        _syncTracker.end(now);
-                        if (_trace)
-                            _trace->addSpan("collectives", sync_label,
-                                            launched, now - launched,
-                                            "sync");
-                        latch.complete();
-                    });
-            });
-        if (_ops[i].kind == OpSpec::Kind::Bwd
-            && _ops[i].syncAfter->kind == CollectiveKind::AllReduce
-            && !_ops[i].syncAfter->blocking) {
-            _dwSync[_ops[i].layer] = point.get();
+    if (_strategy.isPipeline()) {
+        // Boundary activations forward + gradients backward; no
+        // collectives to set up.
+        sync_bytes = _p2pBytesTotal;
+    } else {
+        for (std::size_t i = 0; i < _ops.size(); ++i) {
+            if (!_ops[i].syncAfter)
+                continue;
+            const SyncOp sync = *_ops[i].syncAfter;
+            sync_bytes += sync.bytes;
+            const std::string sync_label =
+                std::string(collectiveKindName(sync.kind)) + " "
+                + _net.layer(_ops[i].layer).name();
+            auto point = std::make_unique<SyncPoint>(
+                n, [this, sync, sync_label](Latch &latch) {
+                    const Tick launched = _system.eventQueue().now();
+                    _syncTracker.begin(launched);
+                    _system.collectives().launch(
+                        sync.kind, sync.bytes,
+                        [this, &latch, launched, sync_label] {
+                            const Tick now = _system.eventQueue().now();
+                            _syncTracker.end(now);
+                            if (_trace)
+                                _trace->addSpan("collectives",
+                                                sync_label, launched,
+                                                now - launched, "sync");
+                            latch.complete();
+                        });
+                });
+            if (_ops[i].kind == OpSpec::Kind::Bwd
+                && _ops[i].syncAfter->kind == CollectiveKind::AllReduce
+                && !_ops[i].syncAfter->blocking) {
+                _dwSync[_ops[i].layer] = point.get();
+            }
+            _syncPoints.emplace(i, std::move(point));
         }
-        _syncPoints.emplace(i, std::move(point));
     }
 
     // Start every device's program.
@@ -460,21 +849,31 @@ TrainingSession::run()
 
     // Deadlock check: every device must have drained its program.
     for (int d = 0; d < n; ++d) {
-        if (_devs[static_cast<std::size_t>(d)].nextOp != _ops.size())
+        if (_devs[static_cast<std::size_t>(d)].nextOp
+            != program(d).size())
             panic("device %d stalled at op %zu/%zu — scheduling deadlock",
                   d, _devs[static_cast<std::size_t>(d)].nextOp,
-                  _ops.size());
+                  program(d).size());
     }
+
+    // Device 0 represents the SPMD modes; pipeline reports the
+    // bottleneck stage's view (the perf canary would otherwise watch
+    // whatever landed on stage 0).
+    const int report = reportDevice();
+    const auto ureport = static_cast<std::size_t>(report);
 
     IterationResult result;
     result.makespan = eq.now() - _startTick;
-    result.breakdown.computeSec = ticksToSeconds(_computeTicks);
+    result.breakdown.computeSec =
+        ticksToSeconds(_computeTicks[ureport]);
     result.breakdown.syncSec =
         ticksToSeconds(_syncTracker.total(eq.now()));
     result.breakdown.vmemSec =
         ticksToSeconds(_vmemTracker.total(eq.now()));
-    result.breakdown.exposedSyncSec = ticksToSeconds(_stallSync);
-    result.breakdown.exposedVmemSec = ticksToSeconds(_stallVmem);
+    result.breakdown.exposedSyncSec =
+        ticksToSeconds(_stallSync[ureport]);
+    result.breakdown.exposedVmemSec =
+        ticksToSeconds(_stallVmem[ureport]);
     result.hostBytes = _system.fabric().hostBytes();
     const int sockets = _system.config().fabric.numSockets;
     if (result.makespan > 0 && sockets > 0) {
@@ -483,11 +882,12 @@ TrainingSession::run()
             / static_cast<double>(sockets);
     }
     result.hostPeakBwPerSocket = _system.fabric().hostPeakBandwidth();
-    result.offloadBytesPerDevice = _system.dma(0).bytesOffloaded()
-        + _system.dma(0).bytesPrefetched();
+    result.offloadBytesPerDevice =
+        _system.dma(report).bytesOffloaded()
+        + _system.dma(report).bytesPrefetched();
     result.syncBytes = sync_bytes;
     result.eventsExecuted = eq.executedCount() - events_before;
-    result.paging = _pagers[0]->counters();
+    result.paging = _pagers[ureport]->counters();
     return result;
 }
 

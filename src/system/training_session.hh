@@ -2,9 +2,9 @@
  * @file
  * TrainingSession: event-driven simulation of one training iteration.
  *
- * Every device runs the same SPMD program — forward pass in topological
- * order, backward pass in reverse, then weight updates — on its serial
- * compute stream, while:
+ * Under data/model parallelism every device runs the same SPMD program
+ * — forward pass in topological order, backward pass in reverse, then
+ * weight updates — on its serial compute stream, while:
  *
  *  - the paged device-memory subsystem (src/vmem/paging) migrates each
  *    stashed tensor between device HBM and the backing store under the
@@ -18,11 +18,19 @@
  *    model-parallel X/dX aggregation, update-gating for data-parallel
  *    dW all-reduce).
  *
+ * Under pipeline parallelism each device instead runs its own stage
+ * program (GPipe-style): M microbatch forward waves, M backward waves
+ * in reverse microbatch order, then stage-local weight updates. Stages
+ * exchange boundary activations and gradients point-to-point on the
+ * fabric — no collectives — and each stage drives a stage-local pager
+ * whose page groups are (tensor, microbatch) pairs.
+ *
  * All traffic shares the fabric's channels, so the contention between
- * collectives and virtualization DMA — the crux of the MC-DLA trade-off —
- * is captured by construction. The session reports both the Figure 11
- * per-category latency totals (union of busy intervals per category) and
- * the overlapped makespan used by Figures 13/14.
+ * collectives/boundary transfers and virtualization DMA — the crux of
+ * the MC-DLA trade-off — is captured by construction. The session
+ * reports both the Figure 11 per-category latency totals (union of busy
+ * intervals per category) and the overlapped makespan used by
+ * Figures 13/14.
  */
 
 #ifndef MCDLA_SYSTEM_TRAINING_SESSION_HH
@@ -48,7 +56,7 @@ namespace mcdla
 struct LatencyBreakdown
 {
     double computeSec = 0.0; ///< Forward+backward+update busy time.
-    double syncSec = 0.0;    ///< Union of collective in-flight intervals.
+    double syncSec = 0.0;    ///< Union of collective/p2p in-flight time.
     double vmemSec = 0.0;    ///< Union of vmem DMA in-flight intervals.
     double exposedSyncSec = 0.0; ///< Compute stalls attributed to sync.
     double exposedVmemSec = 0.0; ///< Compute stalls attributed to vmem.
@@ -69,9 +77,11 @@ struct IterationResult
     double hostAvgBwPerSocket = 0.0;  ///< Figure 12 "avg" series.
     double hostPeakBwPerSocket = 0.0; ///< Figure 12 "max" series.
     double offloadBytesPerDevice = 0.0;
-    double syncBytes = 0.0;        ///< Collective payload launched.
+    double syncBytes = 0.0;        ///< Collective/p2p payload launched.
     std::uint64_t eventsExecuted = 0;
-    PagingCounters paging;         ///< Device-0 paging activity.
+    /** Paging activity of the reported device: device 0 for the SPMD
+        modes, the busiest (bottleneck) stage under pipeline. */
+    PagingCounters paging;
 
     double iterationSeconds() const { return ticksToSeconds(makespan); }
 
@@ -91,11 +101,15 @@ class TrainingSession
     /**
      * @param system Composed design point.
      * @param net Workload network.
-     * @param mode Data- or model-parallel.
+     * @param mode Data-, model-, or pipeline-parallel.
      * @param global_batch Total minibatch (512 in the paper).
+     * @param pipeline_stages Pipeline stage count (--mode pp only;
+     *        0 = one stage per device).
+     * @param microbatches GPipe microbatches per iteration (pp only).
      */
     TrainingSession(System &system, const Network &net, ParallelMode mode,
-                    std::int64_t global_batch);
+                    std::int64_t global_batch, int pipeline_stages = 0,
+                    int microbatches = 1);
 
     const ParallelStrategy &strategy() const { return _strategy; }
     const OffloadPlan &plan() const { return _plan; }
@@ -103,6 +117,7 @@ class TrainingSession
     /**
      * Per-device memory demand if nothing were offloaded: weights +
      * resident stash + working buffers. Used for capacity-wall checks.
+     * Under pipeline parallelism this is the worst stage's demand.
      */
     std::uint64_t footprintBytesPerDevice() const;
 
@@ -111,7 +126,7 @@ class TrainingSession
 
     /**
      * Attach a Chrome-tracing sink; subsequent iterations emit op, DMA,
-     * and collective spans (device-0 view plus the global sync track).
+     * and collective/p2p spans (device-0 view plus the global tracks).
      */
     void setTraceSink(TraceSink *sink) { _trace = sink; }
 
@@ -125,7 +140,15 @@ class TrainingSession
     void dumpPagingStats(std::ostream &os) const;
 
   private:
-    /// One scheduled operation of the SPMD program.
+    /// One pipeline point-to-point transfer attached to an op.
+    struct P2pSend
+    {
+        int token = -1;     ///< Latch completed when the flow drains.
+        int dst = -1;       ///< Destination device.
+        double bytes = 0.0; ///< Payload.
+    };
+
+    /// One scheduled operation of a device program.
     struct OpSpec
     {
         enum class Kind { Fwd, Bwd, Wup };
@@ -134,6 +157,11 @@ class TrainingSession
         Tick duration = 0;
         std::optional<SyncOp> syncAfter;
         bool needsDwLatch = false;
+        /// Pipeline: p2p latches this op must wait on before issuing
+        /// (boundary activation/gradient arrival, tied-dW reduction).
+        std::vector<int> recvTokens;
+        /// Pipeline: transfers launched when this op retires.
+        std::vector<P2pSend> sends;
     };
 
     /// Per-device execution state for one iteration.
@@ -149,45 +177,72 @@ class TrainingSession
     };
 
     void buildSchedule();
+    void buildPipelineSchedule();
     void allocateBuffers();
     void createPagers();
 
-    /// Producers whose outputs this layer's backward reads, looking
-    /// through structural views (concat).
-    std::vector<LayerId> effectiveProducers(LayerId id) const;
-    /// Consumers of this layer's output, looking through views.
-    std::vector<LayerId> effectiveConsumers(LayerId id) const;
+    /// Device @p dev's op program (the shared SPMD program for dp/mp,
+    /// the stage program for pipeline).
+    const std::vector<OpSpec> &program(int dev) const;
+
+    /// (tensor, microbatch) page-group id under pipeline parallelism.
+    LayerId groupId(LayerId layer, int microbatch) const;
+
+    /// HBM demand of stage @p s (weights + kept stash + working set).
+    std::uint64_t stageFootprintBytes(int s) const;
 
     void tryIssue(int dev);
     void completeOp(int dev);
+    /// Launch one pipeline point-to-point transfer.
+    void issueP2p(int src, const P2pSend &send);
+    /// The device whose view the iteration metrics report: device 0
+    /// for the SPMD modes, the busiest stage under pipeline.
+    int reportDevice() const;
 
     System &_system;
     const Network &_net;
     ParallelStrategy _strategy;
     OffloadPlan _plan;
 
+    /// Shared SPMD program (dp/mp modes).
     std::vector<OpSpec> _ops;
     /// Paging actions per op (produced stashes, plan writebacks, stash
-    /// reads, releases), consumed by the per-device pagers.
+    /// reads, releases), consumed by the per-device pagers (dp/mp).
     PagingSchedule _pagingSchedule;
+    /// Per-device stage programs and paging schedules (pipeline mode;
+    /// devices beyond the stage count idle with empty programs).
+    std::vector<std::vector<OpSpec>> _stagePrograms;
+    std::vector<PagingSchedule> _stageSchedules;
+    /// Offloaded stash tensors owned by each stage's pager.
+    std::vector<std::vector<LayerId>> _stageTensors;
     std::vector<LayerTiming> _timings;
     bool _allocated = false;
-    /// Remote allocations per device, by layer.
+    /// Remote allocations per device, by layer (dp/mp) or page-group
+    /// id (pipeline).
     std::vector<std::map<LayerId, RemotePtr>> _remotePtrs;
     /// Paged device-memory managers, one per device (persistent across
     /// iterations so history-based policies can learn).
     std::vector<std::unique_ptr<DevicePager>> _pagers;
+    /// Pipeline p2p routes, keyed src * numDevices + dst.
+    std::map<int, Route> _p2pRoutes;
+    int _p2pTokenCount = 0;
+    double _p2pBytesTotal = 0.0;
 
     // Per-iteration state.
     std::vector<DeviceCtx> _devs;
     std::map<std::size_t, std::unique_ptr<SyncPoint>> _syncPoints;
     std::map<LayerId, SyncPoint *> _dwSync;
+    /// Pipeline boundary-transfer latches, indexed by token.
+    std::vector<std::unique_ptr<Latch>> _p2pLatches;
     TraceSink *_trace = nullptr;
     ActivityTracker _syncTracker;
     ActivityTracker _vmemTracker;
-    Tick _computeTicks = 0;
-    Tick _stallSync = 0;
-    Tick _stallVmem = 0;
+    /// Per-device compute/stall totals; dp/mp report device 0 (the
+    /// SPMD program makes it representative), pipeline reports the
+    /// busiest stage.
+    std::vector<Tick> _computeTicks;
+    std::vector<Tick> _stallSync;
+    std::vector<Tick> _stallVmem;
     Tick _startTick = 0;
 };
 

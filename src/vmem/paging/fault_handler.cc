@@ -15,10 +15,12 @@ namespace mcdla
 FaultHandler::FaultHandler(
     VmemRuntime &runtime,
     const std::map<LayerId, RemotePtr> &remote_ptrs,
-    const std::vector<double> &wire_bytes, const Network &net,
+    const std::vector<double> &wire_bytes,
+    const std::vector<LayerId> &group_layer, const Network &net,
     ActivityTracker *tracker)
     : _runtime(runtime), _remotePtrs(remote_ptrs),
-      _wireBytes(wire_bytes), _net(net), _tracker(tracker)
+      _wireBytes(wire_bytes), _groupLayer(group_layer), _net(net),
+      _tracker(tracker)
 {}
 
 void
@@ -60,10 +62,15 @@ FaultHandler::transfer(LayerId layer, DmaDirection direction,
             const Tick now = _runtime.dma().now();
             if (tracked) {
                 _tracker->end(now);
-                if (_trace)
+                if (_trace) {
+                    const LayerId owner = _groupLayer.empty()
+                        ? layer
+                        : _groupLayer.at(
+                              static_cast<std::size_t>(layer));
                     _trace->addSpan("dev0.dma",
-                                    label + _net.layer(layer).name(),
+                                    label + _net.layer(owner).name(),
                                     issued, now - issued, "dma");
+                }
             }
             if (on_drain)
                 on_drain();

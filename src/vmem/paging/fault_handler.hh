@@ -46,8 +46,10 @@ class FaultHandler
 
     /**
      * @param runtime The device's Table I runtime.
-     * @param remote_ptrs Backing-store allocation per offloaded layer.
-     * @param wire_bytes Post-compression transfer size per layer.
+     * @param remote_ptrs Backing-store allocation per page group.
+     * @param wire_bytes Post-compression transfer size per page group.
+     * @param group_layer Group id -> producing layer (empty = groups
+     *                    are layer ids); trace-label decode only.
      * @param net Network (trace span labels).
      * @param tracker Figure 11 vmem activity tracker (device 0 only;
      *                nullptr elsewhere).
@@ -55,6 +57,7 @@ class FaultHandler
     FaultHandler(VmemRuntime &runtime,
                  const std::map<LayerId, RemotePtr> &remote_ptrs,
                  const std::vector<double> &wire_bytes,
+                 const std::vector<LayerId> &group_layer,
                  const Network &net, ActivityTracker *tracker);
 
     /**
@@ -115,6 +118,7 @@ class FaultHandler
     VmemRuntime &_runtime;
     const std::map<LayerId, RemotePtr> &_remotePtrs;
     const std::vector<double> &_wireBytes;
+    const std::vector<LayerId> &_groupLayer;
     const Network &_net;
     ActivityTracker *_tracker;
     TraceSink *_trace = nullptr;

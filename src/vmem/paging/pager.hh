@@ -75,10 +75,16 @@ class DevicePager
         const std::map<LayerId, RemotePtr> *remotePtrs = nullptr;
         const Network *net = nullptr;
         const PagingSchedule *schedule = nullptr;
-        /** Post-compression transfer bytes, indexed by layer. */
+        /** Post-compression transfer bytes, indexed by page group. */
         std::vector<double> wireBytes;
-        /** HBM frame bytes (uncompressed), indexed by layer. */
+        /** HBM frame bytes (uncompressed), indexed by page group. */
         std::vector<std::uint64_t> frameBytes;
+        /**
+         * Page-group id -> producing layer, for trace labels. Empty
+         * means groups are layer ids (dp/mp); pipeline sessions key
+         * groups by (layer, microbatch) and supply the decode here.
+         */
+        std::vector<LayerId> groupLayer;
         /** HBM left for stash frames after weights/working buffers. */
         std::uint64_t frameCapacity = 0;
         PagingConfig config;
@@ -139,6 +145,7 @@ class DevicePager
     VmemRuntime *_runtime;
     const PagingSchedule *_schedule;
     std::vector<double> _wireBytes;
+    std::vector<LayerId> _groupLayer;
     PagingConfig _cfg;
     PageTable _table;
     FaultHandler _fault;

@@ -38,8 +38,9 @@ enum class PrefetchPolicyKind
     /** No prefetch: consuming ops fault and stall on demand fills. */
     OnDemand,
     /**
-     * Fault-driven in iteration 1 while recording the access sequence;
-     * steady-state iterations prefetch ahead of the recorded sequence.
+     * Fault-driven while recording the access sequence (until a
+     * non-empty sequence exists); steady-state iterations prefetch
+     * ahead of the recorded sequence.
      */
     History,
 };

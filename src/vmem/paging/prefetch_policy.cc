@@ -40,11 +40,11 @@ void
 HistoryPrefetcher::beginIteration(DevicePager &pager)
 {
     (void)pager;
-    ++_iteration;
-    _recording = _iteration == 1;
+    // Record until a sequence exists: keying off "history empty"
+    // rather than an iteration counter keeps the policy learning
+    // through warmup iterations that generated no stash accesses.
+    _recording = _history.empty();
     _cursor = 0;
-    if (_recording)
-        _history.clear();
 }
 
 void
@@ -55,16 +55,21 @@ HistoryPrefetcher::accessed(DevicePager &pager, LayerId layer)
         return;
     }
     // Steady state: sync the cursor to this access's position in the
-    // recorded sequence (accesses repeat identically across
-    // iterations), then run ahead of it.
-    for (std::size_t i = _cursor; i < _history.size(); ++i) {
+    // recorded sequence, then run ahead of it. The scan wraps: a group
+    // re-accessed at an earlier position (a re-fault after eviction, or
+    // a stash read twice per iteration) must rewind the cursor, or
+    // prefetching silently issues from the wrong position — or stops
+    // entirely once the cursor runs off the end.
+    const std::size_t n = _history.size();
+    for (std::size_t step = 0; step < n; ++step) {
+        const std::size_t i = (_cursor + step) % n;
         if (_history[i] == layer) {
             _cursor = i + 1;
             break;
         }
     }
     const std::size_t end = std::min(
-        _cursor + pager.config().lookahead, _history.size());
+        _cursor + pager.config().lookahead, n);
     for (std::size_t i = _cursor; i < end; ++i)
         pager.requestFill(_history[i], false);
 }

@@ -11,9 +11,11 @@
  *    lookahead window) and ignores HBM pressure;
  *  - on-demand issues no prefetch at all: consuming ops fault, stall,
  *    and fill on demand, with pressure-driven evictions;
- *  - history records the demand-access sequence in iteration 1 and,
- *    in steady state, prefetches ahead of its position in the recorded
- *    sequence.
+ *  - history records the demand-access sequence in its first
+ *    stash-accessing iteration and, in steady state, prefetches ahead
+ *    of its position in the recorded sequence (the position scan wraps
+ *    so eviction re-faults re-synchronize instead of desyncing the
+ *    cursor).
  */
 
 #ifndef MCDLA_VMEM_PAGING_PREFETCH_POLICY_HH
@@ -107,10 +109,11 @@ class HistoryPrefetcher : public PrefetchPolicy
 
     bool recording() const { return _recording; }
     const std::vector<LayerId> &history() const { return _history; }
+    /** Steady-state position in the recorded sequence (for tests). */
+    std::size_t cursor() const { return _cursor; }
 
   private:
     bool _recording = true;
-    std::size_t _iteration = 0;
     std::vector<LayerId> _history;
     std::size_t _cursor = 0;
 };

@@ -115,16 +115,19 @@ buildSyntheticNetwork(Random &rng, const SyntheticSpec &spec)
         // One cell type per network: tied weights must share a shape.
         const bool lstm = rng.below(2) == 0;
         LayerId h = x;
+        LayerId owner = invalidLayerId;
         for (std::int64_t t = 0; t < spec.recurrentTail; ++t) {
             Layer cell = lstm
                 ? Layer::lstmCell("t" + std::to_string(t), hidden)
                 : Layer::gruCell("t" + std::to_string(t), hidden);
             if (t > 0)
-                cell.markWeightsTied();
+                cell.markWeightsTied(owner);
             std::vector<LayerId> inputs{x};
             if (t > 0)
                 inputs.push_back(h);
             h = net.addLayer(std::move(cell), std::move(inputs));
+            if (t == 0)
+                owner = h;
         }
         x = h;
     }

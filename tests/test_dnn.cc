@@ -165,10 +165,28 @@ TEST(Layer, WeightTyingFlag)
 {
     Layer cell = Layer::lstmCell("t1", 64);
     EXPECT_FALSE(cell.weightsTied());
-    cell.markWeightsTied();
+    EXPECT_EQ(cell.tiedOwner(), invalidLayerId);
+    cell.markWeightsTied(7);
     EXPECT_TRUE(cell.weightsTied());
+    EXPECT_EQ(cell.tiedOwner(), 7);
     // Tied cells still report their (shared) parameter count.
     EXPECT_GT(cell.paramCount(), 0);
+}
+
+TEST(Network, UnrolledRnnCellsNameTheirOwner)
+{
+    const Network net = builders::buildRnnGemv(5, 64);
+    LayerId owner = invalidLayerId;
+    for (LayerId id = 0; id < static_cast<LayerId>(net.size()); ++id) {
+        const Layer &layer = net.layer(id);
+        if (!layer.isRecurrent())
+            continue;
+        if (!layer.weightsTied())
+            owner = id; // t0
+        else
+            EXPECT_EQ(layer.tiedOwner(), owner);
+    }
+    EXPECT_NE(owner, invalidLayerId);
 }
 
 // -------------------------------------------------------------- network

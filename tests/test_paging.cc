@@ -138,6 +138,22 @@ TEST(PagingConfig, PolicyTokensRoundTrip)
     LogConfig::throwOnError = false;
 }
 
+TEST(PagingConfig, RejectsNonPositiveLookahead)
+{
+    // A zero window silently produced a no-op prefetcher; it is a
+    // configuration error like the other capacity knobs.
+    LogConfig::throwOnError = true;
+    for (const char *value : {"0", "-3"}) {
+        OptionParser opts("t", "test");
+        Scenario::addOptions(opts);
+        const char *argv[] = {"t", "--prefetch-lookahead", value};
+        std::ostringstream err;
+        ASSERT_TRUE(opts.parse(3, argv, err));
+        EXPECT_THROW(Scenario::fromOptions(opts), FatalError);
+    }
+    LogConfig::throwOnError = false;
+}
+
 TEST(PagingConfig, ScenarioPlumbsPagingOptions)
 {
     OptionParser opts("t", "test");
@@ -250,6 +266,75 @@ TEST(Paging, HistoryWarmsUpToFullHitRate)
     // Steady state still pages the same groups, just earlier.
     EXPECT_EQ(warm.paging.writebacks, cold.paging.writebacks);
     EXPECT_LE(warm.makespan, cold.makespan);
+}
+
+TEST(Paging, HistoryCursorWrapsOnEarlierReaccess)
+{
+    // Regression: the steady-state cursor scan never wrapped, so a
+    // group re-accessed at a position before the cursor (a re-fault
+    // after eviction, or a stash read twice per iteration) left the
+    // cursor stale — prefetches then issued from the wrong position or
+    // stopped once the cursor ran off the end of the sequence.
+    const Network net = buildBenchmark("VGG-E");
+    EventQueue eq;
+    SystemConfig cfg;
+    cfg.design = SystemDesign::McDlaB;
+    cfg.paging.prefetch = PrefetchPolicyKind::History;
+    cfg.device.memCapacity = 3 * kGiB;
+    System system(eq, cfg);
+    TrainingSession session(system, net, ParallelMode::DataParallel,
+                            256);
+    session.run(); // Iteration 1 records the access sequence.
+
+    DevicePager &pager = session.pager(0);
+    ASSERT_EQ(pager.prefetchPolicy().kind(),
+              PrefetchPolicyKind::History);
+    auto &hist =
+        static_cast<HistoryPrefetcher &>(pager.prefetchPolicy());
+    ASSERT_GE(hist.history().size(), 3u);
+    const std::vector<LayerId> recorded = hist.history();
+
+    pager.beginIteration(nullptr); // Steady state.
+    EXPECT_FALSE(hist.recording());
+    EXPECT_EQ(hist.cursor(), 0u);
+
+    // Normal progress moves the cursor forward...
+    hist.accessed(pager, recorded[2]);
+    EXPECT_EQ(hist.cursor(), 3u);
+    // ...and a fault on an earlier position must rewind it (the old
+    // scan left it at 3, prefetching from the wrong place).
+    hist.accessed(pager, recorded[0]);
+    EXPECT_EQ(hist.cursor(), 1u);
+    // Prefetching resumes in sequence order from the re-sync point.
+    hist.accessed(pager, recorded[1]);
+    EXPECT_EQ(hist.cursor(), 2u);
+}
+
+TEST(Paging, HistoryRecordingKeyedOffEmptyHistory)
+{
+    const Network net = buildBenchmark("VGG-E");
+    EventQueue eq;
+    SystemConfig cfg;
+    cfg.design = SystemDesign::McDlaB;
+    cfg.paging.prefetch = PrefetchPolicyKind::History;
+    cfg.device.memCapacity = 3 * kGiB;
+    System system(eq, cfg);
+    TrainingSession session(system, net, ParallelMode::DataParallel,
+                            256);
+    session.run();
+    DevicePager &pager = session.pager(0);
+
+    // A policy whose warmup iterations produced no accesses keeps
+    // recording instead of latching off an iteration counter.
+    HistoryPrefetcher fresh;
+    fresh.beginIteration(pager);
+    EXPECT_TRUE(fresh.recording());
+    fresh.beginIteration(pager);
+    EXPECT_TRUE(fresh.recording()); // Still empty, still recording.
+    fresh.accessed(pager, 0);
+    EXPECT_EQ(fresh.history().size(), 1u);
+    fresh.beginIteration(pager);
+    EXPECT_FALSE(fresh.recording()); // Sequence exists; steady state.
 }
 
 TEST(Paging, HistorySteadyStateIsStable)

@@ -51,11 +51,12 @@ TEST(Scenario, AllSystemDesignsCoversTheEvaluationSet)
 
 TEST(Scenario, ModeTokenRoundTrips)
 {
-    for (ParallelMode mode : {ParallelMode::DataParallel,
-                              ParallelMode::ModelParallel}) {
+    for (ParallelMode mode : allParallelModes()) {
         EXPECT_EQ(parseParallelMode(parallelModeToken(mode)), mode);
         EXPECT_EQ(parseParallelMode(parallelModeName(mode)), mode);
     }
+    EXPECT_EQ(allParallelModes().size(), 3u);
+    EXPECT_EQ(parallelModeTokenList(), "dp, mp, pp");
 }
 
 class ScenarioErrors : public ThrowingErrors
@@ -68,7 +69,7 @@ TEST_F(ScenarioErrors, UnknownDesignIsFatal)
 
 TEST_F(ScenarioErrors, UnknownModeIsFatal)
 {
-    EXPECT_THROW(parseParallelMode("pipeline"), FatalError);
+    EXPECT_THROW(parseParallelMode("tensor"), FatalError);
 }
 
 TEST(Scenario, LabelNamesTheRun)
