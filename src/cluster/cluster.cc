@@ -1,0 +1,523 @@
+/**
+ * @file
+ * Cluster implementation.
+ */
+
+#include "cluster/cluster.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "system/analytic_model.hh"
+#include "vmem/offload_plan.hh"
+
+namespace mcdla
+{
+
+std::uint64_t
+Cluster::jobPoolBytes(const JobSpec &spec, const Network &net,
+                      const SystemConfig &cfg,
+                      std::uint64_t page_bytes)
+{
+    if (!designVirtualizesMemory(cfg.design))
+        return 0;
+
+    auto roundToPoolPages = [page_bytes](double bytes) {
+        const auto b = static_cast<std::uint64_t>(bytes) + 1;
+        return (b + page_bytes - 1) / page_bytes * page_bytes;
+    };
+
+    const OffloadPlan plan(net, cfg.offloadPolicy());
+    const ParallelStrategy strategy(
+        net, spec.mode, spec.devices, spec.batch,
+        PipelineConfig{spec.pipelineStages, spec.microbatches,
+                       cfg.device});
+
+    std::uint64_t total = 0;
+    if (strategy.isPipeline()) {
+        const auto waves =
+            static_cast<std::uint64_t>(strategy.microbatches());
+        for (int s = 0; s < strategy.pipelineStages(); ++s)
+            for (LayerId layer : strategy.stageStashLayers(s, plan))
+                total += waves
+                    * roundToPoolPages(strategy.offloadBytesPerDevice(
+                        net.layer(layer)));
+        return total;
+    }
+
+    std::uint64_t per_device = 0;
+    for (LayerId id = 0; id < static_cast<LayerId>(net.size()); ++id) {
+        if (plan.entry(id).action != TensorAction::Offload)
+            continue;
+        per_device += roundToPoolPages(
+            strategy.offloadBytesPerDevice(net.layer(id)));
+    }
+    return per_device * static_cast<std::uint64_t>(spec.devices);
+}
+
+Cluster::Cluster(ClusterConfig cfg, std::vector<JobSpec> jobs)
+    : _cfg(std::move(cfg)), _specs(std::move(jobs))
+{
+    std::stable_sort(_specs.begin(), _specs.end(),
+                     [](const JobSpec &a, const JobSpec &b) {
+                         return a.arrivalSec < b.arrivalSec;
+                     });
+
+    _system = std::make_unique<System>(_eq, _cfg.base.config());
+    _poolCapacity = computePoolCapacity();
+    _pool = makePoolAllocator(_cfg.allocator, _poolCapacity);
+    _scheduler = makeScheduler(_cfg.scheduler);
+
+    for (int d = 0; d < _system->numDevices(); ++d)
+        _freeDevices.insert(d);
+
+    // The shared pool replaces the static per-device carve-out of the
+    // standalone design: capacity is enforced here, so every device's
+    // remote window is widened to the pool and the address space only
+    // decides placement (the LOCAL/BW_AWARE traffic fractions).
+    for (int d = 0; d < _system->numDevices(); ++d)
+        _system->addressSpace(d).uncapRemoteRegions(_poolCapacity);
+
+    _outcomes.resize(_specs.size());
+    for (std::size_t i = 0; i < _specs.size(); ++i) {
+        if (_specs[i].name.empty())
+            _specs[i].name = "job" + std::to_string(i);
+        _outcomes[i].spec = _specs[i];
+        _outcomes[i].arrivalSec = _specs[i].arrivalSec;
+    }
+}
+
+std::uint64_t
+Cluster::computePoolCapacity() const
+{
+    // Sum each distinct backing-store target once: every memory-node
+    // reachable from any device (halves of one board merge back into
+    // the full board), or the host DRAM for the PCIe designs.
+    std::uint64_t total = 0;
+    bool host_counted = false;
+    std::set<int> nodes;
+    const SystemConfig &cfg = _system->config();
+    for (int d = 0; d < _system->numDevices(); ++d) {
+        const DeviceAddressSpace &space = _system->addressSpace(d);
+        for (std::size_t r = 0; r < space.regionCount(); ++r) {
+            const RemoteRegion &region = space.region(r);
+            if (region.targetIndex < 0) {
+                if (!host_counted)
+                    total += cfg.hostMemoryCapacity;
+                host_counted = true;
+            } else if (nodes.insert(region.targetIndex).second) {
+                total += cfg.memNode.capacity();
+            }
+        }
+    }
+    // Designs without a backing store (the oracle) never allocate;
+    // give the allocator a token capacity so it can exist.
+    return total > 0 ? total : 1;
+}
+
+ClusterReport
+Cluster::run()
+{
+    if (_ran)
+        fatal("a Cluster can only run once");
+    _ran = true;
+
+    for (std::size_t i = 0; i < _specs.size(); ++i) {
+        _eq.schedule(secondsToTicks(_specs[i].arrivalSec),
+                     [this, i] { onArrival(i); }, "job_arrival");
+    }
+    _eq.run();
+
+    if (!_queue.empty()) {
+        panic("cluster drained with %zu jobs still queued (first: %s)",
+              _queue.size(),
+              _specs[_queue.front().jobIndex].label().c_str());
+    }
+    if (!_active.empty())
+        panic("cluster drained with %zu jobs still running",
+              _active.size());
+
+    ClusterReport report;
+    report.jobs = _outcomes;
+    report.timeline = _timeline;
+    report.makespanSec = ticksToSeconds(_eq.now());
+    report.scheduler = _cfg.scheduler;
+    report.allocator = _cfg.allocator;
+    report.poolCapacity = _poolCapacity;
+    report.poolPeakUsed = _pool->peakUsedBytes();
+    report.allocationFailures = _pool->allocationFailures();
+    return report;
+}
+
+void
+Cluster::onArrival(std::size_t index)
+{
+    const JobSpec &spec = _specs[index];
+    JobOutcome &outcome = _outcomes[index];
+
+    const Network &net = *_networks.network(spec.workload);
+
+    // Infeasible jobs can never start; reject them instead of wedging
+    // the queue (or, worse, letting ParallelStrategy's constructor
+    // kill the whole cluster run mid-stream). The shape checks mirror
+    // the strategy's own fatal paths.
+    bool feasible =
+        spec.devices >= 1 && spec.devices <= _system->numDevices();
+    if (feasible && spec.mode == ParallelMode::Pipeline) {
+        const int stages = spec.pipelineStages > 0 ? spec.pipelineStages
+                                                   : spec.devices;
+        feasible = stages <= spec.devices
+            && static_cast<std::size_t>(stages) <= net.size()
+            && spec.microbatches >= 1
+            && spec.batch >= spec.microbatches;
+    } else if (feasible) {
+        feasible = spec.batch >= spec.devices;
+    }
+
+    std::uint64_t demand = 0;
+    if (feasible) {
+        demand = jobPoolBytes(spec, net, _system->config(),
+                              _system->addressSpace(0).pageBytes());
+        if (demand > 0) {
+            const auto probe = makePoolAllocator(_cfg.allocator,
+                                                 _poolCapacity);
+            feasible = probe->canAllocate(demand);
+        }
+    }
+    if (!feasible) {
+        outcome.rejected = true;
+        warn("cluster rejects %s: its shape (%d devices, %s pool "
+             "demand) cannot ever run on this machine",
+             spec.label().c_str(), spec.devices,
+             formatBytes(static_cast<double>(demand)).c_str());
+        return;
+    }
+
+    // The SJF oracle: the analytic estimator's no-overlap bound on the
+    // job's solo iteration, scaled by its iteration count.
+    SystemConfig job_cfg = _system->config();
+    job_cfg.fabric.numDevices = spec.devices;
+    const AnalyticEstimate estimate = estimateIteration(
+        job_cfg, net, spec.mode, spec.batch, spec.pipelineStages,
+        spec.microbatches);
+    outcome.estSoloSec = estimate.upperBoundSec()
+        * static_cast<double>(spec.iterations);
+    outcome.poolBytes = demand;
+
+    PendingJob pending;
+    pending.jobIndex = index;
+    pending.devices = spec.devices;
+    pending.poolBytes = demand;
+    pending.estServiceSec = outcome.estSoloSec;
+    pending.arrivalSec = spec.arrivalSec;
+    _queue.push_back(pending);
+
+    tryAdmit();
+}
+
+void
+Cluster::tryAdmit()
+{
+    while (!_queue.empty()) {
+        const std::size_t pos = _scheduler->pick(
+            _queue, static_cast<int>(_freeDevices.size()), *_pool);
+        if (pos == JobScheduler::npos)
+            break;
+        startJob(pos);
+    }
+
+    // Record memory-induced blocking — the job the policy is stalled
+    // on has the devices but the pool cannot place its block — once
+    // per blocked episode, not once per scheduling pass.
+    const int free = static_cast<int>(_freeDevices.size());
+    const std::size_t candidate =
+        _scheduler->blockedCandidate(_queue, free, *_pool);
+    if (candidate != JobScheduler::npos
+        && JobScheduler::memoryBlocked(_queue[candidate], free,
+                                       *_pool)) {
+        if (_memoryBlockedJob != _queue[candidate].jobIndex) {
+            _pool->noteFailure();
+            samplePool("fail",
+                       _specs[_queue[candidate].jobIndex].name);
+            _memoryBlockedJob = _queue[candidate].jobIndex;
+        }
+    } else {
+        _memoryBlockedJob = JobScheduler::npos;
+    }
+}
+
+void
+Cluster::startJob(std::size_t queue_pos)
+{
+    const PendingJob pending = _queue[queue_pos];
+    _queue.erase(_queue.begin()
+                 + static_cast<std::ptrdiff_t>(queue_pos));
+
+    const std::size_t index = pending.jobIndex;
+    const JobSpec &spec = _specs[index];
+    JobOutcome &outcome = _outcomes[index];
+
+    ActiveJob active;
+    if (pending.poolBytes > 0) {
+        auto block = _pool->allocate(pending.poolBytes);
+        if (!block)
+            panic("scheduler admitted %s but the pool cannot place %s",
+                  spec.label().c_str(),
+                  formatBytes(static_cast<double>(
+                      pending.poolBytes)).c_str());
+        active.block = *block;
+        active.hasBlock = true;
+    }
+
+    outcome.devices.clear();
+    for (int i = 0; i < pending.devices; ++i) {
+        outcome.devices.push_back(*_freeDevices.begin());
+        _freeDevices.erase(_freeDevices.begin());
+    }
+    outcome.startSec = ticksToSeconds(_eq.now());
+
+    active.net = _networks.network(spec.workload);
+    active.session = std::make_unique<TrainingSession>(
+        *_system, *active.net, spec.mode, spec.batch,
+        spec.pipelineStages, spec.microbatches, outcome.devices);
+    active.remainingIterations = spec.iterations;
+    _active.emplace(index, std::move(active));
+
+    if (_cfg.progress)
+        inform("t=%.3fs start %s on %d devices (%s pool)",
+               outcome.startSec, spec.label().c_str(), pending.devices,
+               formatBytes(static_cast<double>(
+                   pending.poolBytes)).c_str());
+    samplePool("alloc", spec.name);
+    stepJob(index);
+}
+
+void
+Cluster::stepJob(std::size_t index)
+{
+    ActiveJob &active = _active.at(index);
+    active.session->startIteration(
+        [this, index](const IterationResult &result) {
+            ActiveJob &job = _active.at(index);
+            _outcomes[index].lastIteration = result;
+            if (--job.remainingIterations > 0) {
+                stepJob(index);
+                return;
+            }
+            finishJob(index);
+        });
+}
+
+void
+Cluster::finishJob(std::size_t index)
+{
+    JobOutcome &outcome = _outcomes[index];
+    outcome.finishSec = ticksToSeconds(_eq.now());
+    outcome.completed = true;
+    if (_cfg.progress)
+        inform("t=%.3fs finish %s (JCT %.3fs, queued %.3fs)",
+               outcome.finishSec, outcome.spec.label().c_str(),
+               outcome.jctSec(), outcome.queueSec());
+
+    // Tear down from a fresh event: the session is live on the call
+    // stack (this runs inside its completion callback).
+    _eq.schedule(_eq.now(), [this, index] { cleanupJob(index); },
+                 "job_cleanup");
+}
+
+void
+Cluster::cleanupJob(std::size_t index)
+{
+    auto it = _active.find(index);
+    if (it == _active.end())
+        panic("cleanup of job %zu which is not active", index);
+    it->second.session->releaseBuffers();
+    for (int d : _outcomes[index].devices)
+        _freeDevices.insert(d);
+    if (it->second.hasBlock)
+        _pool->release(it->second.block);
+    _active.erase(it);
+    samplePool("free", _outcomes[index].spec.name);
+    tryAdmit();
+}
+
+void
+Cluster::samplePool(const char *event, const std::string &job)
+{
+    PoolSample sample;
+    sample.timeSec = ticksToSeconds(_eq.now());
+    sample.event = event;
+    sample.job = job;
+    sample.usedBytes = _pool->usedBytes();
+    sample.freeBytes = _pool->freeBytes();
+    sample.largestFreeBytes = _pool->largestFreeBlock();
+    sample.fragmentation = _pool->fragmentation();
+    sample.busyDevices = _system->numDevices()
+        - static_cast<int>(_freeDevices.size());
+    _timeline.push_back(std::move(sample));
+}
+
+// ------------------------------------------------------------- report
+
+std::size_t
+ClusterReport::completedJobs() const
+{
+    std::size_t n = 0;
+    for (const JobOutcome &job : jobs)
+        if (job.completed)
+            ++n;
+    return n;
+}
+
+double
+ClusterReport::meanJctSec() const
+{
+    double total = 0.0;
+    std::size_t n = 0;
+    for (const JobOutcome &job : jobs) {
+        if (!job.completed)
+            continue;
+        total += job.jctSec();
+        ++n;
+    }
+    return n > 0 ? total / static_cast<double>(n) : 0.0;
+}
+
+double
+ClusterReport::maxJctSec() const
+{
+    double worst = 0.0;
+    for (const JobOutcome &job : jobs)
+        if (job.completed)
+            worst = std::max(worst, job.jctSec());
+    return worst;
+}
+
+double
+ClusterReport::meanQueueSec() const
+{
+    double total = 0.0;
+    std::size_t n = 0;
+    for (const JobOutcome &job : jobs) {
+        if (!job.completed)
+            continue;
+        total += job.queueSec();
+        ++n;
+    }
+    return n > 0 ? total / static_cast<double>(n) : 0.0;
+}
+
+double
+ClusterReport::meanSlowdown() const
+{
+    double total = 0.0;
+    std::size_t n = 0;
+    for (const JobOutcome &job : jobs) {
+        if (!job.completed)
+            continue;
+        total += job.slowdown();
+        ++n;
+    }
+    return n > 0 ? total / static_cast<double>(n) : 0.0;
+}
+
+double
+ClusterReport::meanFragmentation() const
+{
+    if (timeline.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const PoolSample &sample : timeline)
+        total += sample.fragmentation;
+    return total / static_cast<double>(timeline.size());
+}
+
+double
+ClusterReport::peakPoolUtilization() const
+{
+    return poolCapacity > 0
+        ? static_cast<double>(poolPeakUsed)
+            / static_cast<double>(poolCapacity)
+        : 0.0;
+}
+
+const std::vector<std::string> &
+ClusterReport::jobColumns()
+{
+    static const std::vector<std::string> columns = {
+        "job",        "workload",   "mode",       "batch",
+        "devices",    "iterations", "pool_gib",   "arrival_s",
+        "start_s",    "finish_s",   "queue_s",    "service_s",
+        "jct_s",      "slowdown",   "est_solo_s", "contention",
+        "iter_ms",    "status"};
+    return columns;
+}
+
+std::vector<ReportValue>
+ClusterReport::jobRow(const JobOutcome &job)
+{
+    const char *status = job.rejected
+        ? "rejected"
+        : (job.completed ? "completed" : "incomplete");
+    const bool done = job.completed;
+    return {job.spec.name,
+            job.spec.workload,
+            std::string(parallelModeToken(job.spec.mode)),
+            job.spec.batch,
+            static_cast<std::int64_t>(job.spec.devices),
+            static_cast<std::int64_t>(job.spec.iterations),
+            static_cast<double>(job.poolBytes)
+                / static_cast<double>(kGiB),
+            job.arrivalSec,
+            done ? job.startSec : 0.0,
+            done ? job.finishSec : 0.0,
+            done ? job.queueSec() : 0.0,
+            done ? job.serviceSec() : 0.0,
+            done ? job.jctSec() : 0.0,
+            done ? job.slowdown() : 0.0,
+            job.estSoloSec,
+            done ? job.contention() : 0.0,
+            done ? job.lastIteration.iterationSeconds() * 1e3 : 0.0,
+            std::string(status)};
+}
+
+ResultSet
+ClusterReport::jobTable() const
+{
+    ResultSet table(jobColumns());
+    for (const JobOutcome &job : jobs)
+        table.addRow(jobRow(job));
+    return table;
+}
+
+const std::vector<std::string> &
+ClusterReport::poolColumns()
+{
+    static const std::vector<std::string> columns = {
+        "time_s",       "event",        "job",
+        "used_gib",     "free_gib",     "largest_free_gib",
+        "fragmentation", "busy_devices"};
+    return columns;
+}
+
+ResultSet
+ClusterReport::poolTable() const
+{
+    ResultSet table(poolColumns());
+    for (const PoolSample &sample : timeline) {
+        table.addRow({sample.timeSec,
+                      std::string(sample.event),
+                      sample.job,
+                      static_cast<double>(sample.usedBytes)
+                          / static_cast<double>(kGiB),
+                      static_cast<double>(sample.freeBytes)
+                          / static_cast<double>(kGiB),
+                      static_cast<double>(sample.largestFreeBytes)
+                          / static_cast<double>(kGiB),
+                      sample.fragmentation,
+                      static_cast<std::int64_t>(sample.busyDevices)});
+    }
+    return table;
+}
+
+} // namespace mcdla

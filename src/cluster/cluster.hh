@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Cluster: multi-job scheduling over one shared machine.
+ *
+ * A Cluster admits a stream of training jobs (JobSpec arrivals),
+ * schedules them onto the device-nodes of a single composed System
+ * through a pluggable JobScheduler, and carves each job's
+ * backing-store demand out of a shared MemoryPoolAllocator spanning
+ * every memory-node. All admitted jobs run as concurrent
+ * TrainingSessions on the one EventQueue, so their paging DMA,
+ * collectives, and pipeline transfers contend on the real fabric
+ * channels — no job gets private bandwidth. The run produces a
+ * ClusterReport: per-job completion/queueing/slowdown metrics plus a
+ * pool-occupancy timeline, both emitted through the standard
+ * ResultSet CSV/JSON pipeline.
+ */
+
+#ifndef MCDLA_CLUSTER_CLUSTER_HH
+#define MCDLA_CLUSTER_CLUSTER_HH
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "cluster/job.hh"
+#include "cluster/pool_allocator.hh"
+#include "cluster/scheduler.hh"
+#include "core/report.hh"
+#include "core/scenario.hh"
+#include "core/simulator.hh"
+#include "sim/random.hh"
+#include "system/system.hh"
+#include "system/training_session.hh"
+
+namespace mcdla
+{
+
+/** Cluster-level configuration. */
+struct ClusterConfig
+{
+    /**
+     * The machine: design point, device count, and every hardware /
+     * paging override, reusing the Scenario vocabulary. The scenario's
+     * workload/mode/batch fields are ignored (jobs carry their own);
+     * its seed names the synthetic job stream the caller fed to
+     * synthesizeJobs(), so the label reproduces the run.
+     */
+    Scenario base;
+    SchedulerKind scheduler = SchedulerKind::Fifo;
+    PoolAllocatorKind allocator = PoolAllocatorKind::FirstFit;
+    /** inform() on every admission/completion. */
+    bool progress = false;
+};
+
+/** Final state of one submitted job. */
+struct JobOutcome
+{
+    JobSpec spec;
+    /** Device-nodes the job ran on (empty until started). */
+    std::vector<int> devices;
+    /** Pool bytes carved for the job's backing store. */
+    std::uint64_t poolBytes = 0;
+    /** Analytic-oracle solo service time (iterations x upper bound). */
+    double estSoloSec = 0.0;
+    double arrivalSec = 0.0;
+    double startSec = -1.0;
+    double finishSec = -1.0;
+    bool completed = false;
+    /** Infeasible on this cluster (too many devices / too much pool). */
+    bool rejected = false;
+    /** Metrics of the job's last iteration. */
+    IterationResult lastIteration;
+
+    /** Queueing delay (clamped: arrival ticks round to the grid). */
+    double
+    queueSec() const
+    {
+        return std::max(0.0, startSec - arrivalSec);
+    }
+
+    double serviceSec() const { return finishSec - startSec; }
+
+    /** Job completion time: queueing plus service. */
+    double jctSec() const { return finishSec - arrivalSec; }
+
+    /** Classic slowdown: response time over actual service time. */
+    double
+    slowdown() const
+    {
+        return serviceSec() > 0.0 ? jctSec() / serviceSec() : 1.0;
+    }
+
+    /** Service-time dilation vs the analytic solo bound (contention). */
+    double
+    contention() const
+    {
+        return estSoloSec > 0.0 ? serviceSec() / estSoloSec : 1.0;
+    }
+};
+
+/** One pool-occupancy observation (taken at every alloc/free). */
+struct PoolSample
+{
+    double timeSec = 0.0;
+    const char *event = ""; ///< "alloc" / "free" / "fail".
+    std::string job;
+    std::uint64_t usedBytes = 0;
+    std::uint64_t freeBytes = 0;
+    std::uint64_t largestFreeBytes = 0;
+    double fragmentation = 0.0;
+    int busyDevices = 0;
+};
+
+/** Everything a cluster run produced. */
+class ClusterReport
+{
+  public:
+    std::vector<JobOutcome> jobs;
+    std::vector<PoolSample> timeline;
+    double makespanSec = 0.0;
+    SchedulerKind scheduler = SchedulerKind::Fifo;
+    PoolAllocatorKind allocator = PoolAllocatorKind::FirstFit;
+    std::uint64_t poolCapacity = 0;
+    std::uint64_t poolPeakUsed = 0;
+    std::uint64_t allocationFailures = 0;
+
+    /// @name Aggregate metrics (over completed jobs)
+    /// @{
+    std::size_t completedJobs() const;
+    double meanJctSec() const;
+    double maxJctSec() const;
+    double meanQueueSec() const;
+    double meanSlowdown() const;
+    /** Mean pool fragmentation over the timeline samples. */
+    double meanFragmentation() const;
+    double peakPoolUtilization() const;
+    /// @}
+
+    /// @name ResultSet emission (CSV/JSON via core/report)
+    /// @{
+    static const std::vector<std::string> &jobColumns();
+    static std::vector<ReportValue> jobRow(const JobOutcome &job);
+    ResultSet jobTable() const;
+
+    static const std::vector<std::string> &poolColumns();
+    ResultSet poolTable() const;
+    /// @}
+};
+
+/** One cluster simulation: a machine, a job stream, a policy pair. */
+class Cluster
+{
+  public:
+    /**
+     * @param cfg Machine + policy configuration.
+     * @param jobs Submitted job stream (any order; sorted by arrival).
+     */
+    Cluster(ClusterConfig cfg, std::vector<JobSpec> jobs);
+
+    /** Run the whole stream to completion. Callable once. */
+    ClusterReport run();
+
+    /// @name Introspection (tests)
+    /// @{
+    System &system() { return *_system; }
+    MemoryPoolAllocator &pool() { return *_pool; }
+    const JobScheduler &scheduler() const { return *_scheduler; }
+    std::uint64_t poolCapacityBytes() const { return _poolCapacity; }
+    /// @}
+
+    /**
+     * Backing-store pool demand of @p spec on machine @p cfg: the
+     * remote bytes its TrainingSession will allocate — rounded to
+     * @p page_bytes, the device address spaces' placement granularity
+     * — summed over its devices (zero for designs without a backing
+     * store). Mirrors the remote mallocs of
+     * TrainingSession::allocateBuffers().
+     */
+    static std::uint64_t jobPoolBytes(const JobSpec &spec,
+                                      const Network &net,
+                                      const SystemConfig &cfg,
+                                      std::uint64_t page_bytes
+                                          = 2 * kMiB);
+
+  private:
+    /** One admitted, running job. */
+    struct ActiveJob
+    {
+        std::unique_ptr<TrainingSession> session;
+        std::shared_ptr<const Network> net;
+        PoolBlock block;
+        bool hasBlock = false;
+        int remainingIterations = 0;
+    };
+
+    std::uint64_t computePoolCapacity() const;
+    void onArrival(std::size_t index);
+    void tryAdmit();
+    void startJob(std::size_t queue_pos);
+    void stepJob(std::size_t index);
+    void finishJob(std::size_t index);
+    void cleanupJob(std::size_t index);
+    void samplePool(const char *event, const std::string &job);
+
+    ClusterConfig _cfg;
+    std::vector<JobSpec> _specs;
+    EventQueue _eq;
+    std::unique_ptr<System> _system;
+    Simulator _networks; ///< Workload network cache.
+    std::uint64_t _poolCapacity = 0;
+    std::unique_ptr<MemoryPoolAllocator> _pool;
+    std::unique_ptr<JobScheduler> _scheduler;
+    std::set<int> _freeDevices;
+    std::vector<PendingJob> _queue;
+    std::map<std::size_t, ActiveJob> _active;
+    std::vector<JobOutcome> _outcomes;
+    std::vector<PoolSample> _timeline;
+    /// Job whose memory-induced head-of-line blocking was already
+    /// recorded (npos = none): one failure per blocked episode.
+    std::size_t _memoryBlockedJob = JobScheduler::npos;
+    bool _ran = false;
+};
+
+} // namespace mcdla
+
+#endif // MCDLA_CLUSTER_CLUSTER_HH

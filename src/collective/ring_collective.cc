@@ -43,6 +43,14 @@ void
 CollectiveEngine::launch(CollectiveKind kind, double total_bytes,
                          Handler on_done, int root)
 {
+    launchOn(_rings, kind, total_bytes, std::move(on_done), root);
+}
+
+void
+CollectiveEngine::launchOn(const std::vector<const RingPath *> &rings,
+                           CollectiveKind kind, double total_bytes,
+                           Handler on_done, int root)
+{
     _bytesLaunched += total_bytes;
     stats().scalar("bytes") += total_bytes;
 
@@ -53,21 +61,21 @@ CollectiveEngine::launch(CollectiveKind kind, double total_bytes,
             on_done();
     };
 
-    if (total_bytes <= 0.0 || _rings.empty()) {
+    if (total_bytes <= 0.0 || rings.empty()) {
         // Degenerate: nothing to move (or nowhere to move it).
         eventQueue().scheduleAfter(0, complete, name() + ".noop");
         return;
     }
 
-    const double share = total_bytes / static_cast<double>(_rings.size());
-    auto rings_left = std::make_shared<std::size_t>(_rings.size());
+    const double share = total_bytes / static_cast<double>(rings.size());
+    auto rings_left = std::make_shared<std::size_t>(rings.size());
     auto ring_done = std::make_shared<Handler>(
         [rings_left, complete = std::move(complete)] {
             if (--*rings_left == 0)
                 complete();
         });
 
-    for (const RingPath *ring : _rings) {
+    for (const RingPath *ring : rings) {
         const int root_stage = std::max(ring->stageOfDevice(root), 0);
         runOnRing(*ring, kind, share, root_stage, ring_done);
     }

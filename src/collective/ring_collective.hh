@@ -75,6 +75,17 @@ class CollectiveEngine : public SimObject
     void launch(CollectiveKind kind, double total_bytes, Handler on_done,
                 int root = 0);
 
+    /**
+     * Launch a collective on an explicit ring set instead of the
+     * fabric's full rings — the cluster path for jobs owning a subset
+     * of the devices (rings built with restrictRingToDevices). The
+     * rings must outlive the operation; chunk traffic shares the
+     * fabric's channels, so co-located jobs contend.
+     */
+    void launchOn(const std::vector<const RingPath *> &rings,
+                  CollectiveKind kind, double total_bytes,
+                  Handler on_done, int root = 0);
+
     /** Number of logical rings in use. */
     std::size_t ringCount() const { return _rings.size(); }
 

@@ -18,12 +18,19 @@
  *  - mcdla::CollectiveEngine — ring all-gather / all-reduce / broadcast;
  *  - mcdla::Scenario / Simulator / SweepRunner — declarative run
  *    descriptions, one-call execution, and parallel sweeps;
+ *  - mcdla::Cluster / JobScheduler / MemoryPoolAllocator — multi-job
+ *    scheduling over a shared machine with a disaggregated memory
+ *    pool (FIFO/SJF/backfill x first-fit/buddy, ClusterReport);
  *  - experiment helpers (harmonicMean, TablePrinter).
  */
 
 #ifndef MCDLA_CORE_MCDLA_HH
 #define MCDLA_CORE_MCDLA_HH
 
+#include "cluster/cluster.hh"
+#include "cluster/job.hh"
+#include "cluster/pool_allocator.hh"
+#include "cluster/scheduler.hh"
 #include "collective/ring_collective.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
@@ -66,6 +73,7 @@
 #include "vmem/paging/prefetch_policy.hh"
 #include "vmem/runtime.hh"
 #include "workloads/benchmarks.hh"
+#include "workloads/job_mix.hh"
 #include "workloads/registry.hh"
 #include "workloads/synthetic.hh"
 

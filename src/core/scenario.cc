@@ -175,6 +175,9 @@ Scenario::label() const
                / static_cast<double>(kGiB))
            << 'g';
     }
+    // Stochastic runs carry their seed so the label reproduces them.
+    if (seed != 0)
+        os << "/seed" << seed;
     return os.str();
 }
 
@@ -214,6 +217,8 @@ Scenario::addOptions(OptionParser &opts)
                        + evictionPolicyTokenList());
     opts.addDouble("hbm-capacity", 0.0,
                    "device HBM capacity in GiB (0 = device default)");
+    opts.addInt("seed", 0,
+                "RNG seed for stochastic components (0 = default)");
 }
 
 Scenario
@@ -278,6 +283,11 @@ Scenario::fromOptions(const OptionParser &opts)
         sc.base.device.memCapacity =
             static_cast<std::uint64_t>(hbm_gib * kGiB);
     }
+    const std::int64_t seed = opts.getInt("seed");
+    if (seed < 0)
+        fatal("--seed must be >= 0 (got %lld)",
+              static_cast<long long>(seed));
+    sc.seed = static_cast<std::uint64_t>(seed);
     return sc;
 }
 

@@ -80,6 +80,14 @@ struct Scenario
     int microbatches = 4;
     /** Training iterations to simulate (metrics are the last one's). */
     int iterations = 1;
+    /**
+     * Seed of the run's single sim/random.hh RNG. Stochastic components
+     * (the cluster's synthetic job-arrival process, randomized policies)
+     * draw from one Random seeded here, so a scenario label fully
+     * reproduces a run. 0 (the default) keeps labels of deterministic
+     * runs unchanged.
+     */
+    std::uint64_t seed = 0;
     /** Base configuration; the design field is stamped by config(). */
     SystemConfig base;
 
@@ -89,7 +97,8 @@ struct Scenario
     /**
      * Compact identity, e.g. "ResNet/mc-b/dp/b512"; pipeline scenarios
      * append the stage/microbatch grid, e.g.
-     * "ResNet/mc-b/pp/b512/s4/mb8".
+     * "ResNet/mc-b/pp/b512/s4/mb8", and seeded scenarios append
+     * "/seed<N>".
      */
     std::string label() const;
 
@@ -99,7 +108,7 @@ struct Scenario
      * --link-gbps, --dimm-gib, --socket-gbps, --compression,
      * --iterations, --no-recompute, --prefetch-policy,
      * --prefetch-lookahead, --eviction-policy, --hbm-capacity,
-     * --pipeline-stages, --microbatches) on @p opts.
+     * --pipeline-stages, --microbatches, --seed) on @p opts.
      */
     static void addOptions(OptionParser &opts);
 

@@ -5,8 +5,53 @@
 
 #include "interconnect/fabric.hh"
 
+#include <algorithm>
+
 namespace mcdla
 {
+
+RingPath
+restrictRingToDevices(const RingPath &ring,
+                      const std::vector<int> &devices)
+{
+    auto isMember = [&devices](const RingStage &stage) {
+        return stage.isDevice
+            && std::find(devices.begin(), devices.end(), stage.index)
+            != devices.end();
+    };
+
+    int members = 0;
+    for (const RingStage &stage : ring.stages)
+        if (isMember(stage))
+            ++members;
+    if (members < 2 || ring.hops.size() != ring.stages.size())
+        return RingPath{};
+
+    // Kept stages: member devices plus every memory-node position. A
+    // dropped device stage's outgoing hop is folded into the previous
+    // kept stage's route, so the restricted ring walks the same
+    // physical channels as the original.
+    RingPath out;
+    std::vector<std::size_t> kept;
+    for (std::size_t i = 0; i < ring.stages.size(); ++i)
+        if (!ring.stages[i].isDevice || isMember(ring.stages[i]))
+            kept.push_back(i);
+
+    for (std::size_t k = 0; k < kept.size(); ++k) {
+        out.stages.push_back(ring.stages[kept[k]]);
+        Route merged;
+        const std::size_t next =
+            kept[(k + 1) % kept.size()];
+        for (std::size_t pos = kept[k]; pos != next;
+             pos = (pos + 1) % ring.stages.size()) {
+            const Route &hop = ring.hops[pos];
+            merged.hops.insert(merged.hops.end(), hop.hops.begin(),
+                               hop.hops.end());
+        }
+        out.hops.push_back(std::move(merged));
+    }
+    return out;
+}
 
 Route
 Fabric::deviceRoute(int src, int dst) const

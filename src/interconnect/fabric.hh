@@ -99,6 +99,20 @@ struct VmemPath
     std::vector<Route> readRoutes;
 };
 
+/**
+ * Restrict a logical ring to a subset of device-nodes (cluster
+ * multi-tenancy): device stages outside @p devices are demoted to
+ * store-and-forward hops — their adjacent routes concatenate — while
+ * memory-node stages stay full ring-algorithm participants, exactly as
+ * they do for whole-machine collectives. The restricted ring still
+ * traverses every physical channel of the original loop, so a job's
+ * collectives contend with co-located jobs' traffic on the shared
+ * links. Returns a ring with no stages when fewer than two of
+ * @p devices appear in @p ring.
+ */
+RingPath restrictRingToDevices(const RingPath &ring,
+                               const std::vector<int> &devices);
+
 /** The interconnect of one simulated system. */
 class Fabric
 {

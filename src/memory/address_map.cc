@@ -5,6 +5,7 @@
 
 #include "memory/address_map.hh"
 
+#include <algorithm>
 #include <numeric>
 
 #include "sim/logging.hh"
@@ -58,6 +59,13 @@ DeviceAddressSpace::region(std::size_t i) const
         panic("address space '%s': region %zu out of range",
               _name.c_str(), i);
     return _regions[i];
+}
+
+void
+DeviceAddressSpace::uncapRemoteRegions(std::uint64_t per_region_bytes)
+{
+    for (RemoteRegion &r : _regions)
+        r.capacity = std::max(r.capacity, per_region_bytes);
 }
 
 std::uint64_t

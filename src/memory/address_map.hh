@@ -87,6 +87,19 @@ class DeviceAddressSpace
     std::size_t regionCount() const { return _regions.size(); }
     const RemoteRegion &region(std::size_t i) const;
 
+    /** Placement granularity in bytes. */
+    std::uint64_t pageBytes() const { return _pageBytes; }
+
+    /**
+     * Raise every remote region's capacity to @p per_region_bytes
+     * (regions already larger keep their size). The cluster's shared
+     * MemoryPoolAllocator replaces the static half-board carve-out of
+     * the standalone design: capacity is enforced at the pool, so the
+     * per-device windows are widened to the pool and only placement
+     * (the traffic fractions) is decided here.
+     */
+    void uncapRemoteRegions(std::uint64_t per_region_bytes);
+
     /**
      * Allocate in devicelocal memory.
      *

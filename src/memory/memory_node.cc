@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Memory-node configuration validation.
+ */
+
+#include "memory/memory_node.hh"
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+void
+MemoryNodeConfig::validate() const
+{
+    if (numDimms <= 0)
+        fatal("memory-node: DIMM slot count must be positive (got %d)",
+              numDimms);
+    if (numLinks <= 0)
+        fatal("memory-node: link count must be positive (got %d)",
+              numLinks);
+    if (linkGroups <= 0)
+        fatal("memory-node: link-group count must be positive (got %d)",
+              linkGroups);
+    if (numLinks % linkGroups != 0)
+        fatal("memory-node: %d links do not partition into %d groups "
+              "(each device-node must own numLinks/linkGroups whole "
+              "links)",
+              numLinks, linkGroups);
+    if (linkBandwidth <= 0.0)
+        fatal("memory-node: link bandwidth must be positive (got %g "
+              "bytes/s)",
+              linkBandwidth);
+}
+
+} // namespace mcdla

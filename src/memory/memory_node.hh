@@ -55,6 +55,15 @@ struct MemoryNodeConfig
     /** Optional inline compression engine (cDMA-style ratio; 1 = off). */
     double compressionRatio = 1.0;
 
+    /**
+     * Reject configurations that would silently mis-partition the board:
+     * links must divide evenly into link groups, DIMM slots must be
+     * positive, and links need non-zero bandwidth. Fatal (with the
+     * offending values) on violation; System and the fabric builders
+     * call this before composing a design around the board.
+     */
+    void validate() const;
+
     /** Total board capacity. */
     std::uint64_t
     capacity() const

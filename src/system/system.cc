@@ -34,6 +34,9 @@ System::System(EventQueue &eq, SystemConfig cfg)
     _cfg.fabric.linkBandwidth = _cfg.device.linkBandwidth;
     _cfg.fabric.numRings = _cfg.device.numLinks / 2;
 
+    if (designHasMemoryNodes(_cfg.design))
+        _cfg.memNode.validate();
+
     switch (_cfg.design) {
       case SystemDesign::DcDla:
         _fabric = buildDcdlaFabric(eq, _cfg.fabric, true);

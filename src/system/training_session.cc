@@ -17,13 +17,49 @@ namespace mcdla
 TrainingSession::TrainingSession(System &system, const Network &net,
                                  ParallelMode mode,
                                  std::int64_t global_batch,
-                                 int pipeline_stages, int microbatches)
-    : _system(system), _net(net),
-      _strategy(net, mode, system.numDevices(), global_batch,
+                                 int pipeline_stages, int microbatches,
+                                 std::vector<int> device_set)
+    : _system(system), _net(net), _deviceSet(std::move(device_set)),
+      _strategy(net, mode,
+                _deviceSet.empty()
+                    ? system.numDevices()
+                    : static_cast<int>(_deviceSet.size()),
+                global_batch,
                 PipelineConfig{pipeline_stages, microbatches,
                                system.config().device}),
       _plan(net, system.config().offloadPolicy())
 {
+    const int total = _system.numDevices();
+    if (_deviceSet.empty()) {
+        for (int d = 0; d < total; ++d)
+            _deviceSet.push_back(d);
+    }
+    std::set<int> distinct;
+    for (int d : _deviceSet) {
+        if (d < 0 || d >= total)
+            fatal("training session device %d outside the system's %d "
+                  "devices", d, total);
+        if (!distinct.insert(d).second)
+            fatal("training session device %d listed twice", d);
+    }
+    _ownsAllDevices = static_cast<int>(_deviceSet.size()) == total;
+
+    // Subset sessions ring their collectives over just the owned
+    // devices; the restricted rings still walk the full physical loop.
+    if (!_ownsAllDevices && !_strategy.isPipeline()
+        && deviceCount() > 1) {
+        for (const RingPath &ring : _system.fabric().rings()) {
+            RingPath sub = restrictRingToDevices(ring, _deviceSet);
+            if (sub.stageCount() >= 2)
+                _jobRings.push_back(std::move(sub));
+        }
+        if (_jobRings.empty())
+            fatal("no fabric ring connects the session's %d devices; "
+                  "collectives have no path", deviceCount());
+        for (const RingPath &ring : _jobRings)
+            _jobRingPtrs.push_back(&ring);
+    }
+
     buildSchedule();
 }
 
@@ -45,7 +81,8 @@ TrainingSession::groupId(LayerId layer, int microbatch) const
 void
 TrainingSession::buildSchedule()
 {
-    const ComputeModel &model = _system.device(0).computeModel();
+    const ComputeModel &model =
+        _system.device(sysDev(0)).computeModel();
     const auto layer_count = static_cast<LayerId>(_net.size());
 
     _timings.clear();
@@ -158,7 +195,7 @@ TrainingSession::buildPipelineSchedule()
     const PipelinePartition &part = _strategy.partition();
     const int P = part.numStages();
     const int M = _strategy.microbatches();
-    const int n = _system.numDevices();
+    const int n = deviceCount();
 
     if (n > P)
         warn("%s: %d pipeline stages on %d devices; devices %d..%d "
@@ -199,11 +236,13 @@ TrainingSession::buildPipelineSchedule()
     auto ensure_route = [&](int src, int dst) {
         if (_p2pRoutes.count(src * n + dst))
             return;
-        Route route = _system.fabric().deviceRoute(src, dst);
+        Route route =
+            _system.fabric().deviceRoute(sysDev(src), sysDev(dst));
         if (!route.valid())
             fatal("%s: no device-to-device path from %d to %d for "
                   "pipeline transfers",
-                  systemDesignName(_system.config().design), src, dst);
+                  systemDesignName(_system.config().design),
+                  sysDev(src), sysDev(dst));
         _p2pRoutes.emplace(src * n + dst, std::move(route));
     };
     // Adjacent-stage boundary routes plus tied-dW reduction routes.
@@ -463,20 +502,41 @@ TrainingSession::footprintBytesPerDevice() const
 }
 
 void
+TrainingSession::releaseBuffers()
+{
+    if (!_allocated)
+        return;
+    for (int d = 0; d < deviceCount(); ++d) {
+        VmemRuntime &rt = _system.runtime(sysDev(d));
+        for (const auto &[group, ptr] :
+             _remotePtrs[static_cast<std::size_t>(d)])
+            rt.freeRemote(ptr);
+        if (d < static_cast<int>(_localPlacements.size()))
+            _system.addressSpace(sysDev(d)).free(
+                _localPlacements[static_cast<std::size_t>(d)]);
+    }
+    _remotePtrs.clear();
+    _localPlacements.clear();
+    _pagers.clear();
+    _allocated = false;
+}
+
+void
 TrainingSession::allocateBuffers()
 {
     if (_allocated)
         return;
     _allocated = true;
 
-    const int n = _system.numDevices();
+    const int n = deviceCount();
     _remotePtrs.assign(static_cast<std::size_t>(n), {});
+    _localPlacements.clear();
 
     if (_strategy.isPipeline()) {
         const int P = _strategy.pipelineStages();
         const int M = _strategy.microbatches();
         for (int d = 0; d < n; ++d) {
-            DeviceAddressSpace &space = _system.addressSpace(d);
+            DeviceAddressSpace &space = _system.addressSpace(sysDev(d));
             const std::uint64_t footprint =
                 d < P ? stageFootprintBytes(d) : 0;
             if (!space.fitsLocal(footprint)) {
@@ -493,7 +553,7 @@ TrainingSession::allocateBuffers()
                       static_cast<long long>(_strategy.globalBatch()),
                       parallelModeName(_strategy.mode()), P, M);
             }
-            space.mallocLocal(footprint);
+            _localPlacements.push_back(space.mallocLocal(footprint));
             if (d >= P)
                 continue;
             for (LayerId layer :
@@ -503,7 +563,7 @@ TrainingSession::allocateBuffers()
                 for (int m = 0; m < M; ++m) {
                     _remotePtrs[static_cast<std::size_t>(d)]
                                [groupId(layer, m)] =
-                        _system.runtime(d).mallocRemote(
+                        _system.runtime(sysDev(d)).mallocRemote(
                             static_cast<std::uint64_t>(bytes) + 1);
                 }
             }
@@ -513,7 +573,7 @@ TrainingSession::allocateBuffers()
     }
 
     for (int d = 0; d < n; ++d) {
-        DeviceAddressSpace &space = _system.addressSpace(d);
+        DeviceAddressSpace &space = _system.addressSpace(sysDev(d));
         const std::uint64_t footprint = footprintBytesPerDevice();
         if (!space.fitsLocal(footprint)) {
             fatal("%s: per-device footprint %s exceeds devicelocal "
@@ -528,7 +588,7 @@ TrainingSession::allocateBuffers()
                   static_cast<long long>(_strategy.globalBatch()),
                   parallelModeName(_strategy.mode()));
         }
-        space.mallocLocal(footprint);
+        _localPlacements.push_back(space.mallocLocal(footprint));
 
         // Table I: allocate deviceremote backing buffers for every
         // offloaded tensor through the runtime API.
@@ -539,7 +599,7 @@ TrainingSession::allocateBuffers()
             const double bytes =
                 _strategy.offloadBytesPerDevice(_net.layer(id));
             _remotePtrs[static_cast<std::size_t>(d)][id] =
-                _system.runtime(d).mallocRemote(
+                _system.runtime(sysDev(d)).mallocRemote(
                     static_cast<std::uint64_t>(bytes) + 1);
         }
     }
@@ -550,7 +610,7 @@ TrainingSession::allocateBuffers()
 void
 TrainingSession::createPagers()
 {
-    const int n = _system.numDevices();
+    const int n = deviceCount();
     const SystemConfig &cfg = _system.config();
     const auto layer_count = static_cast<std::size_t>(_net.size());
     const bool pipeline = _strategy.isPipeline();
@@ -582,7 +642,7 @@ TrainingSession::createPagers()
     _pagers.clear();
     for (int d = 0; d < n; ++d) {
         DevicePager::Wiring wiring;
-        wiring.runtime = &_system.runtime(d);
+        wiring.runtime = &_system.runtime(sysDev(d));
         wiring.remotePtrs = &_remotePtrs[static_cast<std::size_t>(d)];
         wiring.net = &_net;
         wiring.schedule = pipeline
@@ -593,7 +653,8 @@ TrainingSession::createPagers()
         wiring.groupLayer = group_layer;
         // HBM left after weights, keep-local stash, and working
         // buffers is the stash frame budget.
-        const DeviceAddressSpace &space = _system.addressSpace(d);
+        const DeviceAddressSpace &space =
+            _system.addressSpace(sysDev(d));
         wiring.frameCapacity =
             space.localCapacity() - space.localUsed();
         wiring.config = cfg.paging;
@@ -602,7 +663,8 @@ TrainingSession::createPagers()
         wiring.tracker =
             (pipeline || d == 0) ? &_vmemTracker : nullptr;
         _pagers.push_back(std::make_unique<DevicePager>(
-            "dev" + std::to_string(d) + ".pager", std::move(wiring)));
+            "dev" + std::to_string(sysDev(d)) + ".pager",
+            std::move(wiring)));
     }
 }
 
@@ -686,7 +748,7 @@ TrainingSession::tryIssue(int dev)
     else if (ctx.waitedCat == 2)
         _stallVmem[udev] += now - ctx.readyAt;
     ctx.waitedCat = 0;
-    _system.device(dev).occupyCompute(now, op.duration);
+    _system.device(sysDev(dev)).occupyCompute(now, op.duration);
     _system.eventQueue().scheduleAfter(
         op.duration, [this, dev] { completeOp(dev); },
         "op_complete");
@@ -702,7 +764,7 @@ TrainingSession::issueP2p(int src, const P2pSend &send)
         return;
     }
     const Route &route =
-        _p2pRoutes.at(src * _system.numDevices() + send.dst);
+        _p2pRoutes.at(src * deviceCount() + send.dst);
     const Tick launched = _system.eventQueue().now();
     _syncTracker.begin(launched);
     const int dst = send.dst;
@@ -728,7 +790,7 @@ TrainingSession::reportDevice() const
     if (!_strategy.isPipeline())
         return 0;
     int best = 0;
-    for (int d = 1; d < _system.numDevices(); ++d)
+    for (int d = 1; d < deviceCount(); ++d)
         if (_computeTicks[static_cast<std::size_t>(d)]
             > _computeTicks[static_cast<std::size_t>(best)])
             best = d;
@@ -770,19 +832,100 @@ TrainingSession::completeOp(int dev)
     ++ctx.nextOp;
     _pagers[static_cast<std::size_t>(dev)]->frontierAdvanced(
         ctx.nextOp);
-    tryIssue(dev);
+    if (ctx.nextOp == program(dev).size())
+        deviceFinished();
+    else
+        tryIssue(dev);
+}
+
+void
+TrainingSession::deviceFinished()
+{
+    if (--_devicesRemaining > 0)
+        return;
+    if (_onIterationDone)
+        finishWhenQuiescent();
+}
+
+void
+TrainingSession::finishWhenQuiescent()
+{
+    // Trailing writeback DMAs outlive the compute programs; the
+    // iteration (and the devices) are only done when they drain —
+    // which is also what the standalone run()'s full queue drain
+    // measures.
+    for (auto &pager : _pagers) {
+        if (!pager->dmaIdle()) {
+            pager->whenDmaIdle([this] { finishWhenQuiescent(); });
+            return;
+        }
+    }
+    auto done = std::move(_onIterationDone);
+    _onIterationDone = nullptr;
+    done(collectResult());
+}
+
+void
+TrainingSession::launchCollective(const SyncOp &sync,
+                                  CollectiveEngine::Handler on_done)
+{
+    if (_ownsAllDevices) {
+        _system.collectives().launch(sync.kind, sync.bytes,
+                                     std::move(on_done));
+    } else {
+        _system.collectives().launchOn(_jobRingPtrs, sync.kind,
+                                       sync.bytes, std::move(on_done),
+                                       sysDev(0));
+    }
 }
 
 IterationResult
 TrainingSession::run()
 {
     allocateBuffers();
+    _system.resetStats();
+    setupIteration();
 
     EventQueue &eq = _system.eventQueue();
-    const int n = _system.numDevices();
+    eq.run();
+
+    // Deadlock check: every device must have drained its program.
+    for (int d = 0; d < deviceCount(); ++d) {
+        if (_devs[static_cast<std::size_t>(d)].nextOp
+            != program(d).size())
+            panic("device %d stalled at op %zu/%zu — scheduling deadlock",
+                  d, _devs[static_cast<std::size_t>(d)].nextOp,
+                  program(d).size());
+    }
+    return collectResult();
+}
+
+void
+TrainingSession::startIteration(
+    std::function<void(const IterationResult &)> on_done)
+{
+    allocateBuffers();
+
+    // The fabric (and any co-located session's devices) are shared —
+    // reset only what this session owns.
+    for (int d = 0; d < deviceCount(); ++d) {
+        DeviceNode &device = _system.device(sysDev(d));
+        device.resetStats();
+        device.resetOccupancy();
+        _system.dma(sysDev(d)).resetStats();
+    }
+
+    _onIterationDone = std::move(on_done);
+    setupIteration();
+}
+
+void
+TrainingSession::setupIteration()
+{
+    EventQueue &eq = _system.eventQueue();
+    const int n = deviceCount();
 
     // Reset per-iteration state.
-    _system.resetStats();
     _devs.assign(static_cast<std::size_t>(n), DeviceCtx{});
     _syncPoints.clear();
     _dwSync.clear();
@@ -795,23 +938,25 @@ TrainingSession::run()
     _stallSync.assign(static_cast<std::size_t>(n), 0);
     _stallVmem.assign(static_cast<std::size_t>(n), 0);
     _startTick = eq.now();
-    const std::uint64_t events_before = eq.executedCount();
+    _eventsBefore = eq.executedCount();
+    _hostBytesBefore = _system.fabric().hostBytes();
+    _devicesRemaining = n;
 
     for (int d = 0; d < n; ++d)
         _pagers[static_cast<std::size_t>(d)]->beginIteration(
             d == 0 ? _trace : nullptr);
 
-    double sync_bytes = 0.0;
+    _iterSyncBytes = 0.0;
     if (_strategy.isPipeline()) {
         // Boundary activations forward + gradients backward; no
         // collectives to set up.
-        sync_bytes = _p2pBytesTotal;
+        _iterSyncBytes = _p2pBytesTotal;
     } else {
         for (std::size_t i = 0; i < _ops.size(); ++i) {
             if (!_ops[i].syncAfter)
                 continue;
             const SyncOp sync = *_ops[i].syncAfter;
-            sync_bytes += sync.bytes;
+            _iterSyncBytes += sync.bytes;
             const std::string sync_label =
                 std::string(collectiveKindName(sync.kind)) + " "
                 + _net.layer(_ops[i].layer).name();
@@ -819,8 +964,8 @@ TrainingSession::run()
                 n, [this, sync, sync_label](Latch &latch) {
                     const Tick launched = _system.eventQueue().now();
                     _syncTracker.begin(launched);
-                    _system.collectives().launch(
-                        sync.kind, sync.bytes,
+                    launchCollective(
+                        sync,
                         [this, &latch, launched, sync_label] {
                             const Tick now = _system.eventQueue().now();
                             _syncTracker.end(now);
@@ -840,21 +985,20 @@ TrainingSession::run()
         }
     }
 
-    // Start every device's program.
+    // Start every device's program (devices with empty programs —
+    // idle pipeline positions — are already done).
     for (int d = 0; d < n; ++d) {
         _pagers[static_cast<std::size_t>(d)]->frontierAdvanced(0);
         tryIssue(d);
+        if (program(d).empty())
+            deviceFinished();
     }
-    eq.run();
+}
 
-    // Deadlock check: every device must have drained its program.
-    for (int d = 0; d < n; ++d) {
-        if (_devs[static_cast<std::size_t>(d)].nextOp
-            != program(d).size())
-            panic("device %d stalled at op %zu/%zu — scheduling deadlock",
-                  d, _devs[static_cast<std::size_t>(d)].nextOp,
-                  program(d).size());
-    }
+IterationResult
+TrainingSession::collectResult()
+{
+    EventQueue &eq = _system.eventQueue();
 
     // Device 0 represents the SPMD modes; pipeline reports the
     // bottleneck stage's view (the perf canary would otherwise watch
@@ -874,7 +1018,8 @@ TrainingSession::run()
         ticksToSeconds(_stallSync[ureport]);
     result.breakdown.exposedVmemSec =
         ticksToSeconds(_stallVmem[ureport]);
-    result.hostBytes = _system.fabric().hostBytes();
+    result.hostBytes =
+        _system.fabric().hostBytes() - _hostBytesBefore;
     const int sockets = _system.config().fabric.numSockets;
     if (result.makespan > 0 && sockets > 0) {
         result.hostAvgBwPerSocket = result.hostBytes
@@ -883,10 +1028,10 @@ TrainingSession::run()
     }
     result.hostPeakBwPerSocket = _system.fabric().hostPeakBandwidth();
     result.offloadBytesPerDevice =
-        _system.dma(report).bytesOffloaded()
-        + _system.dma(report).bytesPrefetched();
-    result.syncBytes = sync_bytes;
-    result.eventsExecuted = eq.executedCount() - events_before;
+        _system.dma(sysDev(report)).bytesOffloaded()
+        + _system.dma(sysDev(report)).bytesPrefetched();
+    result.syncBytes = _iterSyncBytes;
+    result.eventsExecuted = eq.executedCount() - _eventsBefore;
     result.paging = _pagers[ureport]->counters();
     return result;
 }

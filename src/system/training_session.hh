@@ -68,7 +68,16 @@ struct LatencyBreakdown
     }
 };
 
-/** Results of one simulated training iteration. */
+/**
+ * Results of one simulated training iteration.
+ *
+ * The machine-global fields — hostBytes, the host-bandwidth pair, and
+ * eventsExecuted — are per-iteration deltas of shared counters: on a
+ * multi-tenant cluster they include co-located jobs' traffic/events
+ * during this job's iteration window (the machine's view, not an
+ * attribution). Per-device fields (breakdown, paging, offload bytes)
+ * are exact for the owning session either way.
+ */
 struct IterationResult
 {
     Tick makespan = 0;             ///< Wall-clock of the iteration.
@@ -106,13 +115,31 @@ class TrainingSession
      * @param pipeline_stages Pipeline stage count (--mode pp only;
      *        0 = one stage per device).
      * @param microbatches GPipe microbatches per iteration (pp only).
+     * @param device_set System device indices this session owns (empty
+     *        = all of them, the classic whole-machine run). A subset
+     *        session — the cluster's multi-tenant path — runs its SPMD
+     *        or stage programs on just those devices; its collectives
+     *        ring over the owned subset (restrictRingToDevices) but
+     *        still traverse the full physical loop, so co-located
+     *        jobs' traffic contends on the shared channels.
      */
     TrainingSession(System &system, const Network &net, ParallelMode mode,
                     std::int64_t global_batch, int pipeline_stages = 0,
-                    int microbatches = 1);
+                    int microbatches = 1,
+                    std::vector<int> device_set = {});
 
     const ParallelStrategy &strategy() const { return _strategy; }
     const OffloadPlan &plan() const { return _plan; }
+
+    /** Devices this session runs on (system indices, local order). */
+    const std::vector<int> &deviceSet() const { return _deviceSet; }
+
+    /** Number of devices this session owns. */
+    int
+    deviceCount() const
+    {
+        return static_cast<int>(_deviceSet.size());
+    }
 
     /**
      * Per-device memory demand if nothing were offloaded: weights +
@@ -123,6 +150,23 @@ class TrainingSession
 
     /** Simulate one iteration and return its metrics. */
     IterationResult run();
+
+    /**
+     * Begin one iteration without draining the event queue — the
+     * cluster path, where many sessions share one EventQueue. Only the
+     * owned devices' statistics are reset (the fabric is shared);
+     * @p on_done fires, with the iteration metrics, when the last
+     * owned device drains its program. The caller drives the queue.
+     */
+    void
+    startIteration(std::function<void(const IterationResult &)> on_done);
+
+    /**
+     * Free everything allocateBuffers() claimed — devicelocal
+     * footprints, remote stash buffers, and the pagers — so another
+     * session can reuse the devices. Idempotent.
+     */
+    void releaseBuffers();
 
     /**
      * Attach a Chrome-tracing sink; subsequent iterations emit op, DMA,
@@ -181,6 +225,34 @@ class TrainingSession
     void allocateBuffers();
     void createPagers();
 
+    /// System device index of local device @p dev.
+    int
+    sysDev(int dev) const
+    {
+        return _deviceSet[static_cast<std::size_t>(dev)];
+    }
+
+    /// Reset per-iteration state and seed every owned device's program
+    /// (the shared tail of run() and startIteration()).
+    void setupIteration();
+
+    /// Assemble the metrics of the iteration that just drained.
+    IterationResult collectResult();
+
+    /// One owned device drained its program; fires the async callback
+    /// on the last one.
+    void deviceFinished();
+
+    /// Fire the async callback once every pager's DMA is quiescent
+    /// (trailing writebacks outlive the compute programs).
+    void finishWhenQuiescent();
+
+    /// Launch one collective over this session's rings (the fabric's
+    /// full rings for whole-machine sessions, the restricted sub-rings
+    /// otherwise).
+    void launchCollective(const SyncOp &sync,
+                          CollectiveEngine::Handler on_done);
+
     /// Device @p dev's op program (the shared SPMD program for dp/mp,
     /// the stage program for pipeline).
     const std::vector<OpSpec> &program(int dev) const;
@@ -201,8 +273,17 @@ class TrainingSession
 
     System &_system;
     const Network &_net;
+    /// Owned system device indices; index = local device id. Declared
+    /// before _strategy (constructed from its size).
+    std::vector<int> _deviceSet;
+    /// Whole-machine session (uses the fabric's rings verbatim).
+    bool _ownsAllDevices = true;
     ParallelStrategy _strategy;
     OffloadPlan _plan;
+    /// Restricted collective rings of a subset session (and the
+    /// pointer view launchOn() consumes).
+    std::vector<RingPath> _jobRings;
+    std::vector<const RingPath *> _jobRingPtrs;
 
     /// Shared SPMD program (dp/mp modes).
     std::vector<OpSpec> _ops;
@@ -217,6 +298,9 @@ class TrainingSession
     std::vector<std::vector<LayerId>> _stageTensors;
     std::vector<LayerTiming> _timings;
     bool _allocated = false;
+    /// Devicelocal footprint allocations, one per owned device, so
+    /// releaseBuffers() can return them.
+    std::vector<Placement> _localPlacements;
     /// Remote allocations per device, by layer (dp/mp) or page-group
     /// id (pipeline).
     std::vector<std::map<LayerId, RemotePtr>> _remotePtrs;
@@ -244,6 +328,16 @@ class TrainingSession
     std::vector<Tick> _stallSync;
     std::vector<Tick> _stallVmem;
     Tick _startTick = 0;
+    std::uint64_t _eventsBefore = 0;
+    /// Host-socket byte counter at iteration start (the fabric is
+    /// shared under multi-tenancy, so hostBytes reports a delta).
+    double _hostBytesBefore = 0.0;
+    double _iterSyncBytes = 0.0;
+    /// Owned devices still draining the current iteration.
+    int _devicesRemaining = 0;
+    /// Async-iteration completion callback (cluster mode; empty under
+    /// the classic run()).
+    std::function<void(const IterationResult &)> _onIterationDone;
 };
 
 } // namespace mcdla

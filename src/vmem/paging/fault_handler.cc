@@ -55,6 +55,7 @@ FaultHandler::transfer(LayerId layer, DmaDirection direction,
     const Tick issued = _runtime.dma().now();
     if (tracked)
         _tracker->begin(issued);
+    ++_outstanding;
     _runtime.memcpyAsync(
         _remotePtrs.at(layer), bytes, direction,
         [this, tracked, issued, layer, label,
@@ -74,7 +75,22 @@ FaultHandler::transfer(LayerId layer, DmaDirection direction,
             }
             if (on_drain)
                 on_drain();
+            if (--_outstanding == 0 && !_idleWaiters.empty()) {
+                std::vector<Handler> waiters;
+                waiters.swap(_idleWaiters);
+                for (Handler &waiter : waiters)
+                    waiter();
+            }
         });
+}
+
+void
+FaultHandler::whenDmaIdle(Handler cb)
+{
+    if (_outstanding == 0)
+        cb();
+    else
+        _idleWaiters.push_back(std::move(cb));
 }
 
 void

@@ -110,6 +110,22 @@ class FaultHandler
 
     /// @}
 
+    /// @name DMA quiescence
+    /// @{
+
+    /** Whether no transfer of this handler is in flight. */
+    bool dmaIdle() const { return _outstanding == 0; }
+
+    /**
+     * Run @p cb once every in-flight transfer has drained
+     * (immediately when already idle). Multi-tenant sessions gate
+     * device handback on this: destroying the pager with a DMA in
+     * flight would dangle the completion callback.
+     */
+    void whenDmaIdle(Handler cb);
+
+    /// @}
+
   private:
     double wireBytes(LayerId layer) const;
     void transfer(LayerId layer, DmaDirection direction,
@@ -125,6 +141,9 @@ class FaultHandler
 
     std::map<LayerId, std::shared_ptr<Latch>> _writebackLatch;
     std::map<LayerId, std::shared_ptr<Latch>> _fillLatch;
+    /** In-flight transfers (writebacks can trail the compute program). */
+    std::uint64_t _outstanding = 0;
+    std::vector<Handler> _idleWaiters;
 };
 
 } // namespace mcdla

@@ -122,6 +122,16 @@ class DevicePager
     /** Snapshot of the counters (for IterationResult). */
     PagingCounters counters() const;
 
+    /** Whether no DMA of this pager is in flight. */
+    bool dmaIdle() const { return _fault.dmaIdle(); }
+
+    /** Run @p cb when the last in-flight DMA drains (or immediately). */
+    void
+    whenDmaIdle(FaultHandler::Handler cb)
+    {
+        _fault.whenDmaIdle(std::move(cb));
+    }
+
     /// @name Policy-facing operations
     /// @{
     /** Static plan: unconditionally write @p layer back now. */

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Default job-mix catalog.
+ */
+
+#include "workloads/job_mix.hh"
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+const std::vector<JobTemplate> &
+defaultJobMix()
+{
+    // Weights follow production DL cluster traces (Philly-style): most
+    // jobs are small and short, a minority are gang-scheduled
+    // multi-device runs, and the occasional whole-machine job causes
+    // head-of-line blocking under FIFO.
+    static const std::vector<JobTemplate> mix = {
+        // Small fine-tuning-class jobs.
+        {"AlexNet", ParallelMode::DataParallel, 128, 1, 1, 3.0},
+        {"RNN-GEMV", ParallelMode::DataParallel, 128, 1, 1, 2.0},
+        {"GoogLeNet", ParallelMode::DataParallel, 128, 2, 1, 2.0},
+        // Half-machine training runs.
+        {"ResNet", ParallelMode::DataParallel, 256, 4, 1, 1.5},
+        {"RNN-LSTM-1", ParallelMode::ModelParallel, 256, 4, 1, 1.0},
+        // Whole-machine heavyweights.
+        {"VGG-E", ParallelMode::DataParallel, 512, 8, 1, 0.75},
+        {"ResNet", ParallelMode::DataParallel, 512, 8, 2, 0.5},
+    };
+    return mix;
+}
+
+const JobTemplate &
+sampleJobMix(const std::vector<JobTemplate> &mix, Random &rng)
+{
+    if (mix.empty())
+        fatal("job mix catalog is empty");
+    double total = 0.0;
+    for (const JobTemplate &t : mix)
+        total += t.weight;
+    double draw = rng.uniform() * total;
+    for (const JobTemplate &t : mix) {
+        draw -= t.weight;
+        if (draw <= 0.0)
+            return t;
+    }
+    return mix.back();
+}
+
+} // namespace mcdla

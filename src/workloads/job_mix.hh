@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Job-mix catalog for cluster-level workload generation.
+ *
+ * The synthetic arrival process samples job shapes from this weighted
+ * catalog: a long tail of small single-device fine-tuning-style jobs,
+ * a middle of half-machine training runs, and occasional whole-machine
+ * jobs — the mix that makes scheduler/allocator policy differences
+ * visible (backfill needs small jobs to slot around blocked big ones).
+ */
+
+#ifndef MCDLA_WORKLOADS_JOB_MIX_HH
+#define MCDLA_WORKLOADS_JOB_MIX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "parallel/strategy.hh"
+#include "sim/random.hh"
+
+namespace mcdla
+{
+
+/** One job shape of the mix, with its sampling weight. */
+struct JobTemplate
+{
+    const char *workload;
+    ParallelMode mode;
+    std::int64_t batch;
+    int devices;
+    int iterations;
+    double weight;
+};
+
+/**
+ * The default catalog. Workload names reference the Table III
+ * registry; device counts assume the paper's eight-device node and are
+ * clamped by the sampler when the cluster is smaller.
+ */
+const std::vector<JobTemplate> &defaultJobMix();
+
+/**
+ * Draw one template, weight-proportionally, from @p mix using @p rng
+ * (the run's single seeded RNG, so job streams reproduce).
+ */
+const JobTemplate &sampleJobMix(const std::vector<JobTemplate> &mix,
+                                Random &rng);
+
+} // namespace mcdla
+
+#endif // MCDLA_WORKLOADS_JOB_MIX_HH

@@ -21,14 +21,16 @@ struct Measured
 
 Measured
 runAndMeasure(SystemDesign design, const Network &net,
-              std::int64_t batch = 256)
+              std::int64_t batch = 256,
+              ParallelMode mode = ParallelMode::DataParallel,
+              int pipeline_stages = 0, int microbatches = 1)
 {
     EventQueue eq;
     SystemConfig cfg;
     cfg.design = design;
     System system(eq, cfg);
-    TrainingSession session(system, net, ParallelMode::DataParallel,
-                            batch);
+    TrainingSession session(system, net, mode, batch, pipeline_stages,
+                            microbatches);
     Measured run;
     run.result = session.run();
     run.energy = estimateEnergy(system, run.result);
@@ -91,6 +93,68 @@ TEST(Energy, IdleDeviceDrawsIdlePower)
     const Measured dc = runAndMeasure(SystemDesign::DcDla, net);
     const Measured mc = runAndMeasure(SystemDesign::McDlaB, net);
     EXPECT_LT(dc.energy.averageWatts(), mc.energy.averageWatts());
+}
+
+TEST(Energy, PipelineComponentsArePositiveAndConsistent)
+{
+    // Per-stage energy accounting under --mode pp: every component of
+    // a 4-stage GPipe run integrates to something positive and the
+    // total stays the sum of its parts.
+    const Network net = buildBenchmark("ResNet");
+    const Measured run =
+        runAndMeasure(SystemDesign::McDlaB, net, 256,
+                      ParallelMode::Pipeline, /*stages=*/4,
+                      /*microbatches=*/8);
+    const EnergyReport &e = run.energy;
+    EXPECT_GT(e.deviceJoules, 0.0);
+    EXPECT_GT(e.memNodeJoules, 0.0);
+    EXPECT_GT(e.linkJoules, 0.0);
+    EXPECT_NEAR(e.totalJoules(),
+                e.deviceJoules + e.memNodeJoules + e.linkJoules
+                    + e.hostJoules,
+                1e-9);
+    EXPECT_GT(e.perfPerWatt(), 0.0);
+}
+
+TEST(Energy, PipelineIdleStagesDrawIdlePowerOnly)
+{
+    // A 2-stage pipeline on the 8-device machine leaves six devices
+    // idle: total device energy must sit between all-idle and
+    // two-busy-six-idle bounds, i.e. the idle stages are billed at
+    // idle power, not TDP.
+    const Network net = buildBenchmark("ResNet");
+    const Measured run =
+        runAndMeasure(SystemDesign::McDlaB, net, 256,
+                      ParallelMode::Pipeline, /*stages=*/2,
+                      /*microbatches=*/4);
+    const EnergyConfig cfg;
+    const double span = run.energy.iterationSeconds;
+    ASSERT_GT(span, 0.0);
+    const double all_idle = 8.0 * span * cfg.deviceIdleWatts;
+    const double two_busy = span
+        * (2.0 * cfg.deviceTdpWatts + 6.0 * cfg.deviceIdleWatts);
+    EXPECT_GT(run.energy.deviceJoules, all_idle);
+    EXPECT_LE(run.energy.deviceJoules, two_busy * (1.0 + 1e-9));
+}
+
+TEST(Energy, PipelineStageImbalanceShowsInDeviceEnergy)
+{
+    // With one stage per device the per-stage busy times differ (the
+    // partition balances cost, not exactly), so device energy must
+    // exceed the all-idle floor yet stay below every-device-flat-out;
+    // the pipeline's bubble guarantees real slack below the ceiling.
+    const Network net = buildBenchmark("GoogLeNet");
+    const Measured run =
+        runAndMeasure(SystemDesign::McDlaB, net, 256,
+                      ParallelMode::Pipeline, /*stages=*/8,
+                      /*microbatches=*/8);
+    const EnergyConfig cfg;
+    const double span = run.energy.iterationSeconds;
+    ASSERT_GT(span, 0.0);
+    EXPECT_GT(run.energy.deviceJoules,
+              8.0 * span * cfg.deviceIdleWatts);
+    EXPECT_LT(run.energy.deviceJoules,
+              8.0 * span * cfg.deviceTdpWatts);
 }
 
 TEST(Energy, ZeroSpanYieldsEmptyReport)

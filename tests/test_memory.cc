@@ -11,6 +11,7 @@
 #include "memory/dimm.hh"
 #include "memory/memory_node.hh"
 #include "sim/logging.hh"
+#include "system/system.hh"
 
 namespace mcdla
 {
@@ -59,6 +60,54 @@ TEST(Dimm, ClassesMatchTableIV)
 TEST_F(ThrowingErrors, UnknownDimmCapacityIsFatal)
 {
     EXPECT_THROW(dimmByCapacityGib(48), FatalError);
+}
+
+// ------------------------------------------- memory-node validation
+
+TEST(MemoryNode, DefaultConfigValidates)
+{
+    MemoryNodeConfig node;
+    node.validate(); // must not throw
+}
+
+TEST_F(ThrowingErrors, LinksMustPartitionIntoGroups)
+{
+    MemoryNodeConfig node;
+    node.numLinks = 5;
+    node.linkGroups = 2; // 5 % 2 != 0 would silently mis-partition
+    EXPECT_THROW(node.validate(), FatalError);
+    node.numLinks = 6;
+    node.validate();
+}
+
+TEST_F(ThrowingErrors, NonPositiveBoardParametersAreFatal)
+{
+    MemoryNodeConfig node;
+    node.numDimms = 0;
+    EXPECT_THROW(node.validate(), FatalError);
+    node.numDimms = -2;
+    EXPECT_THROW(node.validate(), FatalError);
+
+    node = MemoryNodeConfig{};
+    node.numLinks = 0;
+    EXPECT_THROW(node.validate(), FatalError);
+
+    node = MemoryNodeConfig{};
+    node.linkGroups = 0;
+    EXPECT_THROW(node.validate(), FatalError);
+
+    node = MemoryNodeConfig{};
+    node.linkBandwidth = 0.0;
+    EXPECT_THROW(node.validate(), FatalError);
+}
+
+TEST_F(ThrowingErrors, SystemRejectsABrokenMemoryNode)
+{
+    EventQueue eq;
+    SystemConfig cfg;
+    cfg.design = SystemDesign::McDlaB;
+    cfg.memNode.numLinks = 7; // 7 % 2 != 0
+    EXPECT_THROW(System(eq, cfg), FatalError);
 }
 
 TEST(Dimm, SpeedGrades)

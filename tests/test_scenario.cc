@@ -82,6 +82,24 @@ TEST(Scenario, LabelNamesTheRun)
     EXPECT_EQ(sc.label(), "VGG-E/dc/mp/b128");
 }
 
+TEST(Scenario, SeedRoundTripsThroughLabelAndOptions)
+{
+    Scenario sc;
+    sc.seed = 0;
+    EXPECT_EQ(sc.label().find("seed"), std::string::npos);
+    sc.seed = 99;
+    EXPECT_NE(sc.label().find("/seed99"), std::string::npos);
+
+    OptionParser opts("t", "test");
+    Scenario::addOptions(opts);
+    const char *argv[] = {"t", "--seed", "1234"};
+    std::ostringstream err;
+    ASSERT_TRUE(opts.parse(3, argv, err));
+    const Scenario parsed = Scenario::fromOptions(opts);
+    EXPECT_EQ(parsed.seed, 1234u);
+    EXPECT_NE(parsed.label().find("/seed1234"), std::string::npos);
+}
+
 TEST(Scenario, ConfigStampsTheDesign)
 {
     Scenario sc;

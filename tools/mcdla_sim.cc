@@ -12,10 +12,20 @@
  * Chrome-tracing timeline of the iteration, and a full gem5-style
  * statistics dump.
  *
+ * --cluster switches to the multi-job mode: a stream of training jobs
+ * (from --job-trace, or --jobs synthetic Poisson arrivals at
+ * --arrival-rate over the job-mix catalog, seeded by --seed) is
+ * scheduled onto one shared machine by --scheduler, with backing
+ * stores carved from the shared memory pool by --allocator. --csv then
+ * emits the per-job ClusterReport rows and --pool-csv the pool
+ * occupancy/fragmentation timeline.
+ *
  * Examples:
  *   mcdla_sim --design mc-b --workload VGG-E --mode dp --batch 512
  *   mcdla_sim --workload all --design dc --jobs 4 --csv results.csv
  *   mcdla_sim --design mc-b --trace timeline.json --stats
+ *   mcdla_sim --cluster --jobs 12 --arrival-rate 40 --seed 7 \
+ *       --scheduler backfill --allocator buddy --csv jobs.csv
  */
 
 #include <fstream>
@@ -35,7 +45,21 @@ main(int argc, char **argv)
         "reproduction)");
     Scenario::addOptions(opts);
     opts.addInt("jobs", 1,
-                "sweep worker threads (0 = hardware concurrency)");
+                "sweep worker threads (0 = hardware concurrency); "
+                "with --cluster: synthetic job count (default 8)");
+    opts.addFlag("cluster",
+                 "multi-job cluster mode (see --scheduler/--allocator)");
+    opts.addString("scheduler", "fifo",
+                   "cluster job scheduler: " + schedulerTokenList());
+    opts.addString("allocator", "first-fit",
+                   "cluster pool allocator: " + poolAllocatorTokenList());
+    opts.addDouble("arrival-rate", 25.0,
+                   "synthetic job arrival rate, jobs/sec (--cluster)");
+    opts.addString("job-trace", "",
+                   "job trace file (key=value lines; overrides the "
+                   "synthetic stream)");
+    opts.addString("pool-csv", "",
+                   "write the cluster pool timeline to this CSV file");
     opts.addString("csv", "", "write result rows to this CSV file");
     opts.addString("json", "", "write result rows to this JSON file");
     opts.addString("trace", "",
@@ -84,6 +108,91 @@ main(int argc, char **argv)
         LogConfig::verbose = false;
 
     const Scenario prototype = Scenario::fromOptions(opts);
+
+    if (opts.getFlag("cluster")) {
+        ClusterConfig cfg;
+        cfg.base = prototype;
+        cfg.scheduler = parseScheduler(opts.getString("scheduler"));
+        cfg.allocator =
+            parsePoolAllocator(opts.getString("allocator"));
+        cfg.progress = LogConfig::verbose;
+
+        std::vector<JobSpec> jobs;
+        if (!opts.getString("job-trace").empty()) {
+            jobs = loadJobTrace(opts.getString("job-trace"));
+        } else {
+            const int count = opts.wasSet("jobs")
+                ? static_cast<int>(opts.getInt("jobs"))
+                : 8;
+            Random rng(prototype.seed);
+            jobs = synthesizeJobs(count,
+                                  opts.getDouble("arrival-rate"),
+                                  prototype.base.fabric.numDevices,
+                                  rng);
+        }
+
+        Cluster cluster(cfg, std::move(jobs));
+        const ClusterReport report = cluster.run();
+
+        std::cout << systemDesignName(prototype.design) << " cluster, "
+                  << prototype.base.fabric.numDevices << " devices, "
+                  << schedulerToken(report.scheduler) << " scheduler, "
+                  << poolAllocatorToken(report.allocator)
+                  << " pool allocator\n\n";
+        TablePrinter table({"Job", "Workload", "Devs", "Arrive(s)",
+                            "Queue(s)", "Service(s)", "JCT(s)",
+                            "Slowdown", "Status"});
+        for (const JobOutcome &job : report.jobs) {
+            table.addRow(
+                {job.spec.name, job.spec.workload,
+                 std::to_string(job.spec.devices),
+                 TablePrinter::num(job.arrivalSec, 3),
+                 TablePrinter::num(
+                     job.completed ? job.queueSec() : 0.0, 3),
+                 TablePrinter::num(
+                     job.completed ? job.serviceSec() : 0.0, 3),
+                 TablePrinter::num(
+                     job.completed ? job.jctSec() : 0.0, 3),
+                 TablePrinter::num(
+                     job.completed ? job.slowdown() : 0.0, 2),
+                 job.rejected
+                     ? "rejected"
+                     : (job.completed ? "completed" : "incomplete")});
+        }
+        table.print(std::cout);
+        std::cout << '\n'
+                  << report.completedJobs() << '/' << report.jobs.size()
+                  << " jobs completed; mean JCT "
+                  << report.meanJctSec() << " s, mean queue "
+                  << report.meanQueueSec() << " s, makespan "
+                  << report.makespanSec << " s\npool: peak "
+                  << report.peakPoolUtilization() * 100.0
+                  << "% of "
+                  << static_cast<double>(report.poolCapacity)
+                     / static_cast<double>(kGiB)
+                  << " GiB, mean fragmentation "
+                  << report.meanFragmentation() << ", "
+                  << report.allocationFailures
+                  << " allocation failures\n";
+
+        if (!opts.getString("csv").empty()) {
+            std::ofstream out(opts.getString("csv"));
+            report.jobTable().writeCsv(out);
+            std::cout << "\nwrote " << opts.getString("csv") << '\n';
+        }
+        if (!opts.getString("json").empty()) {
+            std::ofstream out(opts.getString("json"));
+            report.jobTable().writeJson(out);
+            std::cout << "wrote " << opts.getString("json") << '\n';
+        }
+        if (!opts.getString("pool-csv").empty()) {
+            std::ofstream out(opts.getString("pool-csv"));
+            report.poolTable().writeCsv(out);
+            std::cout << "wrote " << opts.getString("pool-csv")
+                      << '\n';
+        }
+        return 0;
+    }
 
     std::vector<Scenario> scenarios;
     if (prototype.workload == "all") {
