@@ -14,6 +14,34 @@
 namespace mcdla
 {
 
+JobPlacement
+parseJobPlacement(const std::string &name)
+{
+    if (name == "first")
+        return JobPlacement::First;
+    if (name == "compact")
+        return JobPlacement::Compact;
+    fatal("unknown placement '%s' (%s)", name.c_str(),
+          jobPlacementTokenList().c_str());
+}
+
+const char *
+jobPlacementToken(JobPlacement placement)
+{
+    switch (placement) {
+      case JobPlacement::First: return "first";
+      case JobPlacement::Compact: return "compact";
+    }
+    panic("placement %d has no token", static_cast<int>(placement));
+}
+
+const std::string &
+jobPlacementTokenList()
+{
+    static const std::string list = "first, compact";
+    return list;
+}
+
 std::uint64_t
 Cluster::jobPoolBytes(const JobSpec &spec, const Network &net,
                       const SystemConfig &cfg,
@@ -115,6 +143,71 @@ Cluster::computePoolCapacity() const
     return total > 0 ? total : 1;
 }
 
+std::vector<int>
+placeJobDevices(const Fabric &fabric, const std::vector<int> &free,
+                int count, JobPlacement placement)
+{
+    const auto want = static_cast<std::size_t>(count);
+    if (placement == JobPlacement::First || want >= free.size())
+        return std::vector<int>(free.begin(),
+                                free.begin()
+                                    + static_cast<std::ptrdiff_t>(
+                                        std::min(want, free.size())));
+
+    // Compact placement: real hop counts over the fabric topology.
+    // Grow a gang greedily from every possible seed and keep the
+    // placement with the lowest total pairwise distance; ties resolve
+    // to the lowest-numbered seed/candidate, so the policy is
+    // deterministic and degrades to "first" on uniform fabrics.
+    constexpr int kUnreachable = 1 << 20;
+    auto dist = [&fabric](int a, int b) {
+        const int fwd = fabric.deviceHopCount(a, b);
+        const int bwd = fabric.deviceHopCount(b, a);
+        return (fwd < 0 ? kUnreachable : fwd)
+            + (bwd < 0 ? kUnreachable : bwd);
+    };
+
+    std::vector<int> best;
+    long best_cost = 0;
+    for (int seed : free) {
+        std::vector<int> gang{seed};
+        long cost = 0;
+        while (gang.size() < want) {
+            int pick = -1;
+            long pick_cost = 0;
+            for (int cand : free) {
+                if (std::find(gang.begin(), gang.end(), cand)
+                    != gang.end())
+                    continue;
+                long c = 0;
+                for (int member : gang)
+                    c += dist(member, cand);
+                if (pick < 0 || c < pick_cost) {
+                    pick = cand;
+                    pick_cost = c;
+                }
+            }
+            gang.push_back(pick);
+            cost += pick_cost;
+        }
+        if (best.empty() || cost < best_cost) {
+            best = std::move(gang);
+            best_cost = cost;
+        }
+    }
+    std::sort(best.begin(), best.end());
+    return best;
+}
+
+std::vector<int>
+Cluster::pickDevices(int count) const
+{
+    return placeJobDevices(
+        _system->fabric(),
+        std::vector<int>(_freeDevices.begin(), _freeDevices.end()),
+        count, _cfg.placement);
+}
+
 ClusterReport
 Cluster::run()
 {
@@ -143,6 +236,7 @@ Cluster::run()
     report.makespanSec = ticksToSeconds(_eq.now());
     report.scheduler = _cfg.scheduler;
     report.allocator = _cfg.allocator;
+    report.placement = _cfg.placement;
     report.poolCapacity = _poolCapacity;
     report.poolPeakUsed = _pool->peakUsedBytes();
     report.allocationFailures = _pool->allocationFailures();
@@ -269,11 +363,9 @@ Cluster::startJob(std::size_t queue_pos)
         active.hasBlock = true;
     }
 
-    outcome.devices.clear();
-    for (int i = 0; i < pending.devices; ++i) {
-        outcome.devices.push_back(*_freeDevices.begin());
-        _freeDevices.erase(_freeDevices.begin());
-    }
+    outcome.devices = pickDevices(pending.devices);
+    for (int d : outcome.devices)
+        _freeDevices.erase(d);
     outcome.startSec = ticksToSeconds(_eq.now());
 
     active.net = _networks.network(spec.workload);

@@ -37,6 +37,41 @@
 namespace mcdla
 {
 
+/**
+ * Device-selection policy for admitted jobs.
+ *
+ * First takes the lowest-indexed free devices (the legacy policy).
+ * Compact minimizes the job's internal communication distance: it
+ * greedily grows the gang from the seed whose placement has the lowest
+ * total pairwise hop count, using the Router's real channel-traversal
+ * distances over the fabric topology — so a job lands on devices that
+ * are close on the actual wiring, not just low-numbered.
+ */
+enum class JobPlacement
+{
+    First,
+    Compact,
+};
+
+/**
+ * Pick @p count devices from the @p free set (ascending order) under
+ * @p placement, using @p fabric's Router hop counts as the distance
+ * metric for Compact. Returns the chosen devices sorted ascending;
+ * fewer than @p count when the free set is too small.
+ */
+std::vector<int> placeJobDevices(const Fabric &fabric,
+                                 const std::vector<int> &free,
+                                 int count, JobPlacement placement);
+
+/** Parse a placement token ("first" / "compact"); fatal. */
+JobPlacement parseJobPlacement(const std::string &name);
+
+/** Canonical CLI token of a placement policy. */
+const char *jobPlacementToken(JobPlacement placement);
+
+/** Comma-separated accepted tokens (help text). */
+const std::string &jobPlacementTokenList();
+
 /** Cluster-level configuration. */
 struct ClusterConfig
 {
@@ -50,6 +85,8 @@ struct ClusterConfig
     Scenario base;
     SchedulerKind scheduler = SchedulerKind::Fifo;
     PoolAllocatorKind allocator = PoolAllocatorKind::FirstFit;
+    /** Device-selection policy for admitted jobs. */
+    JobPlacement placement = JobPlacement::First;
     /** inform() on every admission/completion. */
     bool progress = false;
 };
@@ -122,6 +159,7 @@ class ClusterReport
     double makespanSec = 0.0;
     SchedulerKind scheduler = SchedulerKind::Fifo;
     PoolAllocatorKind allocator = PoolAllocatorKind::FirstFit;
+    JobPlacement placement = JobPlacement::First;
     std::uint64_t poolCapacity = 0;
     std::uint64_t poolPeakUsed = 0;
     std::uint64_t allocationFailures = 0;
@@ -196,6 +234,8 @@ class Cluster
     };
 
     std::uint64_t computePoolCapacity() const;
+    /** Devices for a @p count -device job under the placement policy. */
+    std::vector<int> pickDevices(int count) const;
     void onArrival(std::size_t index);
     void tryAdmit();
     void startJob(std::size_t queue_pos);

@@ -26,6 +26,73 @@ collectiveKindName(CollectiveKind kind)
     return "unknown";
 }
 
+namespace
+{
+
+struct AlgoToken
+{
+    CollectiveAlgorithm algo;
+    const char *token;
+};
+
+/** The one table every direction of the round-trip reads. */
+constexpr AlgoToken kAlgoTokens[] = {
+    {CollectiveAlgorithm::Ring, "ring"},
+    {CollectiveAlgorithm::Tree, "tree"},
+    {CollectiveAlgorithm::Hierarchical, "hierarchical"},
+};
+
+} // anonymous namespace
+
+CollectiveAlgorithm
+parseCollectiveAlgorithm(const std::string &name)
+{
+    for (const AlgoToken &entry : kAlgoTokens)
+        if (name == entry.token)
+            return entry.algo;
+    if (name == "hier") // common shorthand
+        return CollectiveAlgorithm::Hierarchical;
+    fatal("unknown collective algorithm '%s' (%s)", name.c_str(),
+          collectiveAlgorithmTokenList().c_str());
+}
+
+const char *
+collectiveAlgorithmToken(CollectiveAlgorithm algo)
+{
+    for (const AlgoToken &entry : kAlgoTokens)
+        if (entry.algo == algo)
+            return entry.token;
+    panic("collective algorithm %d has no token",
+          static_cast<int>(algo));
+}
+
+const std::vector<CollectiveAlgorithm> &
+allCollectiveAlgorithms()
+{
+    static const std::vector<CollectiveAlgorithm> algos = [] {
+        std::vector<CollectiveAlgorithm> all;
+        for (const AlgoToken &entry : kAlgoTokens)
+            all.push_back(entry.algo);
+        return all;
+    }();
+    return algos;
+}
+
+const std::string &
+collectiveAlgorithmTokenList()
+{
+    static const std::string list = [] {
+        std::string tokens;
+        for (const AlgoToken &entry : kAlgoTokens) {
+            if (!tokens.empty())
+                tokens += ", ";
+            tokens += entry.token;
+        }
+        return tokens;
+    }();
+    return list;
+}
+
 CollectiveEngine::CollectiveEngine(EventQueue &eq, std::string name,
                                    const Fabric &fabric,
                                    CollectiveConfig cfg)
@@ -64,6 +131,21 @@ CollectiveEngine::launchOn(const std::vector<const RingPath *> &rings,
     if (total_bytes <= 0.0 || rings.empty()) {
         // Degenerate: nothing to move (or nowhere to move it).
         eventQueue().scheduleAfter(0, complete, name() + ".noop");
+        return;
+    }
+
+    if (_cfg.algorithm != CollectiveAlgorithm::Ring) {
+        // Tree-structured algorithms operate on the participating
+        // devices (ring order) and route transfers over the topology
+        // graph instead of walking the rings.
+        const std::vector<int> devices = rings[0]->deviceMembers();
+        if (devices.size() < 2) {
+            eventQueue().scheduleAfter(0, complete,
+                                       name() + ".noop");
+            return;
+        }
+        runTreeLike(devices, kind, total_bytes, root,
+                    std::move(complete));
         return;
     }
 
@@ -156,6 +238,192 @@ CollectiveEngine::forwardChunk(const RingPath &ring, int stage,
                       (*done)();
                   }
               });
+}
+
+std::vector<CollectiveEngine::Round>
+CollectiveEngine::reduceRounds(int count)
+{
+    // Binomial reduce toward position 0: in round r every position
+    // with (p mod 2^(r+1)) == 2^r sends its full payload to p - 2^r.
+    std::vector<Round> rounds;
+    for (int span = 1; span < count; span *= 2) {
+        Round round;
+        for (int p = span; p < count; p += 2 * span)
+            round.emplace_back(p, p - span);
+        rounds.push_back(std::move(round));
+    }
+    return rounds;
+}
+
+std::vector<CollectiveEngine::Round>
+CollectiveEngine::broadcastRounds(int count)
+{
+    // Mirror image of the reduce: the root's payload fans out doubling
+    // the covered set each round.
+    std::vector<Round> rounds = reduceRounds(count);
+    std::reverse(rounds.begin(), rounds.end());
+    for (Round &round : rounds)
+        for (auto &pair : round)
+            std::swap(pair.first, pair.second);
+    return rounds;
+}
+
+void
+CollectiveEngine::runRounds(std::shared_ptr<std::vector<Round>> rounds,
+                            std::size_t index, double bytes,
+                            std::shared_ptr<Handler> done)
+{
+    while (index < rounds->size() && (*rounds)[index].empty())
+        ++index;
+    if (index >= rounds->size()) {
+        (*done)();
+        return;
+    }
+    const Round &round = (*rounds)[index];
+    auto outstanding = std::make_shared<std::size_t>(round.size());
+    for (const auto &[src, dst] : round) {
+        Route route = _fabric.deviceRoute(src, dst);
+        if (!route.valid())
+            fatal("%s: no route from device %d to device %d for a "
+                  "tree collective round", name().c_str(), src, dst);
+        sendFlow({std::move(route)}, bytes, _cfg.chunkBytes,
+                 [this, rounds, index, bytes, done, outstanding] {
+                     if (--*outstanding == 0)
+                         runRounds(rounds, index + 1, bytes, done);
+                 });
+    }
+}
+
+RingPath
+CollectiveEngine::leaderRing(const std::vector<int> &leaders) const
+{
+    RingPath ring;
+    if (leaders.size() < 2)
+        return ring;
+    for (std::size_t i = 0; i < leaders.size(); ++i) {
+        const int src = leaders[i];
+        const int dst = leaders[(i + 1) % leaders.size()];
+        Route hop = _fabric.deviceRoute(src, dst);
+        if (!hop.valid())
+            fatal("%s: no route between board leaders %d and %d",
+                  name().c_str(), src, dst);
+        ring.stages.push_back(RingStage{true, src});
+        ring.hops.push_back(std::move(hop));
+    }
+    return ring;
+}
+
+void
+CollectiveEngine::runTreeLike(const std::vector<int> &devices,
+                              CollectiveKind kind, double bytes,
+                              int root, Handler done)
+{
+    const int m = static_cast<int>(devices.size());
+    auto done_ptr = std::make_shared<Handler>(std::move(done));
+
+    // Participant order; broadcast rotates so the root leads the tree.
+    std::vector<int> order = devices;
+    if (kind == CollectiveKind::Broadcast) {
+        auto it = std::find(order.begin(), order.end(), root);
+        if (it != order.end())
+            std::rotate(order.begin(), it, order.end());
+    }
+
+    auto map_rounds = [&order](const std::vector<Round> &position_rounds,
+                               std::vector<Round> &out) {
+        for (const Round &round : position_rounds) {
+            Round mapped;
+            for (const auto &[src, dst] : round)
+                mapped.emplace_back(
+                    order[static_cast<std::size_t>(src)],
+                    order[static_cast<std::size_t>(dst)]);
+            out.push_back(std::move(mapped));
+        }
+    };
+
+    const int board = std::max(1, std::min(_cfg.boardDevices, m));
+    const bool flat = _cfg.algorithm == CollectiveAlgorithm::Tree
+        || kind == CollectiveKind::Broadcast || board >= m;
+
+    if (flat) {
+        auto rounds = std::make_shared<std::vector<Round>>();
+        if (kind == CollectiveKind::AllReduce
+            || kind == CollectiveKind::ReduceScatter)
+            map_rounds(reduceRounds(m), *rounds);
+        if (kind != CollectiveKind::ReduceScatter)
+            map_rounds(broadcastRounds(m), *rounds);
+        runRounds(std::move(rounds), 0, bytes, std::move(done_ptr));
+        return;
+    }
+
+    // Hierarchical: consecutive boards reduce/broadcast internally
+    // through binomial trees; board leaders exchange over an
+    // inter-board ring embedded on the topology's shortest paths.
+    std::vector<int> leaders;
+    auto intra_reduce = std::make_shared<std::vector<Round>>();
+    auto intra_bcast = std::make_shared<std::vector<Round>>();
+    for (int start = 0; start < m; start += board) {
+        const int size = std::min(board, m - start);
+        std::vector<int> member_order(
+            order.begin() + start, order.begin() + start + size);
+        leaders.push_back(member_order.front());
+
+        // Merge each board's round r into the global round r so the
+        // boards progress concurrently between barriers.
+        auto merge = [&member_order](const std::vector<Round> &in,
+                                     std::vector<Round> &out) {
+            if (out.size() < in.size())
+                out.resize(in.size());
+            for (std::size_t r = 0; r < in.size(); ++r)
+                for (const auto &[src, dst] : in[r])
+                    out[r].emplace_back(
+                        member_order[static_cast<std::size_t>(src)],
+                        member_order[static_cast<std::size_t>(dst)]);
+        };
+        merge(reduceRounds(size), *intra_reduce);
+        merge(broadcastRounds(size), *intra_bcast);
+    }
+
+    auto ring = std::make_shared<RingPath>(leaderRing(leaders));
+    auto run_leader_phase = [this, ring, kind,
+                             bytes](Handler next) {
+        // The shared_ptr rides in the completion handler — it is the
+        // last reference dropped, keeping the embedded ring alive
+        // while chunks are in flight.
+        auto ring_done = std::make_shared<Handler>(
+            [ring, next = std::move(next)] { next(); });
+        runOnRing(*ring, kind, bytes, /*root_stage=*/0, ring_done);
+    };
+
+    switch (kind) {
+      case CollectiveKind::AllReduce:
+        runRounds(intra_reduce, 0, bytes,
+                  std::make_shared<Handler>(
+                      [this, run_leader_phase, intra_bcast, bytes,
+                       done_ptr]() mutable {
+                          run_leader_phase([this, intra_bcast, bytes,
+                                            done_ptr] {
+                              runRounds(intra_bcast, 0, bytes,
+                                        done_ptr);
+                          });
+                      }));
+        return;
+      case CollectiveKind::ReduceScatter:
+        runRounds(intra_reduce, 0, bytes,
+                  std::make_shared<Handler>(
+                      [run_leader_phase, done_ptr]() mutable {
+                          run_leader_phase(
+                              [done_ptr] { (*done_ptr)(); });
+                      }));
+        return;
+      case CollectiveKind::AllGather:
+        run_leader_phase([this, intra_bcast, bytes, done_ptr] {
+            runRounds(intra_bcast, 0, bytes, done_ptr);
+        });
+        return;
+      case CollectiveKind::Broadcast:
+        panic("broadcast reaches the flat tree path above");
+    }
 }
 
 Tick

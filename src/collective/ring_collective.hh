@@ -43,6 +43,42 @@ enum class CollectiveKind
 
 const char *collectiveKindName(CollectiveKind kind);
 
+/**
+ * Collective algorithm family (--collective).
+ *
+ * Ring is the paper's NCCL-style baseline: bandwidth-optimal, but
+ * every operation pays (stages-1) serialized steps, so small payloads
+ * are latency-bound. Tree substitutes binomial trees over Router
+ * shortest paths — O(log n) steps moving the full payload each hop —
+ * which wins for small messages and loses at bandwidth saturation.
+ * Hierarchical composes both: intra-board reduce/broadcast trees with
+ * an inter-board ring over the board leaders, the classic two-level
+ * scheme for switched scale-out fabrics.
+ */
+enum class CollectiveAlgorithm
+{
+    Ring,
+    Tree,
+    Hierarchical,
+};
+
+/// @name CollectiveAlgorithm round-trips (CLI vocabulary)
+/// @{
+
+/** Parse an algorithm token ("ring"/"tree"/"hierarchical"); fatal. */
+CollectiveAlgorithm parseCollectiveAlgorithm(const std::string &name);
+
+/** Canonical CLI token of an algorithm. */
+const char *collectiveAlgorithmToken(CollectiveAlgorithm algo);
+
+/** Every algorithm the parser accepts. */
+const std::vector<CollectiveAlgorithm> &allCollectiveAlgorithms();
+
+/** Comma-separated accepted tokens (help text). */
+const std::string &collectiveAlgorithmTokenList();
+
+/// @}
+
 /** Engine configuration. */
 struct CollectiveConfig
 {
@@ -52,6 +88,17 @@ struct CollectiveConfig
      * counts tractable without changing steady-state bandwidth.
      */
     double chunkBytes = 128.0 * 1024.0;
+
+    /** Algorithm family; Ring reproduces the paper's baseline. */
+    CollectiveAlgorithm algorithm = CollectiveAlgorithm::Ring;
+
+    /**
+     * Devices per board for the hierarchical algorithm: consecutive
+     * ring positions group into boards of this size (the paper's
+     * 8-device board), boards reduce internally, and board leaders
+     * exchange over an inter-board ring routed on the topology.
+     */
+    int boardDevices = 8;
 };
 
 /** Ring-collective executor bound to one fabric. */
@@ -95,11 +142,43 @@ class CollectiveEngine : public SimObject
     /** Completed collective operations. */
     std::uint64_t opsCompleted() const { return _opsCompleted; }
 
+    /** Selected algorithm family. */
+    CollectiveAlgorithm algorithm() const { return _cfg.algorithm; }
+
   private:
+    /** One barrier-synchronized transfer round: (src, dst) devices. */
+    using Round = std::vector<std::pair<int, int>>;
+
     /** Run one ring's share of an operation. */
     void runOnRing(const RingPath &ring, CollectiveKind kind,
                    double bytes, int root_stage,
                    const std::shared_ptr<Handler> &ring_done);
+
+    /** Dispatch a tree/hierarchical operation over @p devices. */
+    void runTreeLike(const std::vector<int> &devices,
+                     CollectiveKind kind, double bytes, int root,
+                     Handler done);
+
+    /**
+     * Execute @p rounds sequentially (a global barrier between
+     * rounds); every (src, dst) pair moves @p bytes over the Router
+     * route, chunked. Fires @p done after the last round.
+     */
+    void runRounds(std::shared_ptr<std::vector<Round>> rounds,
+                   std::size_t index, double bytes,
+                   std::shared_ptr<Handler> done);
+
+    /** Binomial-reduce rounds over @p count positions (leaves first). */
+    static std::vector<Round> reduceRounds(int count);
+
+    /** Binomial-broadcast rounds (root position 0 first). */
+    static std::vector<Round> broadcastRounds(int count);
+
+    /**
+     * The inter-board leader ring of the hierarchical algorithm,
+     * embedded over Router shortest paths between consecutive leaders.
+     */
+    RingPath leaderRing(const std::vector<int> &leaders) const;
 
     /**
      * Forward one chunk @p hops_remaining hops starting at @p stage,

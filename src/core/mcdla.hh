@@ -15,7 +15,11 @@
  *  - mcdla::DevicePager / PageTable / PrefetchPolicy / EvictionPolicy —
  *    the paged device-memory subsystem (static-plan, on-demand, and
  *    history prefetching over a capacity-tracked HBM frame budget);
- *  - mcdla::CollectiveEngine — ring all-gather / all-reduce / broadcast;
+ *  - mcdla::Topology / Router — the interconnect graph layer: typed
+ *    nodes and channel-owning links, generic generators (ring, switch,
+ *    mesh, torus, fat-tree), and shortest-path/ECMP routing tables;
+ *  - mcdla::CollectiveEngine — topology-aware collectives with
+ *    selectable algorithms (ring / tree / hierarchical);
  *  - mcdla::Scenario / Simulator / SweepRunner — declarative run
  *    descriptions, one-call execution, and parallel sweeps;
  *  - mcdla::Cluster / JobScheduler / MemoryPoolAllocator — multi-job
@@ -48,6 +52,8 @@
 #include "interconnect/fabric.hh"
 #include "interconnect/fabrics.hh"
 #include "interconnect/flow.hh"
+#include "interconnect/router.hh"
+#include "interconnect/topology.hh"
 #include "memory/address_map.hh"
 #include "memory/dimm.hh"
 #include "memory/memory_node.hh"

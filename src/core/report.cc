@@ -11,6 +11,7 @@
 
 #include "sim/logging.hh"
 #include "system/system.hh"
+#include "system/training_session.hh"
 
 namespace mcdla
 {
@@ -155,6 +156,34 @@ dumpSystemStats(System &system, std::ostream &os)
     for (Channel *ch : system.fabric().channels())
         ch->stats().dump(os);
     os << "---------- End Simulation Statistics ----------\n";
+}
+
+const std::vector<std::string> &
+channelUsageColumns()
+{
+    // peak_queue_since_reset is named for its window: unlike the
+    // per-iteration byte/busy deltas, a max cannot be delta'd, so it
+    // covers everything since the last stats reset (the iteration for
+    // standalone runs, the machine's lifetime under multi-tenancy).
+    static const std::vector<std::string> columns = {
+        "scenario", "channel",     "gigabytes",
+        "busy_ms",  "utilization", "peak_queue_since_reset"};
+    return columns;
+}
+
+void
+appendChannelUsageRows(ResultSet &table, const std::string &label,
+                       const IterationResult &result)
+{
+    for (const ChannelUsage &usage : result.channels) {
+        table.addRow({label,
+                      usage.channel,
+                      usage.bytes / 1e9,
+                      usage.busySec * 1e3,
+                      usage.utilization,
+                      static_cast<std::int64_t>(
+                          usage.peakQueueDepth)});
+    }
 }
 
 } // namespace mcdla

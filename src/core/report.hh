@@ -26,6 +26,7 @@ namespace mcdla
 {
 
 class System;
+struct IterationResult;
 
 /** A heterogeneous table cell. */
 using ReportValue = std::variant<std::string, double, std::int64_t>;
@@ -67,6 +68,24 @@ class ResultSet
  * engines, channels, collective engine) in gem5-style text form.
  */
 void dumpSystemStats(System &system, std::ostream &os);
+
+/// @name Per-channel utilization emission
+/// @{
+
+/**
+ * Columns of per-channel link-utilization rows: scenario label,
+ * channel name, gigabytes moved, busy milliseconds, utilization of
+ * the iteration, and the peak FIFO backlog — enough to name the
+ * bottleneck *link* of a run, which the per-stage latency breakdown
+ * cannot see.
+ */
+const std::vector<std::string> &channelUsageColumns();
+
+/** Append @p result's per-channel rows, labeled @p label. */
+void appendChannelUsageRows(ResultSet &table, const std::string &label,
+                            const IterationResult &result);
+
+/// @}
 
 } // namespace mcdla
 

@@ -11,6 +11,7 @@
 
 #include "core/options.hh"
 #include "device/device_config.hh"
+#include "interconnect/topology.hh"
 #include "memory/dimm.hh"
 #include "sim/logging.hh"
 
@@ -167,6 +168,14 @@ Scenario::label() const
                                   : base.fabric.numDevices)
            << "/mb" << microbatches;
     }
+    // Interconnect overrides only mark scenarios off the design's own
+    // wiring/algorithm; default labels stay stable for existing
+    // tooling.
+    if (base.fabric.topology != TopologyKind::Design)
+        os << '/' << topologyKindToken(base.fabric.topology);
+    if (base.collectiveAlgorithm != CollectiveAlgorithm::Ring)
+        os << '/'
+           << collectiveAlgorithmToken(base.collectiveAlgorithm);
     // Paging knobs only distinguish scenarios off the default policy;
     // default labels stay stable for existing tooling.
     if (base.paging.prefetch != PrefetchPolicyKind::StaticPlan) {
@@ -196,6 +205,16 @@ Scenario::addOptions(OptionParser &opts)
     opts.addInt("microbatches", 4,
                 "GPipe microbatches per iteration (--mode pp)");
     opts.addInt("devices", 8, "device-node count");
+    opts.addString("topology", "design",
+                   "interconnect wiring: " + topologyKindTokenList());
+    opts.addString("collective", "ring",
+                   "collective algorithm: "
+                       + collectiveAlgorithmTokenList());
+    opts.addInt("board-devices", 8,
+                "devices per board (hierarchical collectives)");
+    opts.addInt("switch-radix", 18,
+                "ports per switch plane / fat-tree radix (mc-x, "
+                "--topology full-switch/fat-tree)");
     opts.addString("device-gen", "Volta",
                    "device generation (Kepler..TPUv2)");
     opts.addInt("pcie-gen", 3, "PCIe generation for the host link");
@@ -256,6 +275,20 @@ Scenario::fromOptions(const OptionParser &opts)
     sc.base.device.linkBandwidth = opts.getDouble("link-gbps") * kGB;
     sc.base.fabric.numDevices =
         static_cast<int>(opts.getInt("devices"));
+    sc.base.fabric.topology =
+        parseTopologyKind(opts.getString("topology"));
+    sc.base.collectiveAlgorithm =
+        parseCollectiveAlgorithm(opts.getString("collective"));
+    sc.base.collectiveBoardDevices =
+        static_cast<int>(opts.getInt("board-devices"));
+    if (sc.base.collectiveBoardDevices < 1)
+        fatal("--board-devices must be positive (got %lld)",
+              static_cast<long long>(opts.getInt("board-devices")));
+    sc.base.fabric.switchRadix =
+        static_cast<int>(opts.getInt("switch-radix"));
+    if (sc.base.fabric.switchRadix < 2)
+        fatal("--switch-radix must be at least 2 (got %lld)",
+              static_cast<long long>(opts.getInt("switch-radix")));
     sc.base.fabric.pcieRawBandwidth =
         pcieRawBandwidthForGen(opts.getInt("pcie-gen"));
     sc.base.fabric.socketBandwidth =

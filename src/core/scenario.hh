@@ -97,18 +97,21 @@ struct Scenario
     /**
      * Compact identity, e.g. "ResNet/mc-b/dp/b512"; pipeline scenarios
      * append the stage/microbatch grid, e.g.
-     * "ResNet/mc-b/pp/b512/s4/mb8", and seeded scenarios append
-     * "/seed<N>".
+     * "ResNet/mc-b/pp/b512/s4/mb8"; interconnect overrides append the
+     * topology/collective tokens (e.g. ".../torus2d/tree"); seeded
+     * scenarios append "/seed<N>".
      */
     std::string label() const;
 
     /**
      * Declare the shared simulation knobs (--design, --workload,
-     * --mode, --batch, --devices, --device-gen, --pcie-gen,
-     * --link-gbps, --dimm-gib, --socket-gbps, --compression,
-     * --iterations, --no-recompute, --prefetch-policy,
-     * --prefetch-lookahead, --eviction-policy, --hbm-capacity,
-     * --pipeline-stages, --microbatches, --seed) on @p opts.
+     * --mode, --batch, --devices, --topology, --collective,
+     * --board-devices, --switch-radix, --device-gen, --pcie-gen,
+     * --link-gbps,
+     * --dimm-gib, --socket-gbps, --compression, --iterations,
+     * --no-recompute, --prefetch-policy, --prefetch-lookahead,
+     * --eviction-policy, --hbm-capacity, --pipeline-stages,
+     * --microbatches, --seed) on @p opts.
      */
     static void addOptions(OptionParser &opts);
 

@@ -31,7 +31,11 @@ Channel::submit(double bytes, Handler on_delivered)
     if (bytes <= 0.0)
         panic("channel '%s': non-positive transfer size", name().c_str());
     _queue.push_back(Pending{bytes, std::move(on_delivered)});
-    if (!_busy)
+    // Only count genuine waiters: on an idle channel the transfer
+    // starts immediately, so an uncontended channel reports 0.
+    if (_busy)
+        _peakQueueDepth = std::max(_peakQueueDepth, _queue.size());
+    else
         startNext();
 }
 
@@ -114,6 +118,7 @@ Channel::resetStats()
     SimObject::resetStats();
     _bytesTransferred = 0.0;
     _busyTicks = 0;
+    _peakQueueDepth = 0;
     _currentWindowStart = now();
     _currentWindowBytes = 0.0;
     _maxWindowBytes = 0.0;

@@ -72,6 +72,10 @@ class Channel : public SimObject
     /** Transfers currently waiting (excludes the in-flight one). */
     std::size_t queueDepth() const { return _queue.size(); }
 
+    /** Deepest backlog observed since the last stats reset (occupancy
+        pressure: how many transfers were stacked behind the wire). */
+    std::size_t peakQueueDepth() const { return _peakQueueDepth; }
+
     /**
      * Enable peak-bandwidth tracking with the given averaging window
      * (used by host-socket channels for the Figure 12 "max" series).
@@ -101,6 +105,7 @@ class Channel : public SimObject
 
     double _bytesTransferred = 0.0;
     Tick _busyTicks = 0;
+    std::size_t _peakQueueDepth = 0;
 
     // Peak tracking: bytes accumulated per fixed window.
     Tick _peakWindow = 0;

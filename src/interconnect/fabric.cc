@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include "sim/logging.hh"
+
 namespace mcdla
 {
 
@@ -53,8 +55,64 @@ restrictRingToDevices(const RingPath &ring,
     return out;
 }
 
+const Router &
+Fabric::router() const
+{
+    if (_topology.empty())
+        fatal("fabric '%s' has no topology graph; routing tables "
+              "require a topology-aware builder", _name.c_str());
+    if (!_router)
+        _router = std::make_unique<Router>(_topology);
+    return *_router;
+}
+
 Route
 Fabric::deviceRoute(int src, int dst) const
+{
+    // The Router's shortest-path tables are authoritative whenever
+    // they beat the ring walk — crossbar shortcuts on switched
+    // fabrics, grid paths on meshes — or when no ring connects the
+    // pair. Equal-cost ties keep the ring walk's choice (first ring
+    // in fabric order): among same-length routes the pick is
+    // arbitrary, and holding the legacy one keeps every pre-Topology
+    // simulation bit-reproducible (tests/test_topology.cc pins both
+    // properties).
+    const auto key = std::make_pair(src, dst);
+    auto cached = _routeCache.find(key);
+    if (cached != _routeCache.end())
+        return cached->second;
+
+    Route walk = ringWalkRoute(src, dst);
+    Route best;
+    if (_topology.empty()) {
+        best = std::move(walk);
+    } else {
+        Route routed = router().route(src, dst);
+        if (routed.valid()
+            && (!walk.valid()
+                || routed.hops.size() < walk.hops.size()))
+            best = std::move(routed);
+        else
+            best = std::move(walk);
+    }
+    return _routeCache.emplace(key, std::move(best)).first->second;
+}
+
+int
+Fabric::deviceHopCount(int src, int dst) const
+{
+    // The BFS distance is never beaten by a ring walk (rings are made
+    // of routable channels), so the router's table is exact here.
+    if (!_topology.empty())
+        return router().hopCount(src, dst);
+    const Route walk = ringWalkRoute(src, dst);
+    if (src == dst)
+        return 0;
+    return walk.valid() ? static_cast<int>(walk.hops.size()) : -1;
+}
+
+Route
+Fabric::ringWalkRoute(int src, int dst) const
 {
     Route best;
     std::size_t best_len = 0;

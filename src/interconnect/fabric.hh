@@ -26,6 +26,8 @@
 
 #include "interconnect/channel.hh"
 #include "interconnect/flow.hh"
+#include "interconnect/router.hh"
+#include "interconnect/topology.hh"
 
 namespace mcdla
 {
@@ -118,11 +120,22 @@ class Fabric
 {
   public:
     Fabric(EventQueue &eq, std::string name)
-        : _eq(eq), _name(std::move(name))
+        : _eq(eq), _name(std::move(name)), _topology(*this)
     {}
 
     const std::string &name() const { return _name; }
     EventQueue &eventQueue() { return _eq; }
+
+    /** The interconnect graph (populated by topology-aware builders). */
+    Topology &topology() { return _topology; }
+    const Topology &topology() const { return _topology; }
+
+    /**
+     * The routing tables over the topology graph, built on first use
+     * (after construction completes). Fatal when the fabric was
+     * hand-assembled without a graph.
+     */
+    const Router &router() const;
 
     /** Create and own a channel. */
     Channel &
@@ -164,14 +177,24 @@ class Fabric
 
     /**
      * A point-to-point channel route from device @p src to device
-     * @p dst, built by walking the collective rings and taking the
-     * fewest physical channel traversals (memory-node stages along the
-     * way store-and-forward). Used for pipeline-parallel boundary
+     * @p dst in the fewest physical channel traversals (memory-nodes
+     * and switches along the way store-and-forward): the Router's
+     * precomputed shortest path over the topology graph wherever that
+     * is strictly shorter than — or the only alternative to — the
+     * legacy ring walk; equal-cost ties keep the ring walk's
+     * deterministic choice so pre-Topology simulations stay
+     * bit-reproducible. Used for pipeline-parallel boundary
      * transfers, which thereby contend with paging DMA and collective
      * chunks on the shared channels. Returns an invalid (empty) route
-     * when no ring connects the two devices.
+     * when no path connects the two devices.
      */
     Route deviceRoute(int src, int dst) const;
+
+    /**
+     * Shortest device-to-device distance in physical channel
+     * traversals (the cluster's placement cost); -1 when unreachable.
+     */
+    int deviceHopCount(int src, int dst) const;
 
     /** Paths to this device's backing store; empty if it has none. */
     const std::vector<VmemPath> &
@@ -235,8 +258,17 @@ class Fabric
     /// @}
 
   private:
+    /** Legacy ring-walk routing (hand-assembled fabrics only). */
+    Route ringWalkRoute(int src, int dst) const;
+
     EventQueue &_eq;
     std::string _name;
+    Topology _topology;
+    /** Routing tables, built lazily once the graph is complete. */
+    mutable std::unique_ptr<Router> _router;
+    /** Resolved deviceRoute() results (the graph is immutable after
+        construction; collectives re-resolve pairs every launch). */
+    mutable std::map<std::pair<int, int>, Route> _routeCache;
     std::vector<std::unique_ptr<Channel>> _channels;
     std::vector<RingPath> _rings;
     std::map<int, std::vector<VmemPath>> _vmemPaths;

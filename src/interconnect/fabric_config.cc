@@ -1,0 +1,46 @@
+/**
+ * @file
+ * FabricConfig sanity checking, mirroring MemoryNodeConfig::validate().
+ */
+
+#include "interconnect/fabric_config.hh"
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+void
+FabricConfig::validate() const
+{
+    if (numDevices < 1)
+        fatal("fabric requires at least one device (got %d)",
+              numDevices);
+    if (numRings < 1)
+        fatal("fabric requires at least one ring pair per device "
+              "(got %d)", numRings);
+    if (numSockets < 1)
+        fatal("fabric requires at least one host socket (got %d)",
+              numSockets);
+    if (linkBandwidth <= 0.0)
+        fatal("device link bandwidth must be positive (got %g B/s)",
+              linkBandwidth);
+    if (pcieRawBandwidth <= 0.0)
+        fatal("PCIe bandwidth must be positive (got %g B/s)",
+              pcieRawBandwidth);
+    if (pcieEfficiency <= 0.0 || pcieEfficiency > 1.0)
+        fatal("PCIe efficiency must be in (0, 1] (got %g)",
+              pcieEfficiency);
+    if (memNodeBandwidth <= 0.0)
+        fatal("memory-node bandwidth must be positive (got %g B/s)",
+              memNodeBandwidth);
+    if (socketBandwidth < 0.0)
+        fatal("socket bandwidth cap must be >= 0 (got %g B/s)",
+              socketBandwidth);
+    if (peakWindow == 0)
+        fatal("peak-bandwidth averaging window must be positive");
+    if (switchRadix < 2)
+        fatal("switch radix must be at least 2 (got %d)", switchRadix);
+}
+
+} // namespace mcdla

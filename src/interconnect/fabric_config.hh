@@ -11,6 +11,24 @@
 namespace mcdla
 {
 
+/**
+ * Interconnect wiring selector. Design keeps the system design's
+ * legacy fabric (the paper's figures); the rest are generic generators
+ * over the Topology graph layer (see interconnect/topology.hh),
+ * opening the interconnect itself as a sweep axis: the same
+ * memory-centric node set wired as a ring, a fully-connected switch, a
+ * 2-D mesh/torus, or a two-level fat-tree.
+ */
+enum class TopologyKind
+{
+    Design,     ///< The system design's own wiring (default).
+    Ring,       ///< Fig 7(c) alternating device/memory ring.
+    FullSwitch, ///< Crossbar planes seating every node (Fig 15).
+    Mesh2d,     ///< 2-D device mesh, memory-node per device.
+    Torus2d,    ///< 2-D device torus (mesh + wraparound links).
+    FatTree,    ///< Two-level fat-tree of switches over all nodes.
+};
+
 /** Parameters shared by every fabric builder. */
 struct FabricConfig
 {
@@ -66,9 +84,24 @@ struct FabricConfig
     Tick switchLatency = 300 * ticksPerNs;
     /// @}
 
+    /**
+     * Interconnect wiring override (--topology). Design uses the
+     * system design's legacy fabric; the generic kinds rewire the
+     * memory-centric node set through the Topology generators.
+     */
+    TopologyKind topology = TopologyKind::Design;
+
     /** Effective PCIe data bandwidth per direction. */
     double pcieBandwidth() const { return pcieRawBandwidth
                                        * pcieEfficiency; }
+
+    /**
+     * Check configuration sanity — positive bandwidths and node/link
+     * counts, non-negative latencies, a (0, 1] PCIe efficiency —
+     * mirroring MemoryNodeConfig::validate(). Called from System
+     * construction; fatal() on violation.
+     */
+    void validate() const;
 };
 
 } // namespace mcdla

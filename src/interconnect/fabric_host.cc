@@ -1,6 +1,14 @@
 /**
  * @file
  * Host-attached fabric builders: DC-DLA (Fig 5) and HC-DLA.
+ *
+ * Both are expressed as Topology generators: every channel is created
+ * through the fabric's graph, so the Router and the collective
+ * algorithms see the same wiring the simulation runs on. Channel
+ * names, parameters, and creation order are unchanged from the
+ * original hand-built versions — the channel graph is byte-identical.
+ * PCIe lanes and socket DRAM interfaces are recorded non-routable:
+ * device-to-device routes never detour through the host.
  */
 
 #include <string>
@@ -23,6 +31,8 @@ socketOf(int device, int num_devices, int num_sockets)
 
 /**
  * Create one DRAM channel per host socket with peak tracking enabled.
+ * Each socket is a Host node; its DRAM interface is recorded as a
+ * non-routable self-link resource.
  *
  * @param socket_bw Socket DRAM service rate. The paper's conservative
  *        "no host interference" assumption corresponds to passing the
@@ -33,11 +43,13 @@ socketOf(int device, int num_devices, int num_sockets)
 std::vector<Channel *>
 makeSockets(Fabric &fab, const FabricConfig &cfg, double socket_bw)
 {
+    Topology &topo = fab.topology();
     std::vector<Channel *> sockets;
     for (int s = 0; s < cfg.numSockets; ++s) {
-        Channel &ch = fab.makeChannel(
-            "socket" + std::to_string(s) + ".dram", socket_bw,
-            cfg.socketLatency);
+        const int host = topo.hostNode(s);
+        Channel &ch = topo.link(
+            host, host, "socket" + std::to_string(s) + ".dram",
+            socket_bw, cfg.socketLatency, /*routable=*/false);
         ch.enablePeakTracking(cfg.peakWindow);
         fab.registerSocketChannel(&ch);
         sockets.push_back(&ch);
@@ -52,6 +64,7 @@ addDeviceRings(Fabric &fab, const FabricConfig &cfg)
     const int n = cfg.numDevices;
     if (n < 2)
         return;
+    Topology &topo = fab.topology();
     for (int r = 0; r < cfg.numRings; ++r) {
         std::vector<Channel *> fwd(static_cast<std::size_t>(n));
         std::vector<Channel *> bwd(static_cast<std::size_t>(n));
@@ -60,10 +73,12 @@ addDeviceRings(Fabric &fab, const FabricConfig &cfg)
             const std::string base = "r" + std::to_string(r) + ".d"
                 + std::to_string(i) + (i < j ? "-d" : "-d")
                 + std::to_string(j);
-            fwd[static_cast<std::size_t>(i)] = &fab.makeChannel(
-                base + ".fwd", cfg.linkBandwidth, cfg.linkLatency);
-            bwd[static_cast<std::size_t>(i)] = &fab.makeChannel(
-                base + ".bwd", cfg.linkBandwidth, cfg.linkLatency);
+            fwd[static_cast<std::size_t>(i)] = &topo.link(
+                topo.device(i), topo.device(j), base + ".fwd",
+                cfg.linkBandwidth, cfg.linkLatency);
+            bwd[static_cast<std::size_t>(i)] = &topo.link(
+                topo.device(j), topo.device(i), base + ".bwd",
+                cfg.linkBandwidth, cfg.linkLatency);
         }
         RingPath f;
         RingPath b;
@@ -90,6 +105,9 @@ buildDcdlaFabric(EventQueue &eq, const FabricConfig &cfg,
     if (cfg.numDevices < 1)
         fatal("DC-DLA fabric requires at least one device");
     auto fab = std::make_unique<Fabric>(eq, "dcdla");
+    Topology &topo = fab->topology();
+    for (int d = 0; d < cfg.numDevices; ++d)
+        topo.device(d);
 
     addDeviceRings(*fab, cfg);
 
@@ -101,12 +119,15 @@ buildDcdlaFabric(EventQueue &eq, const FabricConfig &cfg,
     std::vector<Channel *> sockets = makeSockets(*fab, cfg, socket_bw);
 
     for (int d = 0; d < cfg.numDevices; ++d) {
-        Channel &up = fab->makeChannel(
-            "d" + std::to_string(d) + ".pcie.up", cfg.pcieBandwidth(),
-            cfg.pcieLatency);
-        Channel &down = fab->makeChannel(
+        const int host = topo.hostNode(
+            socketOf(d, cfg.numDevices, cfg.numSockets));
+        Channel &up = topo.link(
+            topo.device(d), host, "d" + std::to_string(d) + ".pcie.up",
+            cfg.pcieBandwidth(), cfg.pcieLatency, /*routable=*/false);
+        Channel &down = topo.link(
+            host, topo.device(d),
             "d" + std::to_string(d) + ".pcie.down", cfg.pcieBandwidth(),
-            cfg.pcieLatency);
+            cfg.pcieLatency, /*routable=*/false);
         if (!with_host_vmem)
             continue;
         Channel *sock = sockets[static_cast<std::size_t>(
@@ -129,6 +150,9 @@ buildHcdlaFabric(EventQueue &eq, const FabricConfig &cfg)
         fatal("HC-DLA fabric requires an even device count");
     auto fab = std::make_unique<Fabric>(eq, "hcdla");
     const int n = cfg.numDevices;
+    Topology &topo = fab->topology();
+    for (int d = 0; d < n; ++d)
+        topo.device(d);
 
     // Half the links (numRings of them) go to the host; the device side
     // keeps 12 links for n=8: double links on even ring edges, single on
@@ -138,20 +162,25 @@ buildHcdlaFabric(EventQueue &eq, const FabricConfig &cfg)
     std::vector<Channel *> ba(static_cast<std::size_t>(n));
     std::vector<Channel *> bb(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
+        const int j = (i + 1) % n;
         const std::string base = "ring.d" + std::to_string(i) + "-d"
-            + std::to_string((i + 1) % n);
-        fa[static_cast<std::size_t>(i)] = &fab->makeChannel(
-            base + ".a.fwd", cfg.linkBandwidth, cfg.linkLatency);
-        ba[static_cast<std::size_t>(i)] = &fab->makeChannel(
-            base + ".a.bwd", cfg.linkBandwidth, cfg.linkLatency);
+            + std::to_string(j);
+        fa[static_cast<std::size_t>(i)] = &topo.link(
+            topo.device(i), topo.device(j), base + ".a.fwd",
+            cfg.linkBandwidth, cfg.linkLatency);
+        ba[static_cast<std::size_t>(i)] = &topo.link(
+            topo.device(j), topo.device(i), base + ".a.bwd",
+            cfg.linkBandwidth, cfg.linkLatency);
         if (i % 2 == 0) {
-            fb[static_cast<std::size_t>(i)] = &fab->makeChannel(
-                base + ".b.fwd", cfg.linkBandwidth, cfg.linkLatency);
-            bb[static_cast<std::size_t>(i)] = &fab->makeChannel(
-                base + ".b.bwd", cfg.linkBandwidth, cfg.linkLatency);
+            fb[static_cast<std::size_t>(i)] = &topo.link(
+                topo.device(i), topo.device(j), base + ".b.fwd",
+                cfg.linkBandwidth, cfg.linkLatency);
+            bb[static_cast<std::size_t>(i)] = &topo.link(
+                topo.device(j), topo.device(i), base + ".b.bwd",
+                cfg.linkBandwidth, cfg.linkLatency);
         } else {
             // Odd edges have a single physical link; the second logical
-            // ring multiplexes onto it.
+            // ring multiplexes onto it (no extra graph edge).
             fb[static_cast<std::size_t>(i)] =
                 fa[static_cast<std::size_t>(i)];
             bb[static_cast<std::size_t>(i)] =
@@ -187,20 +216,22 @@ buildHcdlaFabric(EventQueue &eq, const FabricConfig &cfg)
     std::vector<Channel *> sockets = makeSockets(*fab, cfg, socket_bw);
 
     for (int d = 0; d < n; ++d) {
-        Channel *sock =
-            sockets[static_cast<std::size_t>(socketOf(d, n,
-                                                      cfg.numSockets))];
+        const int s = socketOf(d, n, cfg.numSockets);
+        Channel *sock = sockets[static_cast<std::size_t>(s)];
+        const int host = topo.hostNode(s);
         VmemPath path;
         path.targetIndex = -1;
         for (int l = 0; l < cfg.numRings; ++l) {
-            Channel &up = fab->makeChannel(
+            Channel &up = topo.link(
+                topo.device(d), host,
                 "d" + std::to_string(d) + ".host" + std::to_string(l)
                     + ".up",
-                cfg.linkBandwidth, cfg.linkLatency);
-            Channel &down = fab->makeChannel(
+                cfg.linkBandwidth, cfg.linkLatency, /*routable=*/false);
+            Channel &down = topo.link(
+                host, topo.device(d),
                 "d" + std::to_string(d) + ".host" + std::to_string(l)
                     + ".down",
-                cfg.linkBandwidth, cfg.linkLatency);
+                cfg.linkBandwidth, cfg.linkLatency, /*routable=*/false);
             path.writeRoutes.push_back(Route{{&up, sock}});
             path.readRoutes.push_back(Route{{sock, &down}});
         }

@@ -2,6 +2,12 @@
  * @file
  * Memory-centric fabric builders: MC-DLA ring (Fig 7c), star (Fig 7b),
  * and the naive star-A derivative (Fig 7a).
+ *
+ * Re-expressed as Topology generators: every link channel is created
+ * through the fabric's graph (devices and memory-nodes as vertices),
+ * with channel names, parameters, and creation order unchanged from
+ * the hand-built originals — the channel graph is byte-identical. The
+ * DIMM buses are non-routable terminal resources.
  */
 
 #include <string>
@@ -22,22 +28,24 @@ segName(const char *kind, int ring, int i, const char *dir)
         + std::to_string(i) + "." + dir;
 }
 
-/** Create the per-memory-node DIMM-bus channels. */
+} // anonymous namespace
+
 std::vector<Channel *>
-makeMemNodes(Fabric &fab, const FabricConfig &cfg, int count)
+makeMemoryNodeBuses(Fabric &fab, const FabricConfig &cfg, int count)
 {
+    Topology &topo = fab.topology();
     std::vector<Channel *> mem;
     for (int m = 0; m < count; ++m) {
-        Channel &ch = fab.makeChannel("m" + std::to_string(m) + ".dimms",
-                                      cfg.memNodeBandwidth,
-                                      cfg.memNodeLatency);
+        const int node = topo.memoryNode(m);
+        Channel &ch = topo.link(node, node,
+                                "m" + std::to_string(m) + ".dimms",
+                                cfg.memNodeBandwidth, cfg.memNodeLatency,
+                                /*routable=*/false);
         fab.registerMemNodeChannel(m, &ch);
         mem.push_back(&ch);
     }
     return mem;
 }
-
-} // anonymous namespace
 
 std::unique_ptr<Fabric>
 buildMcdlaRingFabric(EventQueue &eq, const FabricConfig &cfg)
@@ -46,8 +54,11 @@ buildMcdlaRingFabric(EventQueue &eq, const FabricConfig &cfg)
         fatal("MC-DLA ring fabric requires at least one device");
     auto fab = std::make_unique<Fabric>(eq, "mcdla_ring");
     const int n = cfg.numDevices;
+    Topology &topo = fab->topology();
+    for (int d = 0; d < n; ++d)
+        topo.device(d);
 
-    std::vector<Channel *> mem = makeMemNodes(*fab, cfg, n);
+    std::vector<Channel *> mem = makeMemoryNodeBuses(*fab, cfg, n);
 
     // Per ring r and position i, four channels around memory-node M_i:
     //   d2m[r][i]    : D_i     -> M_i      (right-bound write / ring fwd)
@@ -64,18 +75,21 @@ buildMcdlaRingFabric(EventQueue &eq, const FabricConfig &cfg)
         m2d[r].resize(N);
         for (int i = 0; i < n; ++i) {
             const auto ri = static_cast<int>(r);
-            d2m[r][static_cast<std::size_t>(i)] = &fab->makeChannel(
-                segName("ring", ri, i, "d2m"), cfg.linkBandwidth,
-                cfg.linkLatency);
-            m2dn[r][static_cast<std::size_t>(i)] = &fab->makeChannel(
-                segName("ring", ri, i, "m2dn"), cfg.linkBandwidth,
-                cfg.linkLatency);
-            dn2m[r][static_cast<std::size_t>(i)] = &fab->makeChannel(
-                segName("ring", ri, i, "dn2m"), cfg.linkBandwidth,
-                cfg.linkLatency);
-            m2d[r][static_cast<std::size_t>(i)] = &fab->makeChannel(
-                segName("ring", ri, i, "m2d"), cfg.linkBandwidth,
-                cfg.linkLatency);
+            const int di = topo.device(i);
+            const int dn = topo.device((i + 1) % n);
+            const int mi = topo.memoryNode(i);
+            d2m[r][static_cast<std::size_t>(i)] = &topo.link(
+                di, mi, segName("ring", ri, i, "d2m"),
+                cfg.linkBandwidth, cfg.linkLatency);
+            m2dn[r][static_cast<std::size_t>(i)] = &topo.link(
+                mi, dn, segName("ring", ri, i, "m2dn"),
+                cfg.linkBandwidth, cfg.linkLatency);
+            dn2m[r][static_cast<std::size_t>(i)] = &topo.link(
+                dn, mi, segName("ring", ri, i, "dn2m"),
+                cfg.linkBandwidth, cfg.linkLatency);
+            m2d[r][static_cast<std::size_t>(i)] = &topo.link(
+                mi, di, segName("ring", ri, i, "m2d"),
+                cfg.linkBandwidth, cfg.linkLatency);
         }
     }
 
@@ -159,8 +173,11 @@ buildMcdlaStarFabric(EventQueue &eq, const FabricConfig &cfg)
     auto fab = std::make_unique<Fabric>(eq, "mcdla_star");
     const int n = cfg.numDevices;
     const auto N = static_cast<std::size_t>(n);
+    Topology &topo = fab->topology();
+    for (int d = 0; d < n; ++d)
+        topo.device(d);
 
-    std::vector<Channel *> mem = makeMemNodes(*fab, cfg, n);
+    std::vector<Channel *> mem = makeMemoryNodeBuses(*fab, cfg, n);
 
     // Ring 1: direct device ring.
     std::vector<Channel *> r1f(N), r1b(N);
@@ -175,32 +192,36 @@ buildMcdlaStarFabric(EventQueue &eq, const FabricConfig &cfg)
 
     for (int i = 0; i < n; ++i) {
         const auto ui = static_cast<std::size_t>(i);
-        r1f[ui] = &fab->makeChannel(segName("r1", 0, i, "fwd"),
-                                    cfg.linkBandwidth, cfg.linkLatency);
-        r1b[ui] = &fab->makeChannel(segName("r1", 0, i, "bwd"),
-                                    cfg.linkBandwidth, cfg.linkLatency);
+        const int di = topo.device(i);
+        const int dn = topo.device((i + 1) % n);
+        const int mi = topo.memoryNode(i);
+        const int mn = topo.memoryNode((i + 1) % n);
+        r1f[ui] = &topo.link(di, dn, segName("r1", 0, i, "fwd"),
+                             cfg.linkBandwidth, cfg.linkLatency);
+        r1b[ui] = &topo.link(dn, di, segName("r1", 0, i, "bwd"),
+                             cfg.linkBandwidth, cfg.linkLatency);
         if (i % 2 == 1) {
-            gf[ui] = &fab->makeChannel(segName("gray", 0, i, "fwd"),
-                                       cfg.linkBandwidth, cfg.linkLatency);
-            gb[ui] = &fab->makeChannel(segName("gray", 0, i, "bwd"),
-                                       cfg.linkBandwidth, cfg.linkLatency);
+            gf[ui] = &topo.link(di, dn, segName("gray", 0, i, "fwd"),
+                                cfg.linkBandwidth, cfg.linkLatency);
+            gb[ui] = &topo.link(dn, di, segName("gray", 0, i, "bwd"),
+                                cfg.linkBandwidth, cfg.linkLatency);
         }
-        dm1f[ui] = &fab->makeChannel(segName("dm1", 0, i, "d2m"),
-                                     cfg.linkBandwidth, cfg.linkLatency);
-        dm1b[ui] = &fab->makeChannel(segName("dm1", 0, i, "m2d"),
-                                     cfg.linkBandwidth, cfg.linkLatency);
-        dm2f[ui] = &fab->makeChannel(segName("dm2", 0, i, "d2m"),
-                                     cfg.linkBandwidth, cfg.linkLatency);
-        dm2b[ui] = &fab->makeChannel(segName("dm2", 0, i, "m2d"),
-                                     cfg.linkBandwidth, cfg.linkLatency);
-        xf[ui] = &fab->makeChannel(segName("x", 0, i, "m2dn"),
-                                   cfg.linkBandwidth, cfg.linkLatency);
-        xb[ui] = &fab->makeChannel(segName("x", 0, i, "dn2m"),
-                                   cfg.linkBandwidth, cfg.linkLatency);
-        mmf[ui] = &fab->makeChannel(segName("mm", 0, i, "fwd"),
-                                    cfg.linkBandwidth, cfg.linkLatency);
-        mmb[ui] = &fab->makeChannel(segName("mm", 0, i, "bwd"),
-                                    cfg.linkBandwidth, cfg.linkLatency);
+        dm1f[ui] = &topo.link(di, mi, segName("dm1", 0, i, "d2m"),
+                              cfg.linkBandwidth, cfg.linkLatency);
+        dm1b[ui] = &topo.link(mi, di, segName("dm1", 0, i, "m2d"),
+                              cfg.linkBandwidth, cfg.linkLatency);
+        dm2f[ui] = &topo.link(di, mi, segName("dm2", 0, i, "d2m"),
+                              cfg.linkBandwidth, cfg.linkLatency);
+        dm2b[ui] = &topo.link(mi, di, segName("dm2", 0, i, "m2d"),
+                              cfg.linkBandwidth, cfg.linkLatency);
+        xf[ui] = &topo.link(mi, dn, segName("x", 0, i, "m2dn"),
+                            cfg.linkBandwidth, cfg.linkLatency);
+        xb[ui] = &topo.link(dn, mi, segName("x", 0, i, "dn2m"),
+                            cfg.linkBandwidth, cfg.linkLatency);
+        mmf[ui] = &topo.link(mi, mn, segName("mm", 0, i, "fwd"),
+                             cfg.linkBandwidth, cfg.linkLatency);
+        mmb[ui] = &topo.link(mn, mi, segName("mm", 0, i, "bwd"),
+                             cfg.linkBandwidth, cfg.linkLatency);
     }
 
     auto next = [n](int i) { return (i + 1) % n; };
@@ -322,8 +343,11 @@ buildMcdlaStarAFabric(EventQueue &eq, const FabricConfig &cfg)
     auto fab = std::make_unique<Fabric>(eq, "mcdla_star_a");
     const int n = cfg.numDevices;
     const auto N = static_cast<std::size_t>(n);
+    Topology &topo = fab->topology();
+    for (int d = 0; d < n; ++d)
+        topo.device(d);
 
-    std::vector<Channel *> mem = makeMemNodes(*fab, cfg, n);
+    std::vector<Channel *> mem = makeMemoryNodeBuses(*fab, cfg, n);
 
     // Two direct device rings (gray, dotted).
     std::vector<Channel *> g1f(N), g1b(N), g2f(N), g2b(N);
@@ -335,30 +359,34 @@ buildMcdlaStarAFabric(EventQueue &eq, const FabricConfig &cfg)
 
     for (int i = 0; i < n; ++i) {
         const auto ui = static_cast<std::size_t>(i);
-        g1f[ui] = &fab->makeChannel(segName("g1", 0, i, "fwd"),
-                                    cfg.linkBandwidth, cfg.linkLatency);
-        g1b[ui] = &fab->makeChannel(segName("g1", 0, i, "bwd"),
-                                    cfg.linkBandwidth, cfg.linkLatency);
-        g2f[ui] = &fab->makeChannel(segName("g2", 0, i, "fwd"),
-                                    cfg.linkBandwidth, cfg.linkLatency);
-        g2b[ui] = &fab->makeChannel(segName("g2", 0, i, "bwd"),
-                                    cfg.linkBandwidth, cfg.linkLatency);
-        dm1f[ui] = &fab->makeChannel(segName("dm1", 0, i, "d2m"),
-                                     cfg.linkBandwidth, cfg.linkLatency);
-        dm1b[ui] = &fab->makeChannel(segName("dm1", 0, i, "m2d"),
-                                     cfg.linkBandwidth, cfg.linkLatency);
-        dm2f[ui] = &fab->makeChannel(segName("dm2", 0, i, "d2m"),
-                                     cfg.linkBandwidth, cfg.linkLatency);
-        dm2b[ui] = &fab->makeChannel(segName("dm2", 0, i, "m2d"),
-                                     cfg.linkBandwidth, cfg.linkLatency);
-        mmf[ui] = &fab->makeChannel(segName("mm", 0, i, "fwd"),
-                                    cfg.linkBandwidth, cfg.linkLatency);
-        mmb[ui] = &fab->makeChannel(segName("mm", 0, i, "bwd"),
-                                    cfg.linkBandwidth, cfg.linkLatency);
-        mm2f[ui] = &fab->makeChannel(segName("mm2", 0, i, "fwd"),
-                                     cfg.linkBandwidth, cfg.linkLatency);
-        mm2b[ui] = &fab->makeChannel(segName("mm2", 0, i, "bwd"),
-                                     cfg.linkBandwidth, cfg.linkLatency);
+        const int di = topo.device(i);
+        const int dn = topo.device((i + 1) % n);
+        const int mi = topo.memoryNode(i);
+        const int mn = topo.memoryNode((i + 1) % n);
+        g1f[ui] = &topo.link(di, dn, segName("g1", 0, i, "fwd"),
+                             cfg.linkBandwidth, cfg.linkLatency);
+        g1b[ui] = &topo.link(dn, di, segName("g1", 0, i, "bwd"),
+                             cfg.linkBandwidth, cfg.linkLatency);
+        g2f[ui] = &topo.link(di, dn, segName("g2", 0, i, "fwd"),
+                             cfg.linkBandwidth, cfg.linkLatency);
+        g2b[ui] = &topo.link(dn, di, segName("g2", 0, i, "bwd"),
+                             cfg.linkBandwidth, cfg.linkLatency);
+        dm1f[ui] = &topo.link(di, mi, segName("dm1", 0, i, "d2m"),
+                              cfg.linkBandwidth, cfg.linkLatency);
+        dm1b[ui] = &topo.link(mi, di, segName("dm1", 0, i, "m2d"),
+                              cfg.linkBandwidth, cfg.linkLatency);
+        dm2f[ui] = &topo.link(di, mi, segName("dm2", 0, i, "d2m"),
+                              cfg.linkBandwidth, cfg.linkLatency);
+        dm2b[ui] = &topo.link(mi, di, segName("dm2", 0, i, "m2d"),
+                              cfg.linkBandwidth, cfg.linkLatency);
+        mmf[ui] = &topo.link(mi, mn, segName("mm", 0, i, "fwd"),
+                             cfg.linkBandwidth, cfg.linkLatency);
+        mmb[ui] = &topo.link(mn, mi, segName("mm", 0, i, "bwd"),
+                             cfg.linkBandwidth, cfg.linkLatency);
+        mm2f[ui] = &topo.link(mi, mn, segName("mm2", 0, i, "fwd"),
+                              cfg.linkBandwidth, cfg.linkLatency);
+        mm2b[ui] = &topo.link(mn, mi, segName("mm2", 0, i, "bwd"),
+                              cfg.linkBandwidth, cfg.linkLatency);
     }
 
     auto add_direct_rings = [&](const std::vector<Channel *> &fwd,

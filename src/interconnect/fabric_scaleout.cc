@@ -8,6 +8,12 @@
  * structure of the Fig 7(c) design are preserved logically — the switch
  * merely re-routes each segment — so the design point scales to any
  * node count the switch radix can seat.
+ *
+ * Expressed as a Topology generator: each plane is a Switch node, so
+ * the Router sees the crossbar for what it is and point-to-point
+ * routes cross any plane in two channel hops (up + down) instead of
+ * walking the logical ring — the scale-out win the hierarchical
+ * collectives exploit.
  */
 
 #include <string>
@@ -31,17 +37,12 @@ buildMcdlaSwitchFabric(EventQueue &eq, const FabricConfig &cfg)
               cfg.switchRadix, n, n);
 
     auto fab = std::make_unique<Fabric>(eq, "mcdla_switch");
+    Topology &topo = fab->topology();
+    for (int d = 0; d < n; ++d)
+        topo.device(d);
 
     // Memory-node DIMM buses.
-    std::vector<Channel *> mem;
-    for (int m = 0; m < n; ++m) {
-        Channel &ch = fab->makeChannel("m" + std::to_string(m)
-                                           + ".dimms",
-                                       cfg.memNodeBandwidth,
-                                       cfg.memNodeLatency);
-        fab->registerMemNodeChannel(m, &ch);
-        mem.push_back(&ch);
-    }
+    std::vector<Channel *> mem = makeMemoryNodeBuses(*fab, cfg, n);
 
     // One plane per physical link (the DGX-2 pattern: N=6 links, six
     // switch planes). Per plane and node: an up (node -> switch) and a
@@ -56,20 +57,23 @@ buildMcdlaSwitchFabric(EventQueue &eq, const FabricConfig &cfg)
         dDown[p].resize(N);
         mUp[p].resize(N);
         mDown[p].resize(N);
+        const int sw = topo.switchNode(static_cast<int>(p));
         for (int i = 0; i < n; ++i) {
             const std::string plane = "plane" + std::to_string(p);
             const auto ui = static_cast<std::size_t>(i);
-            dUp[p][ui] = &fab->makeChannel(
-                plane + ".d" + std::to_string(i) + ".up",
+            const int di = topo.device(i);
+            const int mi = topo.memoryNode(i);
+            dUp[p][ui] = &topo.link(
+                di, sw, plane + ".d" + std::to_string(i) + ".up",
                 cfg.linkBandwidth, cfg.linkLatency);
-            dDown[p][ui] = &fab->makeChannel(
-                plane + ".d" + std::to_string(i) + ".down",
+            dDown[p][ui] = &topo.link(
+                sw, di, plane + ".d" + std::to_string(i) + ".down",
                 cfg.linkBandwidth, cfg.linkLatency + cfg.switchLatency);
-            mUp[p][ui] = &fab->makeChannel(
-                plane + ".m" + std::to_string(i) + ".up",
+            mUp[p][ui] = &topo.link(
+                mi, sw, plane + ".m" + std::to_string(i) + ".up",
                 cfg.linkBandwidth, cfg.linkLatency);
-            mDown[p][ui] = &fab->makeChannel(
-                plane + ".m" + std::to_string(i) + ".down",
+            mDown[p][ui] = &topo.link(
+                sw, mi, plane + ".m" + std::to_string(i) + ".down",
                 cfg.linkBandwidth, cfg.linkLatency + cfg.switchLatency);
         }
     }

@@ -77,6 +77,59 @@ std::unique_ptr<Fabric> buildMcdlaStarAFabric(EventQueue &eq,
 std::unique_ptr<Fabric> buildMcdlaSwitchFabric(EventQueue &eq,
                                                const FabricConfig &cfg);
 
+/**
+ * Create @p count memory-node DIMM-bus channels ("m<i>.dimms"):
+ * non-routable self-links on the MemoryNode vertices, registered with
+ * the fabric for the Figure 12-style accounting. Shared by every
+ * memory-centric builder so the bus naming/routability convention
+ * cannot diverge between the legacy fabrics and the generic
+ * topologies.
+ */
+std::vector<Channel *> makeMemoryNodeBuses(Fabric &fab,
+                                           const FabricConfig &cfg,
+                                           int count);
+
+/// @name Generic topology generators (topology_gen.cc)
+/// @{
+
+/**
+ * 2-D device mesh (optionally a torus): devices at grid points of the
+ * most-square rows x cols factorization of numDevices, one channel
+ * pair per grid edge, and a dedicated memory-node per device on the
+ * two links the grid does not consume. Collective rings are the two
+ * serpentine traversals of the grid; ring hops between non-adjacent
+ * devices (the closing edge of a mesh) store-and-forward through the
+ * grid on Router shortest paths.
+ *
+ * @param wrap Adds wraparound links per row/column (torus) when the
+ *             dimension is >= 3.
+ */
+std::unique_ptr<Fabric> buildMesh2dFabric(EventQueue &eq,
+                                          const FabricConfig &cfg,
+                                          bool wrap);
+
+/**
+ * Two-level fat-tree over all device- and memory-nodes: leaf switches
+ * seat switchRadix/2 nodes each (devices and their memory-nodes in
+ * adjacent slots), and every leaf has one uplink pair to each of the
+ * switchRadix/2 spine switches. Fatal when the radix cannot seat the
+ * node count (leaves > radix).
+ */
+std::unique_ptr<Fabric> buildFatTreeFabric(EventQueue &eq,
+                                           const FabricConfig &cfg);
+
+/**
+ * Build the fabric of @p kind: the generic generators above, or the
+ * Fig 7(c)/Fig 15 memory-centric designs for Ring/FullSwitch. Fatal
+ * for TopologyKind::Design — the caller resolves that to the system
+ * design's own builder.
+ */
+std::unique_ptr<Fabric> buildTopologyFabric(EventQueue &eq,
+                                            const FabricConfig &cfg,
+                                            TopologyKind kind);
+
+/// @}
+
 } // namespace mcdla
 
 #endif // MCDLA_INTERCONNECT_FABRICS_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Router: precomputed device-to-device routing over a Topology.
+ *
+ * Replaces the ad-hoc ring-walk that Fabric::deviceRoute used to
+ * perform: a breadth-first search per source device over the routable
+ * links of the graph yields shortest paths in physical channel
+ * traversals, with deterministic tie-breaking by link insertion order
+ * (which reproduces the legacy ring-walk's route choice on the paper's
+ * fabrics — asserted in tests/test_topology.cc). Equal-cost parents
+ * are retained, so ECMP route sets can be enumerated for multi-path
+ * transfers and diagnostics.
+ *
+ * Routes are channel sequences traversed store-and-forward; memory
+ * nodes and switches along the way forward without participating.
+ */
+
+#ifndef MCDLA_INTERCONNECT_ROUTER_HH
+#define MCDLA_INTERCONNECT_ROUTER_HH
+
+#include <vector>
+
+#include "interconnect/flow.hh"
+#include "interconnect/topology.hh"
+
+namespace mcdla
+{
+
+/** Shortest-path/ECMP routing tables over one topology. */
+class Router
+{
+  public:
+    /** Precompute tables; @p topo must outlive the router. */
+    explicit Router(const Topology &topo);
+
+    /**
+     * Canonical shortest route from device @p src to device @p dst
+     * (the BFS-first path). Invalid (empty) when src == dst, either
+     * device is absent, or no routable path exists.
+     */
+    Route route(int src, int dst) const;
+
+    /**
+     * Up to @p max_paths equal-cost shortest routes, canonical first,
+     * enumerated deterministically over the parent DAG.
+     */
+    std::vector<Route> routes(int src, int dst,
+                              std::size_t max_paths = 4) const;
+
+    /**
+     * Shortest-path length in physical channel traversals from device
+     * @p src to device @p dst; 0 when src == dst, -1 when unreachable.
+     */
+    int hopCount(int src, int dst) const;
+
+    /** Devices with a routable path to/from every other device. */
+    bool fullyConnected() const;
+
+    int deviceCount() const { return _numDevices; }
+
+  private:
+    struct NodeEntry
+    {
+        int dist = -1;
+        /** Equal-cost incoming link ids, BFS-first order. */
+        std::vector<int> parents;
+    };
+
+    /** BFS state of one source device, indexed by node id. */
+    std::vector<NodeEntry> bfs(int src_node) const;
+
+    const Topology &_topo;
+    int _numDevices = 0;
+    /** _tables[src device][node id]. */
+    std::vector<std::vector<NodeEntry>> _tables;
+    /** Node id of each device index; -1 when absent. */
+    std::vector<int> _deviceNodes;
+};
+
+} // namespace mcdla
+
+#endif // MCDLA_INTERCONNECT_ROUTER_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Topology graph implementation and the TopologyKind CLI round-trips.
+ */
+
+#include "interconnect/topology.hh"
+
+#include "interconnect/fabric.hh"
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+namespace
+{
+
+struct KindToken
+{
+    TopologyKind kind;
+    const char *token;
+    const char *name;
+};
+
+/** The one table every direction of the round-trip reads. */
+constexpr KindToken kKindTokens[] = {
+    {TopologyKind::Design, "design", "design default"},
+    {TopologyKind::Ring, "ring", "ring"},
+    {TopologyKind::FullSwitch, "full-switch", "fully-connected switch"},
+    {TopologyKind::Mesh2d, "mesh2d", "2d-mesh"},
+    {TopologyKind::Torus2d, "torus2d", "2d-torus"},
+    {TopologyKind::FatTree, "fat-tree", "fat-tree"},
+};
+
+} // anonymous namespace
+
+const char *
+topologyKindName(TopologyKind kind)
+{
+    for (const KindToken &entry : kKindTokens)
+        if (entry.kind == kind)
+            return entry.name;
+    return "unknown";
+}
+
+const char *
+topologyKindToken(TopologyKind kind)
+{
+    for (const KindToken &entry : kKindTokens)
+        if (entry.kind == kind)
+            return entry.token;
+    panic("topology kind %d has no token", static_cast<int>(kind));
+}
+
+TopologyKind
+parseTopologyKind(const std::string &name)
+{
+    for (const KindToken &entry : kKindTokens)
+        if (name == entry.token || name == entry.name)
+            return entry.kind;
+    fatal("unknown topology '%s' (%s)", name.c_str(),
+          topologyKindTokenList().c_str());
+}
+
+const std::vector<TopologyKind> &
+allTopologyKinds()
+{
+    static const std::vector<TopologyKind> kinds = [] {
+        std::vector<TopologyKind> all;
+        for (const KindToken &entry : kKindTokens)
+            all.push_back(entry.kind);
+        return all;
+    }();
+    return kinds;
+}
+
+const std::string &
+topologyKindTokenList()
+{
+    static const std::string list = [] {
+        std::string tokens;
+        for (const KindToken &entry : kKindTokens) {
+            if (!tokens.empty())
+                tokens += ", ";
+            tokens += entry.token;
+        }
+        return tokens;
+    }();
+    return list;
+}
+
+const char *
+nodeKindTag(NodeKind kind)
+{
+    switch (kind) {
+      case NodeKind::Device: return "D";
+      case NodeKind::MemoryNode: return "M";
+      case NodeKind::Switch: return "S";
+      case NodeKind::Host: return "H";
+    }
+    return "?";
+}
+
+int
+Topology::node(NodeKind kind, int index)
+{
+    const auto key = std::make_pair(static_cast<int>(kind), index);
+    auto it = _byKindIndex.find(key);
+    if (it != _byKindIndex.end())
+        return it->second;
+    const int id = static_cast<int>(_nodes.size());
+    _nodes.push_back(TopoNode{kind, index});
+    _outLinks.emplace_back();
+    _byKindIndex.emplace(key, id);
+    return id;
+}
+
+int
+Topology::findNode(NodeKind kind, int index) const
+{
+    const auto key = std::make_pair(static_cast<int>(kind), index);
+    auto it = _byKindIndex.find(key);
+    return it == _byKindIndex.end() ? -1 : it->second;
+}
+
+Channel &
+Topology::link(int src, int dst, const std::string &name,
+               double bandwidth, Tick latency, bool routable)
+{
+    Channel &ch = _fabric.makeChannel(name, bandwidth, latency);
+    linkExisting(src, dst, &ch, routable);
+    return ch;
+}
+
+void
+Topology::linkExisting(int src, int dst, Channel *channel, bool routable)
+{
+    if (src < 0 || dst < 0
+        || src >= static_cast<int>(_nodes.size())
+        || dst >= static_cast<int>(_nodes.size()))
+        panic("topology link endpoints %d -> %d outside %zu nodes", src,
+              dst, _nodes.size());
+    const int id = static_cast<int>(_links.size());
+    _links.push_back(TopoLink{src, dst, channel, routable});
+    _outLinks[static_cast<std::size_t>(src)].push_back(id);
+}
+
+int
+Topology::count(NodeKind kind) const
+{
+    int n = 0;
+    for (const TopoNode &node : _nodes)
+        if (node.kind == kind)
+            ++n;
+    return n;
+}
+
+const std::vector<int> &
+Topology::outLinks(int node) const
+{
+    return _outLinks.at(static_cast<std::size_t>(node));
+}
+
+std::string
+Topology::nodeName(int id) const
+{
+    const TopoNode &node = nodeInfo(id);
+    return nodeKindTag(node.kind) + std::to_string(node.index);
+}
+
+} // namespace mcdla

@@ -34,38 +34,66 @@ System::System(EventQueue &eq, SystemConfig cfg)
     _cfg.fabric.linkBandwidth = _cfg.device.linkBandwidth;
     _cfg.fabric.numRings = _cfg.device.numLinks / 2;
 
+    _cfg.fabric.validate();
     if (designHasMemoryNodes(_cfg.design))
         _cfg.memNode.validate();
 
-    switch (_cfg.design) {
-      case SystemDesign::DcDla:
-        _fabric = buildDcdlaFabric(eq, _cfg.fabric, true);
-        break;
-      case SystemDesign::DcDlaOracle:
-        _fabric = buildDcdlaFabric(eq, _cfg.fabric, false);
-        break;
-      case SystemDesign::HcDla:
-        _fabric = buildHcdlaFabric(eq, _cfg.fabric);
-        break;
-      case SystemDesign::McDlaS:
-        _fabric = buildMcdlaStarFabric(eq, _cfg.fabric);
-        break;
-      case SystemDesign::McDlaSA:
-        _fabric = buildMcdlaStarAFabric(eq, _cfg.fabric);
-        break;
-      case SystemDesign::McDlaL:
-      case SystemDesign::McDlaB:
-        _fabric = buildMcdlaRingFabric(eq, _cfg.fabric);
-        break;
-      case SystemDesign::McDlaX:
-        _fabric = buildMcdlaSwitchFabric(eq, _cfg.fabric);
-        break;
+    if (_cfg.fabric.topology != TopologyKind::Design) {
+        // Interconnect override: rewire the memory-centric node set
+        // through a generic Topology generator. Host-backed designs
+        // keep their fixed PCIe attachment — there is no meaningful
+        // mesh of host links — so the override is rejected there.
+        if (!designHasMemoryNodes(_cfg.design))
+            fatal("--topology %s requires a memory-centric design "
+                  "(%s has no memory-nodes to rewire)",
+                  topologyKindToken(_cfg.fabric.topology),
+                  systemDesignName(_cfg.design));
+        _fabric = buildTopologyFabric(eq, _cfg.fabric,
+                                      _cfg.fabric.topology);
+    } else {
+        switch (_cfg.design) {
+          case SystemDesign::DcDla:
+            _fabric = buildDcdlaFabric(eq, _cfg.fabric, true);
+            break;
+          case SystemDesign::DcDlaOracle:
+            _fabric = buildDcdlaFabric(eq, _cfg.fabric, false);
+            break;
+          case SystemDesign::HcDla:
+            _fabric = buildHcdlaFabric(eq, _cfg.fabric);
+            break;
+          case SystemDesign::McDlaS:
+            _fabric = buildMcdlaStarFabric(eq, _cfg.fabric);
+            break;
+          case SystemDesign::McDlaSA:
+            _fabric = buildMcdlaStarAFabric(eq, _cfg.fabric);
+            break;
+          case SystemDesign::McDlaL:
+          case SystemDesign::McDlaB:
+            _fabric = buildMcdlaRingFabric(eq, _cfg.fabric);
+            break;
+          case SystemDesign::McDlaX:
+            _fabric = buildMcdlaSwitchFabric(eq, _cfg.fabric);
+            break;
+        }
     }
 
     CollectiveConfig ccfg;
     ccfg.chunkBytes = _cfg.collectiveChunkBytes;
+    ccfg.algorithm = _cfg.collectiveAlgorithm;
+    ccfg.boardDevices = _cfg.collectiveBoardDevices;
     _collectives = std::make_unique<CollectiveEngine>(
         eq, _fabric->name() + ".nccl", *_fabric, ccfg);
+
+    // Generic topologies size each device's remote region by how many
+    // devices share the target memory-node (a dedicated mesh
+    // memory-node exposes its full board; a ring neighbor is split).
+    std::map<int, int> target_shares;
+    if (_cfg.fabric.topology != TopologyKind::Design) {
+        for (int d = 0; d < _cfg.fabric.numDevices; ++d)
+            for (const VmemPath &path : _fabric->vmemPaths(d))
+                if (path.targetIndex >= 0)
+                    ++target_shares[path.targetIndex];
+    }
 
     const int n = _cfg.fabric.numDevices;
     for (int d = 0; d < n; ++d) {
@@ -88,6 +116,12 @@ System::System(EventQueue &eq, SystemConfig cfg)
             r.targetIndex = path.targetIndex;
             if (path.targetIndex < 0) {
                 r.capacity = _cfg.hostMemoryCapacity;
+            } else if (!target_shares.empty()) {
+                // Generic topology: split the board across the devices
+                // that reach it.
+                r.capacity = _cfg.memNode.capacity()
+                    / static_cast<std::uint64_t>(
+                        target_shares[path.targetIndex]);
             } else if (designHasMemoryNodes(_cfg.design)
                        && _cfg.design != SystemDesign::McDlaS
                        && _cfg.design != SystemDesign::McDlaSA) {

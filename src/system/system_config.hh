@@ -6,6 +6,7 @@
 #ifndef MCDLA_SYSTEM_SYSTEM_CONFIG_HH
 #define MCDLA_SYSTEM_SYSTEM_CONFIG_HH
 
+#include "collective/ring_collective.hh"
 #include "device/device_config.hh"
 #include "interconnect/fabric_config.hh"
 #include "memory/address_map.hh"
@@ -107,6 +108,12 @@ struct SystemConfig
 
     /** Collective pipeline chunk granularity. */
     double collectiveChunkBytes = 128.0 * 1024.0;
+
+    /** Collective algorithm family (--collective); Ring = paper. */
+    CollectiveAlgorithm collectiveAlgorithm = CollectiveAlgorithm::Ring;
+
+    /** Board size of the hierarchical collective algorithm. */
+    int collectiveBoardDevices = 8;
 
     /**
      * Paged device-memory policies: how stash fills are scheduled

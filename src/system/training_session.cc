@@ -940,6 +940,12 @@ TrainingSession::setupIteration()
     _startTick = eq.now();
     _eventsBefore = eq.executedCount();
     _hostBytesBefore = _system.fabric().hostBytes();
+    _chanBytesBefore.clear();
+    _chanBusyBefore.clear();
+    for (const Channel *ch : _system.fabric().channels()) {
+        _chanBytesBefore.push_back(ch->bytesTransferred());
+        _chanBusyBefore.push_back(ch->busyTicks());
+    }
     _devicesRemaining = n;
 
     for (int d = 0; d < n; ++d)
@@ -1033,6 +1039,25 @@ TrainingSession::collectResult()
     result.syncBytes = _iterSyncBytes;
     result.eventsExecuted = eq.executedCount() - _eventsBefore;
     result.paging = _pagers[ureport]->counters();
+
+    // Per-channel deltas: where the iteration's traffic actually
+    // queued, so sweeps can name the bottleneck link rather than just
+    // the bottleneck pipeline stage.
+    const std::vector<Channel *> channels = _system.fabric().channels();
+    const double span = ticksToSeconds(result.makespan);
+    result.channels.reserve(channels.size());
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+        ChannelUsage usage;
+        usage.channel = channels[c]->name();
+        usage.bytes = channels[c]->bytesTransferred()
+            - (c < _chanBytesBefore.size() ? _chanBytesBefore[c] : 0.0);
+        usage.busySec = ticksToSeconds(
+            channels[c]->busyTicks()
+            - (c < _chanBusyBefore.size() ? _chanBusyBefore[c] : 0));
+        usage.utilization = span > 0.0 ? usage.busySec / span : 0.0;
+        usage.peakQueueDepth = channels[c]->peakQueueDepth();
+        result.channels.push_back(std::move(usage));
+    }
     return result;
 }
 

@@ -69,6 +69,26 @@ struct LatencyBreakdown
 };
 
 /**
+ * One fabric channel's activity during an iteration. Like hostBytes,
+ * this is the machine's view: on a multi-tenant cluster the deltas
+ * include co-located jobs' traffic through the shared links.
+ */
+struct ChannelUsage
+{
+    std::string channel;      ///< Fully qualified channel name.
+    double bytes = 0.0;       ///< Payload delivered this iteration.
+    double busySec = 0.0;     ///< Occupied time this iteration.
+    double utilization = 0.0; ///< busySec over the iteration makespan.
+    /**
+     * Deepest FIFO backlog since the last stats reset — NOT a
+     * per-iteration delta like the fields above (a max cannot be
+     * delta'd): per-iteration for standalone runs (stats reset every
+     * iteration), cumulative machine view under cluster multi-tenancy.
+     */
+    std::size_t peakQueueDepth = 0;
+};
+
+/**
  * Results of one simulated training iteration.
  *
  * The machine-global fields — hostBytes, the host-bandwidth pair, and
@@ -91,6 +111,20 @@ struct IterationResult
     /** Paging activity of the reported device: device 0 for the SPMD
         modes, the busiest (bottleneck) stage under pipeline. */
     PagingCounters paging;
+    /** Per-channel activity, fabric channel order (machine view). */
+    std::vector<ChannelUsage> channels;
+
+    /** The most-utilized channel — the bottleneck *link*, which a
+        per-stage breakdown cannot see; nullptr when untracked. */
+    const ChannelUsage *
+    bottleneckChannel() const
+    {
+        const ChannelUsage *best = nullptr;
+        for (const ChannelUsage &usage : channels)
+            if (best == nullptr || usage.utilization > best->utilization)
+                best = &usage;
+        return best;
+    }
 
     double iterationSeconds() const { return ticksToSeconds(makespan); }
 
@@ -332,6 +366,11 @@ class TrainingSession
     /// Host-socket byte counter at iteration start (the fabric is
     /// shared under multi-tenancy, so hostBytes reports a delta).
     double _hostBytesBefore = 0.0;
+    /// Per-channel byte/busy snapshots at iteration start, fabric
+    /// channel order (channel counters are cumulative on a shared
+    /// fabric; the iteration reports deltas).
+    std::vector<double> _chanBytesBefore;
+    std::vector<Tick> _chanBusyBefore;
     double _iterSyncBytes = 0.0;
     /// Owned devices still draining the current iteration.
     int _devicesRemaining = 0;

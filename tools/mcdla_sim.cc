@@ -20,12 +20,23 @@
  * emits the per-job ClusterReport rows and --pool-csv the pool
  * occupancy/fragmentation timeline.
  *
+ * The interconnect is a sweep axis of its own: --topology rewires the
+ * memory-centric node set through the generic Topology generators
+ * (ring, full-switch, 2-D mesh/torus, fat-tree; --list-topologies
+ * shows the catalog), --collective selects the collective algorithm
+ * family (ring, tree, hierarchical), and --channel-csv emits
+ * per-channel link-utilization rows so the bottleneck *link* of a run
+ * can be named, not just the bottleneck stage.
+ *
  * Examples:
  *   mcdla_sim --design mc-b --workload VGG-E --mode dp --batch 512
  *   mcdla_sim --workload all --design dc --jobs 4 --csv results.csv
  *   mcdla_sim --design mc-b --trace timeline.json --stats
+ *   mcdla_sim --design mc-b --topology torus2d --collective tree \
+ *       --channel-csv links.csv
  *   mcdla_sim --cluster --jobs 12 --arrival-rate 40 --seed 7 \
- *       --scheduler backfill --allocator buddy --csv jobs.csv
+ *       --scheduler backfill --allocator buddy --placement compact \
+ *       --csv jobs.csv
  */
 
 #include <fstream>
@@ -53,6 +64,9 @@ main(int argc, char **argv)
                    "cluster job scheduler: " + schedulerTokenList());
     opts.addString("allocator", "first-fit",
                    "cluster pool allocator: " + poolAllocatorTokenList());
+    opts.addString("placement", "first",
+                   "cluster device placement: "
+                       + jobPlacementTokenList());
     opts.addDouble("arrival-rate", 25.0,
                    "synthetic job arrival rate, jobs/sec (--cluster)");
     opts.addString("job-trace", "",
@@ -62,6 +76,9 @@ main(int argc, char **argv)
                    "write the cluster pool timeline to this CSV file");
     opts.addString("csv", "", "write result rows to this CSV file");
     opts.addString("json", "", "write result rows to this JSON file");
+    opts.addString("channel-csv", "",
+                   "write per-channel link-utilization rows to this "
+                   "CSV file (non-cluster runs)");
     opts.addString("trace", "",
                    "write a Chrome-tracing timeline (one iteration)");
     opts.addFlag("stats", "dump component statistics after the run");
@@ -70,6 +87,8 @@ main(int argc, char **argv)
                  "print the workload-registry catalog and exit");
     opts.addFlag("list-designs",
                  "print the supported system designs and exit");
+    opts.addFlag("list-topologies",
+                 "print the interconnect topology catalog and exit");
     opts.addFlag("quiet", "suppress informational output");
 
     if (!opts.parse(argc, argv, std::cerr))
@@ -104,17 +123,62 @@ main(int argc, char **argv)
         table.print(std::cout);
         return 0;
     }
+    if (opts.getFlag("list-topologies")) {
+        // Instantiate each generic wiring at the default 8-device
+        // scale so the catalog shows real node/link/ring counts.
+        TablePrinter table({"Token", "Topology", "Nodes", "Links",
+                            "Rings", "Notes"});
+        for (TopologyKind kind : allTopologyKinds()) {
+            if (kind == TopologyKind::Design) {
+                table.addRow({topologyKindToken(kind),
+                              topologyKindName(kind), "-", "-", "-",
+                              "the system design's own wiring"});
+                continue;
+            }
+            EventQueue eq;
+            FabricConfig cfg; // default radix 18: fat-tree shows its
+                              // two-level leaf/spine structure at n=8
+            auto fab = buildTopologyFabric(eq, cfg, kind);
+            const Topology &topo = fab->topology();
+            std::string nodes;
+            for (NodeKind nk : {NodeKind::Device, NodeKind::MemoryNode,
+                                NodeKind::Switch}) {
+                const int count = topo.count(nk);
+                if (count == 0)
+                    continue;
+                if (!nodes.empty())
+                    nodes += "+";
+                nodes += std::to_string(count) + nodeKindTag(nk);
+            }
+            table.addRow({topologyKindToken(kind),
+                          topologyKindName(kind), nodes,
+                          std::to_string(topo.links().size()),
+                          std::to_string(fab->rings().size()),
+                          fab->router().fullyConnected()
+                              ? "all-pairs routable"
+                              : "partially connected"});
+        }
+        table.print(std::cout);
+        std::cout << "\nUse --topology <token> with a memory-centric "
+                     "design (and --collective ring|tree|hierarchical "
+                     "to pick the collective algorithm).\n";
+        return 0;
+    }
     if (opts.getFlag("quiet"))
         LogConfig::verbose = false;
 
     const Scenario prototype = Scenario::fromOptions(opts);
 
     if (opts.getFlag("cluster")) {
+        if (!opts.getString("channel-csv").empty())
+            warn("--channel-csv applies to single-machine sweeps; "
+                 "ignoring it in --cluster mode");
         ClusterConfig cfg;
         cfg.base = prototype;
         cfg.scheduler = parseScheduler(opts.getString("scheduler"));
         cfg.allocator =
             parsePoolAllocator(opts.getString("allocator"));
+        cfg.placement = parseJobPlacement(opts.getString("placement"));
         cfg.progress = LogConfig::verbose;
 
         std::vector<JobSpec> jobs;
@@ -138,7 +202,9 @@ main(int argc, char **argv)
                   << prototype.base.fabric.numDevices << " devices, "
                   << schedulerToken(report.scheduler) << " scheduler, "
                   << poolAllocatorToken(report.allocator)
-                  << " pool allocator\n\n";
+                  << " pool allocator, "
+                  << jobPlacementToken(report.placement)
+                  << " placement\n\n";
         TablePrinter table({"Job", "Workload", "Devs", "Arrive(s)",
                             "Queue(s)", "Service(s)", "JCT(s)",
                             "Slowdown", "Status"});
@@ -219,7 +285,9 @@ main(int argc, char **argv)
         observed ? 1 : static_cast<int>(opts.getInt("jobs")),
         /*progress=*/false});
 
-    ResultSet results(SweepRunner::resultColumns());
+    // Keep the raw IterationResults so --channel-csv can emit the
+    // per-channel link-utilization rows next to the summary table.
+    std::vector<IterationResult> iter_results;
     if (observed) {
         Simulator::Hooks hooks;
         if (!opts.getString("trace").empty())
@@ -227,11 +295,14 @@ main(int argc, char **argv)
         if (opts.getFlag("stats"))
             hooks.stats = &std::cout;
         for (const Scenario &sc : scenarios)
-            results.addRow(SweepRunner::resultRow(
-                sc, runner.simulator().run(sc, hooks)));
+            iter_results.push_back(runner.simulator().run(sc, hooks));
     } else {
-        results = runner.runToResults(scenarios);
+        iter_results = runner.run(scenarios);
     }
+    ResultSet results(SweepRunner::resultColumns());
+    for (std::size_t i = 0; i < scenarios.size(); ++i)
+        results.addRow(SweepRunner::resultRow(scenarios[i],
+                                              iter_results[i]));
 
     TablePrinter table({"Workload", "Iter(ms)", "Compute(ms)",
                         "Sync(ms)", "Vmem(ms)", "Host(GB)",
@@ -263,6 +334,42 @@ main(int argc, char **argv)
         std::ofstream out(opts.getString("json"));
         results.writeJson(out);
         std::cout << "\nwrote " << opts.getString("json") << '\n';
+    }
+    if (!opts.getString("channel-csv").empty()) {
+        ResultSet channel_table(channelUsageColumns());
+        for (std::size_t i = 0; i < scenarios.size(); ++i)
+            appendChannelUsageRows(channel_table,
+                                   scenarios[i].label(),
+                                   iter_results[i]);
+        std::ofstream out(opts.getString("channel-csv"));
+        channel_table.writeCsv(out);
+        // Headline the worst link across the whole sweep, named by
+        // the scenario it bottlenecked.
+        const ChannelUsage *bottleneck = nullptr;
+        const Scenario *bottleneck_sc = nullptr;
+        for (std::size_t i = 0; i < scenarios.size(); ++i) {
+            const ChannelUsage *worst =
+                iter_results[i].bottleneckChannel();
+            if (worst != nullptr
+                && (bottleneck == nullptr
+                    || worst->utilization
+                        > bottleneck->utilization)) {
+                bottleneck = worst;
+                bottleneck_sc = &scenarios[i];
+            }
+        }
+        if (bottleneck != nullptr) {
+            std::cout << "\nwrote " << opts.getString("channel-csv")
+                      << " (bottleneck link: " << bottleneck->channel
+                      << " at "
+                      << TablePrinter::num(
+                             bottleneck->utilization * 100.0, 1)
+                      << "% utilization, "
+                      << bottleneck_sc->label() << ")\n";
+        } else {
+            std::cout << "\nwrote " << opts.getString("channel-csv")
+                      << '\n';
+        }
     }
     if (!opts.getString("trace").empty()) {
         std::ofstream out(opts.getString("trace"));
