@@ -96,9 +96,9 @@ main(int argc, char **argv)
             synthesizeJobs(num_jobs, rate, 8, rng);
 
         TablePrinter table({"Scheduler", "Allocator", "MeanJCT(s)",
-                            "MeanQueue(s)", "MeanSlowdown",
-                            "Makespan(s)", "PoolPeak%", "Frag",
-                            "AllocFails"});
+                            "P99JCT(s)", "MeanQueue(s)",
+                            "MeanSlowdown", "Makespan(s)", "PoolPeak%",
+                            "Frag", "AllocFails"});
         for (SchedulerKind scheduler : schedulers) {
             for (PoolAllocatorKind allocator : allocators) {
                 ClusterConfig cfg;
@@ -120,6 +120,8 @@ main(int argc, char **argv)
                     {schedulerToken(scheduler),
                      poolAllocatorToken(allocator),
                      TablePrinter::num(report.meanJctSec(), 4),
+                     TablePrinter::num(
+                         report.jctPercentileSec(99.0), 4),
                      TablePrinter::num(report.meanQueueSec(), 4),
                      TablePrinter::num(report.meanSlowdown(), 2),
                      TablePrinter::num(report.makespanSec, 4),

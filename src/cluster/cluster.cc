@@ -116,7 +116,7 @@ Cluster::Cluster(ClusterConfig cfg, std::vector<JobSpec> jobs)
 }
 
 std::uint64_t
-Cluster::computePoolCapacity() const
+sharedPoolCapacityBytes(System &system)
 {
     // Sum each distinct backing-store target once: every memory-node
     // reachable from any device (halves of one board merge back into
@@ -124,9 +124,9 @@ Cluster::computePoolCapacity() const
     std::uint64_t total = 0;
     bool host_counted = false;
     std::set<int> nodes;
-    const SystemConfig &cfg = _system->config();
-    for (int d = 0; d < _system->numDevices(); ++d) {
-        const DeviceAddressSpace &space = _system->addressSpace(d);
+    const SystemConfig &cfg = system.config();
+    for (int d = 0; d < system.numDevices(); ++d) {
+        const DeviceAddressSpace &space = system.addressSpace(d);
         for (std::size_t r = 0; r < space.regionCount(); ++r) {
             const RemoteRegion &region = space.region(r);
             if (region.targetIndex < 0) {
@@ -141,6 +141,12 @@ Cluster::computePoolCapacity() const
     // Designs without a backing store (the oracle) never allocate;
     // give the allocator a token capacity so it can exist.
     return total > 0 ? total : 1;
+}
+
+std::uint64_t
+Cluster::computePoolCapacity() const
+{
+    return sharedPoolCapacityBytes(*_system);
 }
 
 std::vector<int>
@@ -511,6 +517,26 @@ ClusterReport::meanSlowdown() const
         ++n;
     }
     return n > 0 ? total / static_cast<double>(n) : 0.0;
+}
+
+double
+ClusterReport::jctPercentileSec(double p) const
+{
+    std::vector<double> jcts;
+    for (const JobOutcome &job : jobs)
+        if (job.completed)
+            jcts.push_back(job.jctSec());
+    return percentile(std::move(jcts), p);
+}
+
+double
+ClusterReport::slowdownPercentile(double p) const
+{
+    std::vector<double> slowdowns;
+    for (const JobOutcome &job : jobs)
+        if (job.completed)
+            slowdowns.push_back(job.slowdown());
+    return percentile(std::move(slowdowns), p);
 }
 
 double

@@ -63,6 +63,15 @@ std::vector<int> placeJobDevices(const Fabric &fabric,
                                  const std::vector<int> &free,
                                  int count, JobPlacement placement);
 
+/**
+ * Capacity of the shared backing-store pool of @p system: each
+ * distinct backing target — every memory-node reachable from any
+ * device, or the host DRAM for the PCIe designs — counted once.
+ * Designs without a backing store get a token 1-byte pool so an
+ * allocator can exist. Shared by Cluster and ServingCluster.
+ */
+std::uint64_t sharedPoolCapacityBytes(System &system);
+
 /** Parse a placement token ("first" / "compact"); fatal. */
 JobPlacement parseJobPlacement(const std::string &name);
 
@@ -171,6 +180,10 @@ class ClusterReport
     double maxJctSec() const;
     double meanQueueSec() const;
     double meanSlowdown() const;
+    /** JCT tail percentile (core/report percentile()), seconds. */
+    double jctPercentileSec(double p) const;
+    /** Slowdown tail percentile over completed jobs. */
+    double slowdownPercentile(double p) const;
     /** Mean pool fragmentation over the timeline samples. */
     double meanFragmentation() const;
     double peakPoolUtilization() const;

@@ -35,6 +35,31 @@ schedulerToken(SchedulerKind kind)
     panic("scheduler %d has no token", static_cast<int>(kind));
 }
 
+const std::vector<SchedulerKind> &
+allSchedulers()
+{
+    static const std::vector<SchedulerKind> kinds = {
+        SchedulerKind::Fifo,
+        SchedulerKind::Sjf,
+        SchedulerKind::Backfill,
+    };
+    return kinds;
+}
+
+const char *
+schedulerDescription(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Fifo:
+        return "strict arrival order; the head blocks the queue";
+      case SchedulerKind::Sjf:
+        return "shortest estimated solo runtime first";
+      case SchedulerKind::Backfill:
+        return "FIFO head, but short jobs that fit jump the queue";
+    }
+    panic("scheduler %d has no description", static_cast<int>(kind));
+}
+
 const std::string &
 schedulerTokenList()
 {

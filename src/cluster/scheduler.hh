@@ -44,6 +44,12 @@ SchedulerKind parseScheduler(const std::string &name);
 /** Canonical CLI token of a scheduler kind. */
 const char *schedulerToken(SchedulerKind kind);
 
+/** Every scheduler the parser accepts. */
+const std::vector<SchedulerKind> &allSchedulers();
+
+/** One-line description (the --list-schedulers catalog). */
+const char *schedulerDescription(SchedulerKind kind);
+
 /** Comma-separated accepted tokens (help text). */
 const std::string &schedulerTokenList();
 

@@ -25,6 +25,11 @@
  *  - mcdla::Cluster / JobScheduler / MemoryPoolAllocator — multi-job
  *    scheduling over a shared machine with a disaggregated memory
  *    pool (FIFO/SJF/backfill x first-fit/buddy, ClusterReport);
+ *  - mcdla::ServingCluster / BatchPolicy / ReplicaRouter — inference
+ *    serving: open-loop request streams (Poisson/bursty/diurnal),
+ *    static/dynamic/continuous batch coalescing, SLO-aware replica
+ *    routing and admission, co-located with training (ServingReport
+ *    p50/p95/p99 request tails);
  *  - experiment helpers (harmonicMean, TablePrinter).
  */
 
@@ -58,6 +63,10 @@
 #include "memory/dimm.hh"
 #include "memory/memory_node.hh"
 #include "parallel/strategy.hh"
+#include "serving/batch_policy.hh"
+#include "serving/request.hh"
+#include "serving/router.hh"
+#include "serving/serving.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"

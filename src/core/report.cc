@@ -5,6 +5,7 @@
 
 #include "core/report.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <iomanip>
@@ -15,6 +16,23 @@
 
 namespace mcdla
 {
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    if (p < 0.0 || p > 100.0)
+        panic("percentile %g outside [0, 100]", p);
+    std::sort(values.begin(), values.end());
+    const double rank = p / 100.0
+        * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    if (lo + 1 >= values.size())
+        return values.back();
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
 
 ResultSet::ResultSet(std::vector<std::string> columns)
     : _columns(std::move(columns))

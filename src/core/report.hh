@@ -32,6 +32,15 @@ struct IterationResult;
 using ReportValue = std::variant<std::string, double, std::int64_t>;
 
 /**
+ * The @p p -th percentile (0..100) of @p values under linear
+ * interpolation between closest ranks — the shared tail-statistic
+ * helper behind ServingReport's p50/p95/p99 request latencies and
+ * ClusterReport's JCT/slowdown tails. Takes its argument by value (it
+ * sorts a copy); returns 0 on an empty sample.
+ */
+double percentile(std::vector<double> values, double p);
+
+/**
  * A rectangular result set with named columns, writable as CSV or a
  * JSON array of row objects.
  */

@@ -184,6 +184,15 @@ Scenario::label() const
                / static_cast<double>(kGiB))
            << 'g';
     }
+    // Serving scenarios carry the replica/policy/SLO grid; training
+    // labels stay untouched so existing tooling keys keep matching.
+    if (serve) {
+        os << "/serve/r" << replicas << '/'
+           << batchPolicyToken(batchPolicy) << '/' << routerToken(router)
+           << "/slo" << sloMs << "/rps" << requestRate;
+        if (arrivals != ArrivalKind::Poisson)
+            os << '/' << arrivalKindToken(arrivals);
+    }
     // Stochastic runs carry their seed so the label reproduces them.
     if (seed != 0)
         os << "/seed" << seed;
@@ -238,6 +247,25 @@ Scenario::addOptions(OptionParser &opts)
                    "device HBM capacity in GiB (0 = device default)");
     opts.addInt("seed", 0,
                 "RNG seed for stochastic components (0 = default)");
+    opts.addFlag("serve",
+                 "inference-serving mode: replicas + request stream "
+                 "(--batch caps each coalesced batch)");
+    opts.addInt("replicas", 2,
+                "serving replicas, one device each (--serve)");
+    opts.addInt("requests", 256,
+                "synthetic request count (--serve)");
+    opts.addDouble("request-rate", 200.0,
+                   "mean request arrival rate, req/s (--serve)");
+    opts.addDouble("slo-ms", 50.0,
+                   "request tail-latency objective, ms (--serve)");
+    opts.addString("batch-policy", "continuous",
+                   "serving batch coalescing: " + batchPolicyTokenList());
+    opts.addDouble("batch-timeout-ms", 5.0,
+                   "dynamic batch policy's queueing-wait bound, ms");
+    opts.addString("arrivals", "poisson",
+                   "synthetic arrival process: " + arrivalKindTokenList());
+    opts.addString("router", "slo",
+                   "request-to-replica routing: " + routerTokenList());
 }
 
 Scenario
@@ -321,6 +349,33 @@ Scenario::fromOptions(const OptionParser &opts)
         fatal("--seed must be >= 0 (got %lld)",
               static_cast<long long>(seed));
     sc.seed = static_cast<std::uint64_t>(seed);
+
+    // Serving knobs are validated unconditionally, like the paging
+    // knobs above: a bad value is a configuration error even when
+    // --serve is off.
+    sc.serve = opts.getFlag("serve");
+    sc.replicas = static_cast<int>(opts.getInt("replicas"));
+    if (sc.replicas < 1)
+        fatal("--replicas must be positive (got %lld)",
+              static_cast<long long>(opts.getInt("replicas")));
+    sc.requests = static_cast<int>(opts.getInt("requests"));
+    if (sc.requests < 1)
+        fatal("--requests must be positive (got %lld)",
+              static_cast<long long>(opts.getInt("requests")));
+    sc.requestRate = opts.getDouble("request-rate");
+    if (sc.requestRate <= 0.0)
+        fatal("--request-rate must be positive (got %g)",
+              sc.requestRate);
+    sc.sloMs = opts.getDouble("slo-ms");
+    if (sc.sloMs <= 0.0)
+        fatal("--slo-ms must be positive (got %g)", sc.sloMs);
+    sc.batchPolicy = parseBatchPolicy(opts.getString("batch-policy"));
+    sc.batchTimeoutMs = opts.getDouble("batch-timeout-ms");
+    if (sc.batchTimeoutMs < 0.0)
+        fatal("--batch-timeout-ms must be >= 0 (got %g)",
+              sc.batchTimeoutMs);
+    sc.arrivals = parseArrivalKind(opts.getString("arrivals"));
+    sc.router = parseRouter(opts.getString("router"));
     return sc;
 }
 

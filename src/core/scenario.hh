@@ -19,6 +19,9 @@
 #include <vector>
 
 #include "parallel/strategy.hh"
+#include "serving/batch_policy.hh"
+#include "serving/request.hh"
+#include "serving/router.hh"
 #include "system/system_config.hh"
 #include "workloads/registry.hh"
 
@@ -88,6 +91,29 @@ struct Scenario
      * runs unchanged.
      */
     std::uint64_t seed = 0;
+
+    /// @name Inference-serving knobs (--serve runs; defaults off)
+    /// @{
+    /** Serving mode: replicas + request stream instead of training. */
+    bool serve = false;
+    /** Model replicas (one device each, devices 0..replicas-1). */
+    int replicas = 2;
+    /** Synthetic request count (ignored with a request trace). */
+    int requests = 256;
+    /** Mean request arrival rate, requests/sec. */
+    double requestRate = 200.0;
+    /** Tail-latency objective, milliseconds. */
+    double sloMs = 50.0;
+    /** Server-side coalescing policy; globalBatch caps each batch. */
+    BatchPolicyKind batchPolicy = BatchPolicyKind::Continuous;
+    /** Dynamic policy's queueing-wait bound, milliseconds. */
+    double batchTimeoutMs = 5.0;
+    /** Synthetic arrival process. */
+    ArrivalKind arrivals = ArrivalKind::Poisson;
+    /** Request-to-replica routing policy. */
+    RouterKind router = RouterKind::SloAware;
+    /// @}
+
     /** Base configuration; the design field is stamped by config(). */
     SystemConfig base;
 
@@ -98,8 +124,10 @@ struct Scenario
      * Compact identity, e.g. "ResNet/mc-b/dp/b512"; pipeline scenarios
      * append the stage/microbatch grid, e.g.
      * "ResNet/mc-b/pp/b512/s4/mb8"; interconnect overrides append the
-     * topology/collective tokens (e.g. ".../torus2d/tree"); seeded
-     * scenarios append "/seed<N>".
+     * topology/collective tokens (e.g. ".../torus2d/tree"); serving
+     * scenarios append the replica/policy/SLO grid (e.g.
+     * ".../serve/r4/continuous/slo/slo50/rps200"); seeded scenarios
+     * append "/seed<N>".
      */
     std::string label() const;
 
@@ -111,7 +139,10 @@ struct Scenario
      * --dimm-gib, --socket-gbps, --compression, --iterations,
      * --no-recompute, --prefetch-policy, --prefetch-lookahead,
      * --eviction-policy, --hbm-capacity, --pipeline-stages,
-     * --microbatches, --seed) on @p opts.
+     * --microbatches, --seed, and the serving set: --serve,
+     * --replicas, --requests, --request-rate, --slo-ms,
+     * --batch-policy, --batch-timeout-ms, --arrivals, --router) on
+     * @p opts.
      */
     static void addOptions(OptionParser &opts);
 

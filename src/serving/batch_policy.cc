@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Batch policy implementations.
+ */
+
+#include "serving/batch_policy.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+BatchPolicyKind
+parseBatchPolicy(const std::string &name)
+{
+    if (name == "static")
+        return BatchPolicyKind::Static;
+    if (name == "dynamic")
+        return BatchPolicyKind::Dynamic;
+    if (name == "continuous")
+        return BatchPolicyKind::Continuous;
+    fatal("unknown batch policy '%s' (%s)", name.c_str(),
+          batchPolicyTokenList().c_str());
+}
+
+const char *
+batchPolicyToken(BatchPolicyKind kind)
+{
+    switch (kind) {
+      case BatchPolicyKind::Static: return "static";
+      case BatchPolicyKind::Dynamic: return "dynamic";
+      case BatchPolicyKind::Continuous: return "continuous";
+    }
+    panic("batch policy %d has no token", static_cast<int>(kind));
+}
+
+const std::vector<BatchPolicyKind> &
+allBatchPolicies()
+{
+    static const std::vector<BatchPolicyKind> kinds = {
+        BatchPolicyKind::Static,
+        BatchPolicyKind::Dynamic,
+        BatchPolicyKind::Continuous,
+    };
+    return kinds;
+}
+
+const std::string &
+batchPolicyTokenList()
+{
+    static const std::string list = [] {
+        std::string tokens;
+        for (BatchPolicyKind kind : allBatchPolicies()) {
+            if (!tokens.empty())
+                tokens += ", ";
+            tokens += batchPolicyToken(kind);
+        }
+        return tokens;
+    }();
+    return list;
+}
+
+const char *
+batchPolicyDescription(BatchPolicyKind kind)
+{
+    switch (kind) {
+      case BatchPolicyKind::Static:
+        return "full batches only; partial batches wait for "
+               "stragglers (tail flushes at stream drain)";
+      case BatchPolicyKind::Dynamic:
+        return "full batch, or whatever is queued once the oldest "
+               "request has waited the batch timeout";
+      case BatchPolicyKind::Continuous:
+        return "launch whatever is queued whenever the replica "
+               "idles; batches track the instantaneous load";
+    }
+    panic("batch policy %d has no description", static_cast<int>(kind));
+}
+
+namespace
+{
+
+class StaticBatchPolicy : public BatchPolicy
+{
+  public:
+    explicit StaticBatchPolicy(int max_batch) : BatchPolicy(max_batch)
+    {}
+
+    const char *name() const override { return "static"; }
+
+    int
+    launchSamples(int queued_samples, double, bool drained) const
+        override
+    {
+        if (queued_samples >= _maxBatch)
+            return _maxBatch;
+        return drained ? queued_samples : 0;
+    }
+};
+
+class DynamicBatchPolicy : public BatchPolicy
+{
+  public:
+    DynamicBatchPolicy(int max_batch, double timeout_sec)
+        : BatchPolicy(max_batch), _timeoutSec(timeout_sec)
+    {}
+
+    const char *name() const override { return "dynamic"; }
+
+    int
+    launchSamples(int queued_samples, double oldest_wait_sec,
+                  bool drained) const override
+    {
+        if (queued_samples >= _maxBatch)
+            return _maxBatch;
+        if (drained || oldest_wait_sec >= _timeoutSec)
+            return queued_samples;
+        return 0;
+    }
+
+    double maxWaitSec() const override { return _timeoutSec; }
+
+  private:
+    double _timeoutSec;
+};
+
+class ContinuousBatchPolicy : public BatchPolicy
+{
+  public:
+    explicit ContinuousBatchPolicy(int max_batch)
+        : BatchPolicy(max_batch)
+    {}
+
+    const char *name() const override { return "continuous"; }
+
+    int
+    launchSamples(int queued_samples, double, bool) const override
+    {
+        return std::min(queued_samples, _maxBatch);
+    }
+};
+
+} // anonymous namespace
+
+std::unique_ptr<BatchPolicy>
+makeBatchPolicy(BatchPolicyKind kind, int max_batch, double timeout_sec)
+{
+    if (max_batch < 1)
+        fatal("batch policy requires a positive max batch (got %d)",
+              max_batch);
+    switch (kind) {
+      case BatchPolicyKind::Static:
+        return std::make_unique<StaticBatchPolicy>(max_batch);
+      case BatchPolicyKind::Dynamic:
+        if (timeout_sec < 0.0)
+            fatal("dynamic batch policy requires a non-negative "
+                  "timeout (got %g s)", timeout_sec);
+        return std::make_unique<DynamicBatchPolicy>(max_batch,
+                                                    timeout_sec);
+      case BatchPolicyKind::Continuous:
+        return std::make_unique<ContinuousBatchPolicy>(max_batch);
+    }
+    panic("batch policy %d has no factory", static_cast<int>(kind));
+}
+
+} // namespace mcdla

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Request trace parsing and synthetic arrival generation.
+ */
+
+#include "serving/request.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "workloads/job_mix.hh"
+
+namespace mcdla
+{
+
+ArrivalKind
+parseArrivalKind(const std::string &name)
+{
+    if (name == "poisson")
+        return ArrivalKind::Poisson;
+    if (name == "bursty")
+        return ArrivalKind::Bursty;
+    if (name == "diurnal")
+        return ArrivalKind::Diurnal;
+    fatal("unknown arrival process '%s' (%s)", name.c_str(),
+          arrivalKindTokenList().c_str());
+}
+
+const char *
+arrivalKindToken(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::Poisson: return "poisson";
+      case ArrivalKind::Bursty: return "bursty";
+      case ArrivalKind::Diurnal: return "diurnal";
+    }
+    panic("arrival process %d has no token", static_cast<int>(kind));
+}
+
+const std::vector<ArrivalKind> &
+allArrivalKinds()
+{
+    static const std::vector<ArrivalKind> kinds = {
+        ArrivalKind::Poisson,
+        ArrivalKind::Bursty,
+        ArrivalKind::Diurnal,
+    };
+    return kinds;
+}
+
+const std::string &
+arrivalKindTokenList()
+{
+    static const std::string list = [] {
+        std::string tokens;
+        for (ArrivalKind kind : allArrivalKinds()) {
+            if (!tokens.empty())
+                tokens += ", ";
+            tokens += arrivalKindToken(kind);
+        }
+        return tokens;
+    }();
+    return list;
+}
+
+namespace
+{
+
+std::int64_t
+parseInt(const std::string &value, const std::string &key, int line)
+{
+    try {
+        std::size_t used = 0;
+        const long long v = std::stoll(value, &used);
+        if (used != value.size())
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        fatal("request trace line %d: %s=%s is not an integer", line,
+              key.c_str(), value.c_str());
+    }
+}
+
+double
+parseDouble(const std::string &value, const std::string &key, int line)
+{
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(value, &used);
+        if (used != value.size())
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        fatal("request trace line %d: %s=%s is not a number", line,
+              key.c_str(), value.c_str());
+    }
+}
+
+} // anonymous namespace
+
+std::vector<Request>
+parseRequestTrace(std::istream &in)
+{
+    std::vector<Request> requests;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (const auto hash = line.find('#'); hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream tokens(line);
+        std::string token;
+        Request request;
+        bool have_arrival = false;
+        bool any = false;
+        while (tokens >> token) {
+            const auto eq = token.find('=');
+            if (eq == std::string::npos)
+                fatal("request trace line %d: token '%s' is not "
+                      "key=value", line_no, token.c_str());
+            const std::string key = token.substr(0, eq);
+            const std::string value = token.substr(eq + 1);
+            any = true;
+            if (key == "arrival") {
+                request.arrivalSec = parseDouble(value, key, line_no);
+                if (request.arrivalSec < 0.0)
+                    fatal("request trace line %d: negative arrival "
+                          "time", line_no);
+                have_arrival = true;
+            } else if (key == "samples") {
+                request.samples =
+                    static_cast<int>(parseInt(value, key, line_no));
+            } else if (key == "name") {
+                request.name = value;
+            } else {
+                fatal("request trace line %d: unknown key '%s'",
+                      line_no, key.c_str());
+            }
+        }
+        if (!any)
+            continue; // blank / comment-only line
+        if (!have_arrival)
+            fatal("request trace line %d: arrival= is required",
+                  line_no);
+        if (request.samples < 1)
+            fatal("request trace line %d: non-positive sample count",
+                  line_no);
+        if (request.name.empty())
+            request.name = "req" + std::to_string(requests.size());
+        requests.push_back(std::move(request));
+    }
+    std::stable_sort(requests.begin(), requests.end(),
+                     [](const Request &a, const Request &b) {
+                         return a.arrivalSec < b.arrivalSec;
+                     });
+    return requests;
+}
+
+std::vector<Request>
+loadRequestTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open request trace '%s'", path.c_str());
+    return parseRequestTrace(in);
+}
+
+std::string
+requestLine(const Request &request)
+{
+    std::ostringstream os;
+    // max_digits10 so synthesized arrival times round-trip exactly.
+    os << "arrival=" << std::setprecision(17) << request.arrivalSec
+       << " samples=" << request.samples;
+    if (!request.name.empty())
+        os << " name=" << request.name;
+    return os.str();
+}
+
+std::vector<Request>
+synthesizeRequests(int count, double rate, ArrivalKind kind,
+                   Random &rng)
+{
+    if (count < 1)
+        fatal("synthetic request stream requires a positive count");
+    if (rate <= 0.0)
+        fatal("synthetic request stream requires a positive rate");
+
+    // Bursty: two-state MMPP. The ON state runs at kBurstMultiplier x
+    // the OFF rate and covers kBurstFraction of the time; the OFF rate
+    // is normalized so the long-run mean stays at @p rate. State dwell
+    // times are exponential with means of a few mean interarrivals, so
+    // bursts span several requests.
+    constexpr double kBurstMultiplier = 5.0;
+    constexpr double kBurstFraction = 0.2;
+    const double base_rate = rate
+        / (1.0 - kBurstFraction + kBurstFraction * kBurstMultiplier);
+    const double mean_on_dwell = 8.0 / rate;
+    const double mean_off_dwell =
+        mean_on_dwell * (1.0 - kBurstFraction) / kBurstFraction;
+
+    // Diurnal: sinusoidal rate modulation with one full period over
+    // the stream's nominal duration (count/rate seconds of traffic).
+    constexpr double kDiurnalAmplitude = 0.8;
+    const double period = static_cast<double>(count) / rate;
+
+    auto exponential = [&rng](double r) {
+        return -std::log(1.0 - rng.uniform()) / r;
+    };
+
+    std::vector<Request> requests;
+    requests.reserve(static_cast<std::size_t>(count));
+    double clock = 0.0;
+    bool burst_on = false;
+    double dwell_left = exponential(1.0 / mean_off_dwell);
+    for (int i = 0; i < count; ++i) {
+        switch (kind) {
+          case ArrivalKind::Poisson:
+            clock += exponential(rate);
+            break;
+          case ArrivalKind::Bursty: {
+            double gap = exponential(
+                burst_on ? base_rate * kBurstMultiplier : base_rate);
+            // Walk through state switches the gap straddles, rescaling
+            // the residual gap by the rate ratio at each flip.
+            while (gap > dwell_left) {
+                clock += dwell_left;
+                gap = (gap - dwell_left)
+                    * (burst_on ? kBurstMultiplier
+                                : 1.0 / kBurstMultiplier);
+                burst_on = !burst_on;
+                dwell_left = exponential(
+                    1.0 / (burst_on ? mean_on_dwell : mean_off_dwell));
+            }
+            dwell_left -= gap;
+            clock += gap;
+            break;
+          }
+          case ArrivalKind::Diurnal: {
+            // Nonhomogeneous Poisson by local-rate stepping: draw the
+            // gap at the instantaneous rate, a good approximation when
+            // the modulation period spans many interarrivals.
+            const double local = rate
+                * (1.0
+                   + kDiurnalAmplitude
+                       * std::sin(2.0 * 3.14159265358979323846 * clock
+                                  / period));
+            clock += exponential(std::max(local, 0.05 * rate));
+            break;
+          }
+        }
+        Request request;
+        request.name = "req" + std::to_string(i);
+        request.arrivalSec = clock;
+        request.samples =
+            sampleRequestMix(defaultRequestMix(), rng).samples;
+        requests.push_back(std::move(request));
+    }
+    return requests;
+}
+
+} // namespace mcdla

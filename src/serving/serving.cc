@@ -1,0 +1,697 @@
+/**
+ * @file
+ * ServingCluster implementation.
+ */
+
+#include "serving/serving.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "system/analytic_model.hh"
+
+namespace mcdla
+{
+
+ServingCluster::ServingCluster(ServingConfig cfg,
+                               std::vector<Request> stream)
+    : _cfg(std::move(cfg)), _stream(std::move(stream))
+{
+    std::stable_sort(_stream.begin(), _stream.end(),
+                     [](const Request &a, const Request &b) {
+                         return a.arrivalSec < b.arrivalSec;
+                     });
+
+    _system = std::make_unique<System>(_eq, _cfg.base.config());
+    _sloSec = _cfg.base.sloMs / 1e3;
+    if (_sloSec <= 0.0)
+        fatal("serving requires a positive SLO (got %g ms)",
+              _cfg.base.sloMs);
+    _maxBatch = static_cast<int>(_cfg.base.globalBatch);
+    if (_maxBatch < 1)
+        fatal("serving requires a positive max batch (got %d)",
+              _maxBatch);
+
+    const int replicas = _cfg.base.replicas;
+    if (replicas < 1)
+        fatal("serving requires at least one replica (got %d)",
+              replicas);
+    if (replicas > _system->numDevices())
+        fatal("%d replicas exceed the machine's %d devices", replicas,
+              _system->numDevices());
+    if (!_cfg.trainingJobs.empty()
+        && replicas >= _system->numDevices())
+        fatal("co-located training needs at least one non-replica "
+              "device (%d replicas on %d devices)",
+              replicas, _system->numDevices());
+
+    _net = _networks.network(_cfg.base.workload);
+    for (const Request &request : _stream)
+        if (request.samples > _maxBatch)
+            fatal("request %s carries %d samples but --batch caps "
+                  "batches at %d", request.name.c_str(),
+                  request.samples, _maxBatch);
+
+    _poolCapacity = sharedPoolCapacityBytes(*_system);
+    _pool = makePoolAllocator(_cfg.allocator, _poolCapacity);
+    _policy = makeBatchPolicy(_cfg.base.batchPolicy, _maxBatch,
+                              _cfg.base.batchTimeoutMs / 1e3);
+    _router = makeRouter(_cfg.base.router);
+
+    // The pool replaces the static per-device carve-out, exactly as in
+    // the training cluster: capacity is enforced by the allocator, the
+    // address spaces only decide placement.
+    for (int d = 0; d < _system->numDevices(); ++d)
+        _system->addressSpace(d).uncapRemoteRegions(_poolCapacity);
+
+    // Pin each replica's backing store for the whole run: a replica at
+    // max batch demands the same remote buffers a single-device
+    // training session of that batch would allocate.
+    JobSpec replica_spec;
+    replica_spec.workload = _cfg.base.workload;
+    replica_spec.mode = ParallelMode::DataParallel;
+    replica_spec.batch = _maxBatch;
+    replica_spec.devices = 1;
+    _replicaPool = Cluster::jobPoolBytes(
+        replica_spec, *_net, _system->config(),
+        _system->addressSpace(0).pageBytes());
+
+    _replicas.resize(static_cast<std::size_t>(replicas));
+    for (int r = 0; r < replicas; ++r) {
+        Replica &replica = _replicas[static_cast<std::size_t>(r)];
+        replica.device = r;
+        if (_replicaPool == 0)
+            continue;
+        auto block = _pool->allocate(_replicaPool);
+        if (!block)
+            fatal("cannot pin replica %d: the pool has no room for "
+                  "its %s backing store", r,
+                  formatBytes(static_cast<double>(
+                      _replicaPool)).c_str());
+        replica.block = *block;
+        replica.hasBlock = true;
+    }
+
+    for (int d = replicas; d < _system->numDevices(); ++d)
+        _freeTrainDevices.insert(d);
+
+    _outcomes.resize(_stream.size());
+    for (std::size_t i = 0; i < _stream.size(); ++i) {
+        if (_stream[i].name.empty())
+            _stream[i].name = "req" + std::to_string(i);
+        _outcomes[i].request = _stream[i];
+    }
+
+    std::stable_sort(_cfg.trainingJobs.begin(),
+                     _cfg.trainingJobs.end(),
+                     [](const JobSpec &a, const JobSpec &b) {
+                         return a.arrivalSec < b.arrivalSec;
+                     });
+    _jobOutcomes.resize(_cfg.trainingJobs.size());
+    for (std::size_t j = 0; j < _cfg.trainingJobs.size(); ++j) {
+        if (_cfg.trainingJobs[j].name.empty())
+            _cfg.trainingJobs[j].name = "job" + std::to_string(j);
+        _jobOutcomes[j].spec = _cfg.trainingJobs[j];
+        _jobOutcomes[j].arrivalSec = _cfg.trainingJobs[j].arrivalSec;
+    }
+}
+
+ServingReport
+ServingCluster::run()
+{
+    if (_ran)
+        fatal("a ServingCluster can only run once");
+    _ran = true;
+
+    for (std::size_t i = 0; i < _stream.size(); ++i) {
+        _eq.schedule(secondsToTicks(_stream[i].arrivalSec),
+                     [this, i] { onRequestArrival(i); },
+                     "request_arrival");
+    }
+    for (std::size_t j = 0; j < _cfg.trainingJobs.size(); ++j) {
+        _eq.schedule(secondsToTicks(_cfg.trainingJobs[j].arrivalSec),
+                     [this, j] { onJobArrival(j); }, "job_arrival");
+    }
+    _eq.run();
+
+    for (const Replica &replica : _replicas) {
+        if (!replica.queue.empty() || replica.busy)
+            panic("serving drained with replica %d still loaded "
+                  "(%zu queued, busy=%d)", replica.device,
+                  replica.queue.size(), replica.busy ? 1 : 0);
+    }
+    if (!_jobQueue.empty() || !_activeJobs.empty())
+        panic("serving drained with training jobs still pending "
+              "(%zu queued, %zu running)", _jobQueue.size(),
+              _activeJobs.size());
+
+    ServingReport report;
+    report.requests = _outcomes;
+    report.trainingJobs = _jobOutcomes;
+    report.makespanSec = ticksToSeconds(_eq.now());
+    report.batchPolicy = _cfg.base.batchPolicy;
+    report.router = _cfg.base.router;
+    report.sloSec = _sloSec;
+    report.poolCapacity = _poolCapacity;
+    report.poolPeakUsed = _pool->peakUsedBytes();
+    report.replicas.reserve(_replicas.size());
+    for (const Replica &replica : _replicas) {
+        ReplicaStats stats;
+        stats.device = replica.device;
+        stats.batches = replica.batches;
+        stats.samplesServed = replica.samplesServed;
+        stats.busySec = replica.busySec;
+        stats.ewmaPerSampleSec = replica.ewmaPerSampleSec;
+        stats.peakQueueSamples = replica.peakQueueSamples;
+        report.replicas.push_back(stats);
+    }
+    return report;
+}
+
+ReplicaLoad
+ServingCluster::loadView(const Replica &replica) const
+{
+    ReplicaLoad view;
+    view.queuedSamples = replica.queuedSamples;
+    view.inflightSamples = replica.inflightSamples;
+    view.ewmaPerSampleSec = replica.ewmaPerSampleSec;
+    if (replica.busy) {
+        const double predicted =
+            static_cast<double>(replica.inflightSamples)
+            * replica.ewmaPerSampleSec;
+        view.busyRemainingSec =
+            std::max(0.0, replica.batchStartSec + predicted
+                              - ticksToSeconds(_eq.now()));
+    }
+    return view;
+}
+
+void
+ServingCluster::onRequestArrival(std::size_t index)
+{
+    ++_arrived;
+    RequestOutcome &outcome = _outcomes[index];
+    const int samples = outcome.request.samples;
+
+    std::vector<ReplicaLoad> views;
+    views.reserve(_replicas.size());
+    for (const Replica &replica : _replicas)
+        views.push_back(loadView(replica));
+    const std::size_t r = _router->route(views, samples);
+    if (r >= _replicas.size())
+        panic("router %s picked replica %zu of %zu", _router->name(),
+              r, _replicas.size());
+
+    // SLO-headroom admission: when even the chosen replica cannot
+    // plausibly make the deadline, shed at the door rather than let a
+    // doomed request deepen every subsequent prediction.
+    if (_cfg.admitGraceFactor > 0.0
+        && views[r].ewmaPerSampleSec > 0.0
+        && views[r].predictedLatencySec(samples)
+            > _cfg.admitGraceFactor * _sloSec) {
+        outcome.dropped = true;
+        if (_cfg.progress)
+            inform("t=%.4fs shed %s (predicted %.1f ms vs %.1f ms "
+                   "SLO)", ticksToSeconds(_eq.now()),
+                   outcome.request.name.c_str(),
+                   views[r].predictedLatencySec(samples) * 1e3,
+                   _sloSec * 1e3);
+    } else {
+        outcome.replica = static_cast<int>(r);
+        Replica &replica = _replicas[r];
+        replica.queue.push_back(index);
+        replica.queuedSamples += samples;
+        replica.peakQueueSamples =
+            std::max(replica.peakQueueSamples, replica.queuedSamples);
+        maybeLaunch(r);
+    }
+
+    // The last arrival flips every policy into drain mode: re-poll
+    // every idle replica so partial batches parked behind a
+    // not-yet-full static/dynamic threshold flush instead of wedging
+    // (shed or not — drain applies to all queues either way).
+    if (_arrived == _stream.size())
+        for (std::size_t i = 0; i < _replicas.size(); ++i)
+            maybeLaunch(i);
+}
+
+void
+ServingCluster::maybeLaunch(std::size_t r)
+{
+    Replica &replica = _replicas[r];
+    if (replica.busy || replica.queue.empty())
+        return;
+
+    const double now = ticksToSeconds(_eq.now());
+    const double oldest_wait = std::max(
+        0.0, now
+            - _outcomes[replica.queue.front()].request.arrivalSec);
+    const bool drained = _arrived == _stream.size();
+    if (_policy->launchSamples(replica.queuedSamples, oldest_wait,
+                               drained) > 0) {
+        launchBatch(r);
+        return;
+    }
+
+    // The dynamic policy launches on a timer: re-poll when the oldest
+    // request's wait crosses the timeout. Stale fires are harmless —
+    // the re-poll just re-evaluates the policy.
+    const double max_wait = _policy->maxWaitSec();
+    if (max_wait >= 0.0 && !replica.timerArmed) {
+        replica.timerArmed = true;
+        const double fire_at =
+            _outcomes[replica.queue.front()].request.arrivalSec
+            + max_wait;
+        // Strictly after now: tick rounding can land the deadline a
+        // hair *before* the timeout is satisfied, and a same-tick
+        // re-arm would spin forever. One tick forward per re-poll
+        // guarantees progress past the rounding gap.
+        const Tick fire_tick = std::max(secondsToTicks(fire_at),
+                                        _eq.now() + 1);
+        _eq.schedule(fire_tick,
+                     [this, r] {
+                         _replicas[r].timerArmed = false;
+                         maybeLaunch(r);
+                     },
+                     "batch_timeout");
+    }
+}
+
+void
+ServingCluster::launchBatch(std::size_t r)
+{
+    Replica &replica = _replicas[r];
+
+    // Coalesce the maximal queue prefix that fits the batch cap; the
+    // intake check guarantees the front request always fits.
+    int batch_samples = 0;
+    while (!replica.queue.empty()) {
+        const std::size_t index = replica.queue.front();
+        const int samples = _outcomes[index].request.samples;
+        if (batch_samples + samples > _maxBatch)
+            break;
+        replica.queue.pop_front();
+        replica.queuedSamples -= samples;
+        batch_samples += samples;
+        replica.inflight.push_back(index);
+    }
+    if (replica.inflight.empty())
+        panic("replica %d launched an empty batch", replica.device);
+
+    const double now = ticksToSeconds(_eq.now());
+    for (std::size_t index : replica.inflight)
+        _outcomes[index].dispatchSec = now;
+    replica.busy = true;
+    replica.batchStartSec = now;
+    replica.inflightSamples = batch_samples;
+
+    replica.session = std::make_unique<TrainingSession>(
+        *_system, *_net, ParallelMode::DataParallel, batch_samples,
+        /*pipeline_stages=*/0, /*microbatches=*/1,
+        std::vector<int>{replica.device}, /*forward_only=*/true);
+    if (_cfg.progress)
+        inform("t=%.4fs replica %d launches a %d-sample batch "
+               "(%zu requests, %d queued behind)",
+               now, replica.device, batch_samples,
+               replica.inflight.size(), replica.queuedSamples);
+    replica.session->startIteration(
+        [this, r](const IterationResult &result) {
+            onBatchDone(r, result);
+        });
+}
+
+void
+ServingCluster::onBatchDone(std::size_t r,
+                            const IterationResult &result)
+{
+    Replica &replica = _replicas[r];
+    const double now = ticksToSeconds(_eq.now());
+    const double service = now - replica.batchStartSec;
+    const int batch_samples = replica.inflightSamples;
+
+    for (std::size_t index : replica.inflight) {
+        RequestOutcome &outcome = _outcomes[index];
+        outcome.doneSec = now;
+        outcome.batchSamples = batch_samples;
+        outcome.computeSec = result.breakdown.computeSec;
+        outcome.pagingSec = result.breakdown.vmemSec;
+        outcome.completed = true;
+    }
+
+    // Update the replica's observed service rate — the SLO-aware
+    // router's whole signal. A short memory (alpha 0.5) tracks the
+    // contention swings a co-located training job causes.
+    const double observed =
+        service / static_cast<double>(batch_samples);
+    replica.ewmaPerSampleSec = replica.ewmaPerSampleSec == 0.0
+        ? observed
+        : 0.5 * (replica.ewmaPerSampleSec + observed);
+
+    ++replica.batches;
+    replica.samplesServed += batch_samples;
+    replica.busySec += service;
+    replica.inflight.clear();
+    replica.inflightSamples = 0;
+    if (_cfg.progress)
+        inform("t=%.4fs replica %d served %d samples in %.2f ms "
+               "(%.3f ms/sample EWMA)", now, replica.device,
+               batch_samples, service * 1e3,
+               replica.ewmaPerSampleSec * 1e3);
+
+    // Tear down from a fresh event: the session is live on the call
+    // stack (this runs inside its completion callback).
+    _eq.schedule(_eq.now(), [this, r] { cleanupBatch(r); },
+                 "batch_cleanup");
+}
+
+void
+ServingCluster::cleanupBatch(std::size_t r)
+{
+    Replica &replica = _replicas[r];
+    replica.session->releaseBuffers();
+    replica.session.reset();
+    replica.busy = false;
+    maybeLaunch(r);
+}
+
+// ---------------------------------------------- co-located training
+
+void
+ServingCluster::onJobArrival(std::size_t index)
+{
+    const JobSpec &spec = _cfg.trainingJobs[index];
+    JobOutcome &outcome = _jobOutcomes[index];
+    const int train_devices = _system->numDevices()
+        - static_cast<int>(_replicas.size());
+
+    const Network &net = *_networks.network(spec.workload);
+    bool feasible = spec.devices >= 1 && spec.devices <= train_devices;
+    if (feasible && spec.mode == ParallelMode::Pipeline) {
+        const int stages = spec.pipelineStages > 0 ? spec.pipelineStages
+                                                   : spec.devices;
+        feasible = stages <= spec.devices
+            && static_cast<std::size_t>(stages) <= net.size()
+            && spec.microbatches >= 1
+            && spec.batch >= spec.microbatches;
+    } else if (feasible) {
+        feasible = spec.batch >= spec.devices;
+    }
+
+    std::uint64_t demand = 0;
+    if (feasible) {
+        demand = Cluster::jobPoolBytes(
+            spec, net, _system->config(),
+            _system->addressSpace(0).pageBytes());
+        // The replicas' pinned blocks shrink the pool for the whole
+        // run; a job that can never fit beside them is rejected.
+        if (demand > 0) {
+            const auto probe =
+                makePoolAllocator(_cfg.allocator, _poolCapacity);
+            std::uint64_t pinned = _replicaPool
+                * static_cast<std::uint64_t>(_replicas.size());
+            feasible = pinned < _poolCapacity
+                && probe->canAllocate(demand + pinned);
+        }
+    }
+    if (!feasible) {
+        outcome.rejected = true;
+        warn("serving cluster rejects %s: its shape (%d devices, %s "
+             "pool demand) cannot ever run beside %zu replicas",
+             spec.label().c_str(), spec.devices,
+             formatBytes(static_cast<double>(demand)).c_str(),
+             _replicas.size());
+        return;
+    }
+
+    SystemConfig job_cfg = _system->config();
+    job_cfg.fabric.numDevices = spec.devices;
+    const AnalyticEstimate estimate = estimateIteration(
+        job_cfg, net, spec.mode, spec.batch, spec.pipelineStages,
+        spec.microbatches);
+    outcome.estSoloSec = estimate.upperBoundSec()
+        * static_cast<double>(spec.iterations);
+    outcome.poolBytes = demand;
+
+    _jobQueue.push_back(index);
+    tryAdmitJobs();
+}
+
+void
+ServingCluster::tryAdmitJobs()
+{
+    // FIFO over the non-replica devices: the serving cluster keeps
+    // admission simple — policy studies belong to cluster/Cluster.
+    while (!_jobQueue.empty()) {
+        const std::size_t index = _jobQueue.front();
+        const JobOutcome &outcome = _jobOutcomes[index];
+        if (outcome.spec.devices
+                > static_cast<int>(_freeTrainDevices.size())
+            || (outcome.poolBytes > 0
+                && !_pool->canAllocate(outcome.poolBytes)))
+            break;
+        _jobQueue.pop_front();
+        startJob(index);
+    }
+}
+
+void
+ServingCluster::startJob(std::size_t index)
+{
+    const JobSpec &spec = _cfg.trainingJobs[index];
+    JobOutcome &outcome = _jobOutcomes[index];
+
+    ActiveJob active;
+    if (outcome.poolBytes > 0) {
+        auto block = _pool->allocate(outcome.poolBytes);
+        if (!block)
+            panic("admitted %s but the pool cannot place %s",
+                  spec.label().c_str(),
+                  formatBytes(static_cast<double>(
+                      outcome.poolBytes)).c_str());
+        active.block = *block;
+        active.hasBlock = true;
+    }
+
+    auto it = _freeTrainDevices.begin();
+    for (int d = 0; d < spec.devices; ++d)
+        outcome.devices.push_back(*it++);
+    for (int d : outcome.devices)
+        _freeTrainDevices.erase(d);
+    outcome.startSec = ticksToSeconds(_eq.now());
+
+    active.net = _networks.network(spec.workload);
+    active.session = std::make_unique<TrainingSession>(
+        *_system, *active.net, spec.mode, spec.batch,
+        spec.pipelineStages, spec.microbatches, outcome.devices);
+    active.remainingIterations = spec.iterations;
+    _activeJobs.emplace(index, std::move(active));
+
+    if (_cfg.progress)
+        inform("t=%.4fs start %s beside %zu serving replicas",
+               outcome.startSec, spec.label().c_str(),
+               _replicas.size());
+    stepJob(index);
+}
+
+void
+ServingCluster::stepJob(std::size_t index)
+{
+    ActiveJob &active = _activeJobs.at(index);
+    active.session->startIteration(
+        [this, index](const IterationResult &result) {
+            ActiveJob &job = _activeJobs.at(index);
+            _jobOutcomes[index].lastIteration = result;
+            if (--job.remainingIterations > 0) {
+                stepJob(index);
+                return;
+            }
+            finishJob(index);
+        });
+}
+
+void
+ServingCluster::finishJob(std::size_t index)
+{
+    JobOutcome &outcome = _jobOutcomes[index];
+    outcome.finishSec = ticksToSeconds(_eq.now());
+    outcome.completed = true;
+    if (_cfg.progress)
+        inform("t=%.4fs finish %s (JCT %.3fs)", outcome.finishSec,
+               outcome.spec.label().c_str(), outcome.jctSec());
+    _eq.schedule(_eq.now(), [this, index] { cleanupJob(index); },
+                 "job_cleanup");
+}
+
+void
+ServingCluster::cleanupJob(std::size_t index)
+{
+    auto it = _activeJobs.find(index);
+    if (it == _activeJobs.end())
+        panic("cleanup of job %zu which is not active", index);
+    it->second.session->releaseBuffers();
+    for (int d : _jobOutcomes[index].devices)
+        _freeTrainDevices.insert(d);
+    if (it->second.hasBlock)
+        _pool->release(it->second.block);
+    _activeJobs.erase(it);
+    tryAdmitJobs();
+}
+
+// ------------------------------------------------------------- report
+
+std::size_t
+ServingReport::completedRequests() const
+{
+    std::size_t n = 0;
+    for (const RequestOutcome &outcome : requests)
+        if (outcome.completed)
+            ++n;
+    return n;
+}
+
+std::size_t
+ServingReport::droppedRequests() const
+{
+    std::size_t n = 0;
+    for (const RequestOutcome &outcome : requests)
+        if (outcome.dropped)
+            ++n;
+    return n;
+}
+
+double
+ServingReport::meanLatencyMs() const
+{
+    double total = 0.0;
+    std::size_t n = 0;
+    for (const RequestOutcome &outcome : requests) {
+        if (!outcome.completed)
+            continue;
+        total += outcome.latencySec();
+        ++n;
+    }
+    return n > 0 ? total * 1e3 / static_cast<double>(n) : 0.0;
+}
+
+double
+ServingReport::latencyPercentileMs(double p) const
+{
+    std::vector<double> latencies;
+    for (const RequestOutcome &outcome : requests)
+        if (outcome.completed)
+            latencies.push_back(outcome.latencySec() * 1e3);
+    return percentile(std::move(latencies), p);
+}
+
+double
+ServingReport::sloViolationRate() const
+{
+    std::size_t violated = 0;
+    std::size_t n = 0;
+    for (const RequestOutcome &outcome : requests) {
+        if (!outcome.completed)
+            continue;
+        ++n;
+        if (!outcome.sloMet(sloSec))
+            ++violated;
+    }
+    return n > 0 ? static_cast<double>(violated)
+            / static_cast<double>(n)
+                 : 0.0;
+}
+
+double
+ServingReport::throughputRps() const
+{
+    return makespanSec > 0.0
+        ? static_cast<double>(completedRequests()) / makespanSec
+        : 0.0;
+}
+
+double
+ServingReport::meanBatchSamples() const
+{
+    std::int64_t samples = 0;
+    std::int64_t batches = 0;
+    for (const ReplicaStats &stats : replicas) {
+        samples += stats.samplesServed;
+        batches += stats.batches;
+    }
+    return batches > 0 ? static_cast<double>(samples)
+            / static_cast<double>(batches)
+                       : 0.0;
+}
+
+const std::vector<std::string> &
+ServingReport::requestColumns()
+{
+    static const std::vector<std::string> columns = {
+        "request",    "arrival_s", "samples",    "replica",
+        "queue_ms",   "service_ms", "latency_ms", "batch",
+        "compute_ms", "paging_ms", "slo_met",    "status"};
+    return columns;
+}
+
+std::vector<ReportValue>
+ServingReport::requestRow(const RequestOutcome &outcome,
+                          double slo_sec)
+{
+    const char *status = outcome.dropped
+        ? "dropped"
+        : (outcome.completed ? "completed" : "incomplete");
+    const bool done = outcome.completed;
+    return {outcome.request.name,
+            outcome.request.arrivalSec,
+            static_cast<std::int64_t>(outcome.request.samples),
+            static_cast<std::int64_t>(outcome.replica),
+            done ? outcome.queueSec() * 1e3 : 0.0,
+            done ? outcome.serviceSec() * 1e3 : 0.0,
+            done ? outcome.latencySec() * 1e3 : 0.0,
+            static_cast<std::int64_t>(outcome.batchSamples),
+            done ? outcome.computeSec * 1e3 : 0.0,
+            done ? outcome.pagingSec * 1e3 : 0.0,
+            static_cast<std::int64_t>(outcome.sloMet(slo_sec) ? 1 : 0),
+            std::string(status)};
+}
+
+ResultSet
+ServingReport::requestTable() const
+{
+    ResultSet table(requestColumns());
+    for (const RequestOutcome &outcome : requests)
+        table.addRow(requestRow(outcome, sloSec));
+    return table;
+}
+
+const std::vector<std::string> &
+ServingReport::replicaColumns()
+{
+    static const std::vector<std::string> columns = {
+        "replica",   "device",          "batches",
+        "samples",   "mean_batch",      "busy_s",
+        "utilization", "ewma_ms_per_sample", "peak_queue_samples"};
+    return columns;
+}
+
+ResultSet
+ServingReport::replicaTable() const
+{
+    ResultSet table(replicaColumns());
+    for (std::size_t r = 0; r < replicas.size(); ++r) {
+        const ReplicaStats &stats = replicas[r];
+        table.addRow({static_cast<std::int64_t>(r),
+                      static_cast<std::int64_t>(stats.device),
+                      static_cast<std::int64_t>(stats.batches),
+                      stats.samplesServed,
+                      stats.meanBatchSamples(),
+                      stats.busySec,
+                      makespanSec > 0.0 ? stats.busySec / makespanSec
+                                        : 0.0,
+                      stats.ewmaPerSampleSec * 1e3,
+                      static_cast<std::int64_t>(
+                          stats.peakQueueSamples)});
+    }
+    return table;
+}
+
+} // namespace mcdla

@@ -18,7 +18,8 @@ TrainingSession::TrainingSession(System &system, const Network &net,
                                  ParallelMode mode,
                                  std::int64_t global_batch,
                                  int pipeline_stages, int microbatches,
-                                 std::vector<int> device_set)
+                                 std::vector<int> device_set,
+                                 bool forward_only)
     : _system(system), _net(net), _deviceSet(std::move(device_set)),
       _strategy(net, mode,
                 _deviceSet.empty()
@@ -29,6 +30,10 @@ TrainingSession::TrainingSession(System &system, const Network &net,
                                system.config().device}),
       _plan(net, system.config().offloadPolicy())
 {
+    _forwardOnly = forward_only;
+    if (_forwardOnly && _strategy.isPipeline())
+        fatal("forward-only sessions support dp/mp only (serving "
+              "replicas do not pipeline)");
     const int total = _system.numDevices();
     if (_deviceSet.empty()) {
         for (int d = 0; d < total; ++d)
@@ -127,6 +132,13 @@ TrainingSession::buildSchedule()
         _ops.push_back(std::move(op));
         _pagingSchedule.push_back(std::move(access));
     }
+
+    // Inference stops here: no backward pass, no weight updates, no dW
+    // all-reduce. The forward ops above keep their produces/writeback
+    // actions, so a serving replica still drives real paging DMA; its
+    // stashes are never read back — the session is torn down per batch.
+    if (_forwardOnly)
+        return;
 
     // Backward pass in reverse topological order.
     const auto &topo = _net.topoOrder();

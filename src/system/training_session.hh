@@ -156,11 +156,18 @@ class TrainingSession
      *        ring over the owned subset (restrictRingToDevices) but
      *        still traverse the full physical loop, so co-located
      *        jobs' traffic contends on the shared channels.
+     * @param forward_only Inference mode (the serving path): the device
+     *        programs stop after the forward pass — no backward ops, no
+     *        weight updates, no dW all-reduce — but offloaded stashes
+     *        still page out through the backing store, so a serving
+     *        replica's writeback DMA contends on the real channels.
+     *        Only the dp/mp SPMD modes support it.
      */
     TrainingSession(System &system, const Network &net, ParallelMode mode,
                     std::int64_t global_batch, int pipeline_stages = 0,
                     int microbatches = 1,
-                    std::vector<int> device_set = {});
+                    std::vector<int> device_set = {},
+                    bool forward_only = false);
 
     const ParallelStrategy &strategy() const { return _strategy; }
     const OffloadPlan &plan() const { return _plan; }
@@ -312,6 +319,8 @@ class TrainingSession
     std::vector<int> _deviceSet;
     /// Whole-machine session (uses the fabric's rings verbatim).
     bool _ownsAllDevices = true;
+    /// Inference mode: forward pass only (see the constructor).
+    bool _forwardOnly = false;
     ParallelStrategy _strategy;
     OffloadPlan _plan;
     /// Restricted collective rings of a subset session (and the

@@ -49,4 +49,35 @@ sampleJobMix(const std::vector<JobTemplate> &mix, Random &rng)
     return mix.back();
 }
 
+const std::vector<RequestTemplate> &
+defaultRequestMix()
+{
+    // Online-inference size distribution: interactive traffic is
+    // dominated by single-sample queries; a minority of clients ship
+    // small micro-batches (speculative decoding, ensemble front-ends).
+    static const std::vector<RequestTemplate> mix = {
+        {1, 8.0},
+        {2, 2.0},
+        {4, 1.0},
+    };
+    return mix;
+}
+
+const RequestTemplate &
+sampleRequestMix(const std::vector<RequestTemplate> &mix, Random &rng)
+{
+    if (mix.empty())
+        fatal("request mix catalog is empty");
+    double total = 0.0;
+    for (const RequestTemplate &t : mix)
+        total += t.weight;
+    double draw = rng.uniform() * total;
+    for (const RequestTemplate &t : mix) {
+        draw -= t.weight;
+        if (draw <= 0.0)
+            return t;
+    }
+    return mix.back();
+}
+
 } // namespace mcdla

@@ -46,6 +46,25 @@ const std::vector<JobTemplate> &defaultJobMix();
 const JobTemplate &sampleJobMix(const std::vector<JobTemplate> &mix,
                                 Random &rng);
 
+/** One inference request size of the mix, with its sampling weight. */
+struct RequestTemplate
+{
+    /** Samples the request carries (a client-side micro-batch). */
+    int samples;
+    double weight;
+};
+
+/**
+ * The default inference request-size catalog: mostly single-sample
+ * queries with a tail of small client-side micro-batches, the shape
+ * that makes server-side batch coalescing worth measuring.
+ */
+const std::vector<RequestTemplate> &defaultRequestMix();
+
+/** Draw one request template, weight-proportionally, from @p mix. */
+const RequestTemplate &
+sampleRequestMix(const std::vector<RequestTemplate> &mix, Random &rng);
+
 } // namespace mcdla
 
 #endif // MCDLA_WORKLOADS_JOB_MIX_HH

@@ -8,7 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "core/experiment.hh"
+#include "core/scenario.hh"
+#include "serving/request.hh"
 #include "system/training_session.hh"
 #include "workloads/synthetic.hh"
 
@@ -116,6 +120,71 @@ TEST_P(SyntheticFuzz, IterationIsReproducible)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SyntheticFuzz,
                          ::testing::Range<std::uint64_t>(1, 25));
+
+class ServingFuzz : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ServingFuzz, SeededStreamsRoundTripThroughTraceText)
+{
+    // Every arrival process, fuzzed rates and counts: the trace text
+    // of a synthesized stream must parse back bit-identically (names,
+    // double-precision arrivals, sample counts), in arrival order.
+    Random pick(GetParam() * 131 + 7);
+    const ArrivalKind kind = allArrivalKinds()[pick.below(
+        allArrivalKinds().size())];
+    const int count = 8 + static_cast<int>(pick.below(56));
+    const double rate =
+        50.0 + static_cast<double>(pick.below(9000));
+
+    Random rng(GetParam());
+    const auto stream = synthesizeRequests(count, rate, kind, rng);
+
+    std::ostringstream text;
+    for (const Request &request : stream)
+        text << requestLine(request) << '\n';
+    std::istringstream in(text.str());
+    const auto parsed = parseRequestTrace(in);
+
+    ASSERT_EQ(parsed.size(), stream.size());
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        EXPECT_EQ(parsed[i].name, stream[i].name);
+        EXPECT_EQ(parsed[i].arrivalSec, stream[i].arrivalSec);
+        EXPECT_EQ(parsed[i].samples, stream[i].samples);
+    }
+}
+
+TEST_P(ServingFuzz, ServingScenarioLabelsNameTheirKnobs)
+{
+    // Fuzzed serving knob combinations: the label must carry every
+    // non-default serve-block token it claims to round-trip.
+    Random pick(GetParam() * 263 + 11);
+    Scenario sc;
+    sc.workload = "VGG-E";
+    sc.serve = true;
+    sc.replicas = 1 + static_cast<int>(pick.below(8));
+    sc.batchPolicy =
+        allBatchPolicies()[pick.below(allBatchPolicies().size())];
+    sc.router = allRouters()[pick.below(allRouters().size())];
+    sc.arrivals =
+        allArrivalKinds()[pick.below(allArrivalKinds().size())];
+    sc.sloMs = 5.0 + static_cast<double>(pick.below(200));
+    sc.requestRate = 100.0 + static_cast<double>(pick.below(8000));
+
+    const std::string label = sc.label();
+    EXPECT_NE(label.find("/serve/r" + std::to_string(sc.replicas)),
+              std::string::npos)
+        << label;
+    EXPECT_NE(label.find(batchPolicyToken(sc.batchPolicy)),
+              std::string::npos);
+    EXPECT_NE(label.find(routerToken(sc.router)), std::string::npos);
+    if (sc.arrivals != ArrivalKind::Poisson) {
+        EXPECT_NE(label.find(arrivalKindToken(sc.arrivals)),
+                  std::string::npos);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServingFuzz,
+                         ::testing::Range<std::uint64_t>(1, 17));
 
 } // anonymous namespace
 } // namespace mcdla

@@ -20,6 +20,16 @@
  * emits the per-job ClusterReport rows and --pool-csv the pool
  * occupancy/fragmentation timeline.
  *
+ * --serve switches to the inference-serving mode: --replicas model
+ * replicas of --workload answer an open-loop request stream (from
+ * --request-trace, or --requests synthetic arrivals at --request-rate
+ * under --arrivals, seeded by --seed), coalesced by --batch-policy
+ * (capped at --batch samples), routed by --router against an --slo-ms
+ * objective. A --job-trace co-locates training jobs on the remaining
+ * devices so serving-under-training interference is measured. --csv
+ * emits the per-request rows, --replica-csv the per-replica
+ * utilization table.
+ *
  * The interconnect is a sweep axis of its own: --topology rewires the
  * memory-centric node set through the generic Topology generators
  * (ring, full-switch, 2-D mesh/torus, fat-tree; --list-topologies
@@ -71,7 +81,14 @@ main(int argc, char **argv)
                    "synthetic job arrival rate, jobs/sec (--cluster)");
     opts.addString("job-trace", "",
                    "job trace file (key=value lines; overrides the "
-                   "synthetic stream)");
+                   "synthetic stream; with --serve: co-located "
+                   "training jobs)");
+    opts.addString("request-trace", "",
+                   "request trace file (key=value lines; overrides "
+                   "the synthetic stream; --serve)");
+    opts.addString("replica-csv", "",
+                   "write the per-replica serving utilization table "
+                   "to this CSV file (--serve)");
     opts.addString("pool-csv", "",
                    "write the cluster pool timeline to this CSV file");
     opts.addString("csv", "", "write result rows to this CSV file");
@@ -89,6 +106,11 @@ main(int argc, char **argv)
                  "print the supported system designs and exit");
     opts.addFlag("list-topologies",
                  "print the interconnect topology catalog and exit");
+    opts.addFlag("list-schedulers",
+                 "print the cluster scheduler catalog and exit");
+    opts.addFlag("list-batch-policies",
+                 "print the serving batch-policy and router catalogs "
+                 "and exit");
     opts.addFlag("quiet", "suppress informational output");
 
     if (!opts.parse(argc, argv, std::cerr))
@@ -164,10 +186,156 @@ main(int argc, char **argv)
                      "to pick the collective algorithm).\n";
         return 0;
     }
+    if (opts.getFlag("list-schedulers")) {
+        TablePrinter table({"Token", "Scheduler"});
+        for (SchedulerKind kind : allSchedulers())
+            table.addRow({schedulerToken(kind),
+                          schedulerDescription(kind)});
+        table.print(std::cout);
+        std::cout << "\nUse --scheduler <token> with --cluster.\n";
+        return 0;
+    }
+    if (opts.getFlag("list-batch-policies")) {
+        TablePrinter policies({"Token", "Batch policy"});
+        for (BatchPolicyKind kind : allBatchPolicies())
+            policies.addRow({batchPolicyToken(kind),
+                             batchPolicyDescription(kind)});
+        policies.print(std::cout);
+        std::cout << '\n';
+        TablePrinter routers({"Token", "Router"});
+        for (RouterKind kind : allRouters())
+            routers.addRow({routerToken(kind),
+                            routerDescription(kind)});
+        routers.print(std::cout);
+        std::cout << "\nUse --batch-policy/--router <token> with "
+                     "--serve.\n";
+        return 0;
+    }
     if (opts.getFlag("quiet"))
         LogConfig::verbose = false;
 
     const Scenario prototype = Scenario::fromOptions(opts);
+
+    if (prototype.serve) {
+        if (opts.getFlag("cluster"))
+            fatal("--serve and --cluster are mutually exclusive");
+        if (!opts.getString("channel-csv").empty())
+            warn("--channel-csv applies to single-machine sweeps; "
+                 "ignoring it in --serve mode");
+        ServingConfig cfg;
+        cfg.base = prototype;
+        cfg.allocator =
+            parsePoolAllocator(opts.getString("allocator"));
+        cfg.progress = LogConfig::verbose;
+        if (!opts.getString("job-trace").empty())
+            cfg.trainingJobs =
+                loadJobTrace(opts.getString("job-trace"));
+
+        std::vector<Request> stream;
+        if (!opts.getString("request-trace").empty()) {
+            stream = loadRequestTrace(opts.getString("request-trace"));
+        } else {
+            Random rng(prototype.seed);
+            stream = synthesizeRequests(
+                static_cast<int>(prototype.requests),
+                prototype.requestRate, prototype.arrivals, rng);
+        }
+
+        ServingCluster serving(cfg, std::move(stream));
+        const ServingReport report = serving.run();
+
+        std::cout << systemDesignName(prototype.design) << " serving, "
+                  << prototype.workload << " x" << prototype.replicas
+                  << " replicas (max batch " << prototype.globalBatch
+                  << "), " << batchPolicyToken(report.batchPolicy)
+                  << " batching, " << routerToken(report.router)
+                  << " router, SLO " << prototype.sloMs << " ms";
+        if (!report.trainingJobs.empty())
+            std::cout << ", " << report.trainingJobs.size()
+                      << " co-located training job"
+                      << (report.trainingJobs.size() == 1 ? "" : "s");
+        std::cout << "\n\n";
+
+        TablePrinter table({"Replica", "Device", "Batches", "Samples",
+                            "MeanBatch", "Busy(s)", "Util",
+                            "EWMA(ms/sample)", "PeakQueue"});
+        for (std::size_t r = 0; r < report.replicas.size(); ++r) {
+            const ReplicaStats &stats = report.replicas[r];
+            table.addRow(
+                {std::to_string(r), std::to_string(stats.device),
+                 std::to_string(stats.batches),
+                 std::to_string(stats.samplesServed),
+                 TablePrinter::num(stats.meanBatchSamples(), 2),
+                 TablePrinter::num(stats.busySec, 3),
+                 TablePrinter::num(report.makespanSec > 0.0
+                                       ? stats.busySec
+                                           / report.makespanSec
+                                       : 0.0,
+                                   3),
+                 TablePrinter::num(stats.ewmaPerSampleSec * 1e3, 3),
+                 std::to_string(stats.peakQueueSamples)});
+        }
+        table.print(std::cout);
+
+        std::cout << '\n'
+                  << report.completedRequests() << '/'
+                  << report.requests.size() << " requests completed ("
+                  << report.droppedRequests()
+                  << " shed); throughput "
+                  << TablePrinter::num(report.throughputRps(), 1)
+                  << " req/s, mean batch "
+                  << TablePrinter::num(report.meanBatchSamples(), 2)
+                  << " samples, makespan "
+                  << TablePrinter::num(report.makespanSec, 3)
+                  << " s\nlatency: mean "
+                  << TablePrinter::num(report.meanLatencyMs(), 2)
+                  << " ms, p50 "
+                  << TablePrinter::num(
+                         report.latencyPercentileMs(50.0), 2)
+                  << " ms, p95 "
+                  << TablePrinter::num(
+                         report.latencyPercentileMs(95.0), 2)
+                  << " ms, p99 "
+                  << TablePrinter::num(
+                         report.latencyPercentileMs(99.0), 2)
+                  << " ms; SLO violations "
+                  << TablePrinter::num(
+                         report.sloViolationRate() * 100.0, 1)
+                  << "%\n";
+        for (const JobOutcome &job : report.trainingJobs) {
+            std::cout << "training " << job.spec.name << " ("
+                      << job.spec.workload << ", "
+                      << job.spec.devices << " devs): ";
+            if (job.completed)
+                std::cout << "JCT "
+                          << TablePrinter::num(job.jctSec(), 3)
+                          << " s, slowdown "
+                          << TablePrinter::num(job.slowdown(), 2)
+                          << '\n';
+            else
+                std::cout << (job.rejected ? "rejected"
+                                           : "incomplete")
+                          << '\n';
+        }
+
+        if (!opts.getString("csv").empty()) {
+            std::ofstream out(opts.getString("csv"));
+            report.requestTable().writeCsv(out);
+            std::cout << "\nwrote " << opts.getString("csv") << '\n';
+        }
+        if (!opts.getString("json").empty()) {
+            std::ofstream out(opts.getString("json"));
+            report.requestTable().writeJson(out);
+            std::cout << "wrote " << opts.getString("json") << '\n';
+        }
+        if (!opts.getString("replica-csv").empty()) {
+            std::ofstream out(opts.getString("replica-csv"));
+            report.replicaTable().writeCsv(out);
+            std::cout << "wrote " << opts.getString("replica-csv")
+                      << '\n';
+        }
+        return 0;
+    }
 
     if (opts.getFlag("cluster")) {
         if (!opts.getString("channel-csv").empty())
@@ -229,7 +397,13 @@ main(int argc, char **argv)
         std::cout << '\n'
                   << report.completedJobs() << '/' << report.jobs.size()
                   << " jobs completed; mean JCT "
-                  << report.meanJctSec() << " s, mean queue "
+                  << report.meanJctSec() << " s (p50 "
+                  << TablePrinter::num(report.jctPercentileSec(50.0), 3)
+                  << ", p95 "
+                  << TablePrinter::num(report.jctPercentileSec(95.0), 3)
+                  << ", p99 "
+                  << TablePrinter::num(report.jctPercentileSec(99.0), 3)
+                  << "), mean queue "
                   << report.meanQueueSec() << " s, makespan "
                   << report.makespanSec << " s\npool: peak "
                   << report.peakPoolUtilization() * 100.0
