@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 #include "system/analytic_model.hh"
 #include "vmem/offload_plan.hh"
 
@@ -221,6 +222,32 @@ Cluster::run()
         fatal("a Cluster can only run once");
     _ran = true;
 
+    if (_cfg.profiler != nullptr)
+        _eq.setProfiler(_cfg.profiler);
+    if (_cfg.trace != nullptr)
+        _system->collectives().setTraceSink(_cfg.trace);
+    if (_cfg.metrics != nullptr) {
+        registerSystemMetrics(*_cfg.metrics, *_system);
+        _cfg.metrics->add("pool.used_gib", [this] {
+            return static_cast<double>(_pool->usedBytes())
+                / (1024.0 * 1024.0 * 1024.0);
+        });
+        _cfg.metrics->add("pool.frag",
+                          [this] { return _pool->fragmentation(); });
+        _cfg.metrics->add("cluster.busy_devices", [this] {
+            return static_cast<double>(
+                _system->numDevices()
+                - static_cast<int>(_freeDevices.size()));
+        });
+        _cfg.metrics->add("cluster.queued_jobs", [this] {
+            return static_cast<double>(_queue.size());
+        });
+        _cfg.metrics->add("cluster.running_jobs", [this] {
+            return static_cast<double>(_active.size());
+        });
+        _cfg.metrics->start(_eq);
+    }
+
     for (std::size_t i = 0; i < _specs.size(); ++i) {
         _eq.schedule(secondsToTicks(_specs[i].arrivalSec),
                      [this, i] { onArrival(i); }, "job_arrival");
@@ -290,6 +317,10 @@ Cluster::onArrival(std::size_t index)
              "demand) cannot ever run on this machine",
              spec.label().c_str(), spec.devices,
              formatBytes(static_cast<double>(demand)).c_str());
+        if (_cfg.trace != nullptr)
+            _cfg.trace->addInstant("cluster", "rejected",
+                                   "reject " + spec.label(), _eq.now(),
+                                   "job");
         return;
     }
 
@@ -379,6 +410,24 @@ Cluster::startJob(std::size_t queue_pos)
         *_system, *active.net, spec.mode, spec.batch,
         spec.pipelineStages, spec.microbatches, outcome.devices);
     active.remainingIterations = spec.iterations;
+    active.startTick = _eq.now();
+    if (_cfg.trace != nullptr) {
+        // Per-job track on the "cluster" process: the queueing span
+        // closes here, the running span closes at finishJob(), and a
+        // flow arrow links admission to the job's first compute op.
+        active.traceTrack =
+            "job" + std::to_string(index) + " " + spec.name;
+        const Tick arrival = secondsToTicks(spec.arrivalSec);
+        if (_eq.now() > arrival)
+            _cfg.trace->addSpan("cluster", active.traceTrack,
+                                "queued " + spec.label(), arrival,
+                                _eq.now() - arrival, "queue");
+        active.session->setTraceSink(_cfg.trace);
+        const std::uint64_t flow = _cfg.trace->newFlow();
+        _cfg.trace->flowBegin("cluster", active.traceTrack, "dispatch",
+                              _eq.now(), flow, "job");
+        active.session->setIterationFlow(flow);
+    }
     _active.emplace(index, std::move(active));
 
     if (_cfg.progress)
@@ -412,6 +461,13 @@ Cluster::finishJob(std::size_t index)
     JobOutcome &outcome = _outcomes[index];
     outcome.finishSec = ticksToSeconds(_eq.now());
     outcome.completed = true;
+    if (_cfg.trace != nullptr) {
+        const ActiveJob &job = _active.at(index);
+        _cfg.trace->addSpan("cluster", job.traceTrack,
+                            "run " + outcome.spec.label(),
+                            job.startTick, _eq.now() - job.startTick,
+                            "job");
+    }
     if (_cfg.progress)
         inform("t=%.3fs finish %s (JCT %.3fs, queued %.3fs)",
                outcome.finishSec, outcome.spec.label().c_str(),

@@ -98,6 +98,26 @@ struct ClusterConfig
     JobPlacement placement = JobPlacement::First;
     /** inform() on every admission/completion. */
     bool progress = false;
+
+    /// @name Observability (all optional; owned by the caller)
+    /// @{
+    /**
+     * Chrome-tracing sink: job lifecycle spans on the "cluster"
+     * process (one track per job: a "queue" span from arrival to
+     * start and a "job" span from start to finish), rejected-job
+     * instants, plus every admitted session's compute/DMA/collective
+     * spans and admit->first-op dispatch flows.
+     */
+    TraceSink *trace = nullptr;
+    /**
+     * Metric time-series: registerSystemMetrics() gauges plus pool
+     * occupancy/fragmentation and queued/running job-count gauges,
+     * sampled periodically for the whole run.
+     */
+    MetricRegistry *metrics = nullptr;
+    /** DES wall-clock profiler attached to the cluster's EventQueue. */
+    DesProfiler *profiler = nullptr;
+    /// @}
 };
 
 /** Final state of one submitted job. */
@@ -244,6 +264,10 @@ class Cluster
         PoolBlock block;
         bool hasBlock = false;
         int remainingIterations = 0;
+        /** Admission tick (trace span anchor). */
+        Tick startTick = 0;
+        /** Per-job trace track on the "cluster" process. */
+        std::string traceTrack;
     };
 
     std::uint64_t computePoolCapacity() const;

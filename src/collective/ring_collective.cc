@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace mcdla
 {
@@ -175,6 +176,21 @@ CollectiveEngine::runOnRing(const RingPath &ring, CollectiveKind kind,
         return;
     }
 
+    // When tracing, wrap the per-ring completion in a span emitter:
+    // one "rings"-track span per logical ring per operation.
+    std::shared_ptr<Handler> completion = ring_done;
+    if (_trace) {
+        const Tick launched = now();
+        const std::string label = std::string(collectiveKindName(kind))
+            + " ring x" + std::to_string(stages);
+        completion = std::make_shared<Handler>(
+            [this, launched, label, ring_done] {
+                _trace->addSpan("collective", "rings", label, launched,
+                                now() - launched, "sync");
+                (*ring_done)();
+            });
+    }
+
     int blocks = 0;
     int hops = 0;
     double block_bytes = 0.0;
@@ -210,7 +226,7 @@ CollectiveEngine::runOnRing(const RingPath &ring, CollectiveKind kind,
             const double this_chunk = std::min(_cfg.chunkBytes, left);
             left -= this_chunk;
             forwardChunk(ring, start, hops, this_chunk, outstanding,
-                         ring_done);
+                         completion);
         }
     }
 }
@@ -281,15 +297,28 @@ CollectiveEngine::runRounds(std::shared_ptr<std::vector<Round>> rounds,
     }
     const Round &round = (*rounds)[index];
     auto outstanding = std::make_shared<std::size_t>(round.size());
+    const Tick launched = now();
     for (const auto &[src, dst] : round) {
         Route route = _fabric.deviceRoute(src, dst);
         if (!route.valid())
             fatal("%s: no route from device %d to device %d for a "
                   "tree collective round", name().c_str(), src, dst);
         sendFlow({std::move(route)}, bytes, _cfg.chunkBytes,
-                 [this, rounds, index, bytes, done, outstanding] {
-                     if (--*outstanding == 0)
-                         runRounds(rounds, index + 1, bytes, done);
+                 [this, rounds, index, bytes, done, outstanding,
+                  launched] {
+                     if (--*outstanding != 0)
+                         return;
+                     if (_trace) {
+                         const std::string label = "round "
+                             + std::to_string(index + 1) + "/"
+                             + std::to_string(rounds->size()) + " ("
+                             + std::to_string((*rounds)[index].size())
+                             + " xfer)";
+                         _trace->addSpan("collective", "rounds", label,
+                                         launched, now() - launched,
+                                         "sync");
+                     }
+                     runRounds(rounds, index + 1, bytes, done);
                  });
     }
 }

@@ -32,6 +32,8 @@
 namespace mcdla
 {
 
+class TraceSink;
+
 /** Collective operation kinds used in DL training (Figure 4). */
 enum class CollectiveKind
 {
@@ -145,6 +147,13 @@ class CollectiveEngine : public SimObject
     /** Selected algorithm family. */
     CollectiveAlgorithm algorithm() const { return _cfg.algorithm; }
 
+    /**
+     * Attach a Chrome-tracing sink (nullptr detaches): per-ring spans
+     * (ring algorithm) and per-round spans (tree/hierarchical) are
+     * emitted on the "collective" process, category "sync".
+     */
+    void setTraceSink(TraceSink *sink) { _trace = sink; }
+
   private:
     /** One barrier-synchronized transfer round: (src, dst) devices. */
     using Round = std::vector<std::pair<int, int>>;
@@ -194,6 +203,7 @@ class CollectiveEngine : public SimObject
     CollectiveConfig _cfg;
     double _bytesLaunched = 0.0;
     std::uint64_t _opsCompleted = 0;
+    TraceSink *_trace = nullptr;
 };
 
 /**

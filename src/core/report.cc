@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <iomanip>
 
+#include "sim/json.hh"
 #include "sim/logging.hh"
 #include "system/system.hh"
 #include "system/training_session.hh"
@@ -108,30 +109,7 @@ void
 ResultSet::emitJsonValue(std::ostream &os, const ReportValue &v)
 {
     if (std::holds_alternative<std::string>(v)) {
-        os << '"';
-        for (char c : std::get<std::string>(v)) {
-            switch (c) {
-              case '"': os << "\\\""; break;
-              case '\\': os << "\\\\"; break;
-              case '\n': os << "\\n"; break;
-              case '\r': os << "\\r"; break;
-              case '\t': os << "\\t"; break;
-              case '\b': os << "\\b"; break;
-              case '\f': os << "\\f"; break;
-              default:
-                if (static_cast<unsigned char>(c) < 0x20) {
-                    // Remaining control characters need \uXXXX form.
-                    char buf[8];
-                    std::snprintf(buf, sizeof(buf), "\\u%04x",
-                                  static_cast<unsigned>(
-                                      static_cast<unsigned char>(c)));
-                    os << buf;
-                } else {
-                    os << c;
-                }
-            }
-        }
-        os << '"';
+        jsonString(os, std::get<std::string>(v));
     } else if (std::holds_alternative<double>(v)) {
         const double d = std::get<double>(v);
         // JSON has no NaN/Infinity literals; emit null (RFC 8259).
@@ -202,6 +180,26 @@ appendChannelUsageRows(ResultSet &table, const std::string &label,
                       static_cast<std::int64_t>(
                           usage.peakQueueDepth)});
     }
+}
+
+ResultSet
+metricsTable(const MetricRegistry &metrics)
+{
+    std::vector<std::string> columns;
+    columns.reserve(metrics.names().size() + 1);
+    columns.push_back("time_s");
+    for (const std::string &name : metrics.names())
+        columns.push_back(name);
+    ResultSet table(std::move(columns));
+    for (const MetricRegistry::Sample &sample : metrics.samples()) {
+        std::vector<ReportValue> row;
+        row.reserve(sample.values.size() + 1);
+        row.emplace_back(ticksToSeconds(sample.at));
+        for (const double v : sample.values)
+            row.emplace_back(v);
+        table.addRow(std::move(row));
+    }
+    return table;
 }
 
 } // namespace mcdla

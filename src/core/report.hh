@@ -19,6 +19,7 @@
 #include <variant>
 #include <vector>
 
+#include "sim/metrics.hh"
 #include "sim/trace.hh"
 #include "sim/units.hh"
 
@@ -95,6 +96,13 @@ void appendChannelUsageRows(ResultSet &table, const std::string &label,
                             const IterationResult &result);
 
 /// @}
+
+/**
+ * The MetricRegistry time-series as a ResultSet: a "time_s" column
+ * followed by one column per registered metric, one row per sample —
+ * the `--metrics-csv/--metrics-json` payload.
+ */
+ResultSet metricsTable(const MetricRegistry &metrics);
 
 } // namespace mcdla
 

@@ -11,11 +11,34 @@
 #include <set>
 #include <thread>
 
+#include "interconnect/channel.hh"
 #include "sim/logging.hh"
 #include "system/system.hh"
 
 namespace mcdla
 {
+
+void
+registerSystemMetrics(MetricRegistry &metrics, System &system)
+{
+    const double period_sec = ticksToSeconds(metrics.period());
+    for (Channel *ch : system.fabric().channels()) {
+        // Utilization of the sampling period via busy-tick deltas.
+        auto prev = std::make_shared<Tick>(ch->busyTicks());
+        metrics.add("chan." + ch->name() + ".util",
+                    [ch, prev, period_sec] {
+                        const Tick busy = ch->busyTicks();
+                        const Tick delta = busy - *prev;
+                        *prev = busy;
+                        return period_sec > 0.0
+                            ? ticksToSeconds(delta) / period_sec
+                            : 0.0;
+                    });
+    }
+    EventQueue &eq = system.eventQueue();
+    metrics.add("sim.pending_events",
+                [&eq] { return static_cast<double>(eq.pendingCount()); });
+}
 
 std::shared_ptr<const Network>
 Simulator::network(const std::string &workload)
@@ -58,12 +81,28 @@ Simulator::run(const Scenario &scenario, const Network &net,
                             scenario.globalBatch,
                             scenario.pipelineStages,
                             scenario.microbatches);
-    if (hooks.trace != nullptr)
+    if (hooks.trace != nullptr) {
         session.setTraceSink(hooks.trace);
+        system.collectives().setTraceSink(hooks.trace);
+    }
+    if (hooks.profiler != nullptr)
+        eq.setProfiler(hooks.profiler);
+    if (hooks.metrics != nullptr) {
+        registerSystemMetrics(*hooks.metrics, system);
+        hooks.metrics->add("hbm.resident_gib", [&session] {
+            return static_cast<double>(session.hbmResidentBytes())
+                / (1024.0 * 1024.0 * 1024.0);
+        });
+    }
 
     IterationResult result;
-    for (int i = 0; i < scenario.iterations; ++i)
+    for (int i = 0; i < scenario.iterations; ++i) {
+        // Arm (or re-arm) periodic sampling: the weak sampler event is
+        // discarded at every iteration's drain.
+        if (hooks.metrics != nullptr)
+            hooks.metrics->start(eq);
         result = session.run();
+    }
     if (hooks.stats != nullptr) {
         dumpSystemStats(system, *hooks.stats);
         session.dumpPagingStats(*hooks.stats);

@@ -24,10 +24,21 @@
 
 #include "core/report.hh"
 #include "core/scenario.hh"
+#include "sim/metrics.hh"
+#include "sim/profiler.hh"
 #include "system/training_session.hh"
 
 namespace mcdla
 {
+
+/**
+ * Register the standard machine-level gauges on @p metrics: one
+ * "chan.<name>.util" utilization gauge per fabric channel (fraction of
+ * the sampling period the link was busy, via busy-tick deltas) and a
+ * "sim.pending_events" queue-depth gauge. Subsystems layer their own
+ * gauges (pool occupancy, HBM residency, serving queues) on top.
+ */
+void registerSystemMetrics(MetricRegistry &metrics, System &system);
 
 /** One-call scenario execution with workload caching. */
 class Simulator
@@ -38,6 +49,13 @@ class Simulator
     {
         TraceSink *trace = nullptr;   ///< Chrome-tracing sink.
         std::ostream *stats = nullptr; ///< gem5-style stats dump.
+        /**
+         * Metric time-series: registerSystemMetrics() gauges are added
+         * and periodic sampling runs for the whole scenario.
+         */
+        MetricRegistry *metrics = nullptr;
+        /** DES wall-clock profiler attached to the run's EventQueue. */
+        DesProfiler *profiler = nullptr;
         /** Inspect the live System after the last iteration. */
         std::function<void(System &, const IterationResult &)> postRun;
     };

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 #include "system/analytic_model.hh"
 
 namespace mcdla
@@ -123,6 +124,44 @@ ServingCluster::run()
         fatal("a ServingCluster can only run once");
     _ran = true;
 
+    if (_cfg.profiler != nullptr)
+        _eq.setProfiler(_cfg.profiler);
+    if (_cfg.trace != nullptr)
+        _system->collectives().setTraceSink(_cfg.trace);
+    if (_cfg.metrics != nullptr) {
+        registerSystemMetrics(*_cfg.metrics, *_system);
+        _cfg.metrics->add("pool.used_gib", [this] {
+            return static_cast<double>(_pool->usedBytes())
+                / (1024.0 * 1024.0 * 1024.0);
+        });
+        _cfg.metrics->add("serve.queued_samples", [this] {
+            int total = 0;
+            for (const Replica &replica : _replicas)
+                total += replica.queuedSamples;
+            return static_cast<double>(total);
+        });
+        _cfg.metrics->add("serve.inflight_samples", [this] {
+            int total = 0;
+            for (const Replica &replica : _replicas)
+                total += replica.inflightSamples;
+            return static_cast<double>(total);
+        });
+        _cfg.metrics->add("serve.busy_replicas", [this] {
+            int busy = 0;
+            for (const Replica &replica : _replicas)
+                busy += replica.busy ? 1 : 0;
+            return static_cast<double>(busy);
+        });
+        for (std::size_t r = 0; r < _replicas.size(); ++r) {
+            _cfg.metrics->add(
+                "serve.r" + std::to_string(r) + ".queue", [this, r] {
+                    return static_cast<double>(
+                        _replicas[r].queuedSamples);
+                });
+        }
+        _cfg.metrics->start(_eq);
+    }
+
     for (std::size_t i = 0; i < _stream.size(); ++i) {
         _eq.schedule(secondsToTicks(_stream[i].arrivalSec),
                      [this, i] { onRequestArrival(i); },
@@ -216,8 +255,18 @@ ServingCluster::onRequestArrival(std::size_t index)
                    outcome.request.name.c_str(),
                    views[r].predictedLatencySec(samples) * 1e3,
                    _sloSec * 1e3);
+        if (_cfg.trace != nullptr)
+            _cfg.trace->addInstant("serving", "shed",
+                                   "shed " + outcome.request.name,
+                                   _eq.now(), "request");
     } else {
         outcome.replica = static_cast<int>(r);
+        if (_cfg.trace != nullptr)
+            _cfg.trace->asyncBegin("serving", "requests",
+                                   outcome.request.name,
+                                   static_cast<std::uint64_t>(index)
+                                       + 1,
+                                   _eq.now(), "request");
         Replica &replica = _replicas[r];
         replica.queue.push_back(index);
         replica.queuedSamples += samples;
@@ -303,12 +352,23 @@ ServingCluster::launchBatch(std::size_t r)
         _outcomes[index].dispatchSec = now;
     replica.busy = true;
     replica.batchStartSec = now;
+    replica.batchStartTick = _eq.now();
     replica.inflightSamples = batch_samples;
 
     replica.session = std::make_unique<TrainingSession>(
         *_system, *_net, ParallelMode::DataParallel, batch_samples,
         /*pipeline_stages=*/0, /*microbatches=*/1,
         std::vector<int>{replica.device}, /*forward_only=*/true);
+    if (_cfg.trace != nullptr) {
+        // A flow arrow links the batch span (emitted when it
+        // completes) to the batch's first compute op on the device.
+        replica.session->setTraceSink(_cfg.trace);
+        const std::uint64_t flow = _cfg.trace->newFlow();
+        _cfg.trace->flowBegin("serving",
+                              "replica" + std::to_string(r),
+                              "dispatch", _eq.now(), flow, "batch");
+        replica.session->setIterationFlow(flow);
+    }
     if (_cfg.progress)
         inform("t=%.4fs replica %d launches a %d-sample batch "
                "(%zu requests, %d queued behind)",
@@ -336,7 +396,21 @@ ServingCluster::onBatchDone(std::size_t r,
         outcome.computeSec = result.breakdown.computeSec;
         outcome.pagingSec = result.breakdown.vmemSec;
         outcome.completed = true;
+        if (_cfg.trace != nullptr)
+            _cfg.trace->asyncEnd("serving", "requests",
+                                 outcome.request.name,
+                                 static_cast<std::uint64_t>(index) + 1,
+                                 _eq.now(), "request");
     }
+    if (_cfg.trace != nullptr)
+        _cfg.trace->addSpan("serving", "replica" + std::to_string(r),
+                            "batch x" + std::to_string(batch_samples)
+                                + " (" + std::to_string(
+                                    replica.inflight.size())
+                                + " req)",
+                            replica.batchStartTick,
+                            _eq.now() - replica.batchStartTick,
+                            "batch");
 
     // Update the replica's observed service rate — the SLO-aware
     // router's whole signal. A short memory (alpha 0.5) tracks the
@@ -420,6 +494,10 @@ ServingCluster::onJobArrival(std::size_t index)
              spec.label().c_str(), spec.devices,
              formatBytes(static_cast<double>(demand)).c_str(),
              _replicas.size());
+        if (_cfg.trace != nullptr)
+            _cfg.trace->addInstant("serving", "rejected",
+                                   "reject " + spec.label(), _eq.now(),
+                                   "job");
         return;
     }
 
@@ -484,6 +562,21 @@ ServingCluster::startJob(std::size_t index)
         *_system, *active.net, spec.mode, spec.batch,
         spec.pipelineStages, spec.microbatches, outcome.devices);
     active.remainingIterations = spec.iterations;
+    active.startTick = _eq.now();
+    if (_cfg.trace != nullptr) {
+        active.traceTrack =
+            "job" + std::to_string(index) + " " + spec.name;
+        const Tick arrival = secondsToTicks(spec.arrivalSec);
+        if (_eq.now() > arrival)
+            _cfg.trace->addSpan("serving", active.traceTrack,
+                                "queued " + spec.label(), arrival,
+                                _eq.now() - arrival, "queue");
+        active.session->setTraceSink(_cfg.trace);
+        const std::uint64_t flow = _cfg.trace->newFlow();
+        _cfg.trace->flowBegin("serving", active.traceTrack, "dispatch",
+                              _eq.now(), flow, "job");
+        active.session->setIterationFlow(flow);
+    }
     _activeJobs.emplace(index, std::move(active));
 
     if (_cfg.progress)
@@ -515,6 +608,13 @@ ServingCluster::finishJob(std::size_t index)
     JobOutcome &outcome = _jobOutcomes[index];
     outcome.finishSec = ticksToSeconds(_eq.now());
     outcome.completed = true;
+    if (_cfg.trace != nullptr) {
+        const ActiveJob &job = _activeJobs.at(index);
+        _cfg.trace->addSpan("serving", job.traceTrack,
+                            "run " + outcome.spec.label(),
+                            job.startTick, _eq.now() - job.startTick,
+                            "job");
+    }
     if (_cfg.progress)
         inform("t=%.4fs finish %s (JCT %.3fs)", outcome.finishSec,
                outcome.spec.label().c_str(), outcome.jctSec());

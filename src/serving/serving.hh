@@ -76,6 +76,25 @@ struct ServingConfig
     std::vector<JobSpec> trainingJobs;
     /** inform() on every batch launch/completion. */
     bool progress = false;
+
+    /// @name Observability (all optional; owned by the caller)
+    /// @{
+    /**
+     * Chrome-tracing sink: async request spans (arrival to reply) on
+     * the "serving" process, per-replica batch spans, shed-request
+     * instants, batch->first-op dispatch flows, plus co-located
+     * training-job lifecycle spans mirroring cluster/Cluster.
+     */
+    TraceSink *trace = nullptr;
+    /**
+     * Metric time-series: registerSystemMetrics() gauges plus serving
+     * queue depth / in-flight samples / busy replicas and pool
+     * occupancy, sampled periodically for the whole run.
+     */
+    MetricRegistry *metrics = nullptr;
+    /** DES wall-clock profiler attached to the serving EventQueue. */
+    DesProfiler *profiler = nullptr;
+    /// @}
 };
 
 /** Final state of one submitted request. */
@@ -217,6 +236,8 @@ class ServingCluster
         std::vector<std::size_t> inflight;
         int inflightSamples = 0;
         double batchStartSec = 0.0;
+        /** Launch tick of the in-flight batch (trace span anchor). */
+        Tick batchStartTick = 0;
         std::unique_ptr<TrainingSession> session;
         PoolBlock block;
         bool hasBlock = false;
@@ -237,6 +258,10 @@ class ServingCluster
         PoolBlock block;
         bool hasBlock = false;
         int remainingIterations = 0;
+        /** Admission tick (trace span anchor). */
+        Tick startTick = 0;
+        /** Per-job trace track on the "serving" process. */
+        std::string traceTrack;
     };
 
     ReplicaLoad loadView(const Replica &replica) const;

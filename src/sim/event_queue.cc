@@ -5,13 +5,17 @@
 
 #include "event_queue.hh"
 
+#include <chrono>
+
 #include "logging.hh"
+#include "profiler.hh"
 
 namespace mcdla
 {
 
 EventId
-EventQueue::schedule(Tick when, Callback cb, std::string name)
+EventQueue::scheduleEntry(Tick when, Callback cb, std::string name,
+                          bool weak)
 {
     if (when < _now) {
         panic("scheduling event '%s' at tick %llu before now (%llu)",
@@ -21,9 +25,28 @@ EventQueue::schedule(Tick when, Callback cb, std::string name)
     if (!cb)
         panic("scheduling event '%s' with empty callback", name.c_str());
     const EventId id = _nextId++;
-    _heap.push(Entry{when, _nextSeq++, id, std::move(cb), std::move(name)});
+    _heap.push(Entry{when, _nextSeq++, id, std::move(cb),
+                     std::move(name), weak});
     ++_live;
+    if (weak) {
+        ++_weakLive;
+        _weakIds.insert(id);
+    }
+    if (_profiler)
+        _profiler->noteSchedule(_heap.size());
     return id;
+}
+
+EventId
+EventQueue::schedule(Tick when, Callback cb, std::string name)
+{
+    return scheduleEntry(when, std::move(cb), std::move(name), false);
+}
+
+EventId
+EventQueue::scheduleWeak(Tick when, Callback cb, std::string name)
+{
+    return scheduleEntry(when, std::move(cb), std::move(name), true);
 }
 
 bool
@@ -35,6 +58,12 @@ EventQueue::deschedule(EventId id)
     // entry itself is unreachable from here without a full rebuild.
     if (_cancelled.insert(id).second && _live > 0) {
         --_live;
+        if (auto wit = _weakIds.find(id); wit != _weakIds.end()) {
+            _weakIds.erase(wit);
+            --_weakLive;
+        }
+        if (_profiler)
+            _profiler->noteDeschedule();
         return true;
     }
     return false;
@@ -47,7 +76,29 @@ EventQueue::executeHead()
     _heap.pop();
     _now = entry.when;
     ++_executed;
-    entry.cb();
+    if (_profiler) {
+        const auto t0 = std::chrono::steady_clock::now();
+        entry.cb();
+        const auto t1 = std::chrono::steady_clock::now();
+        _profiler->noteExecute(
+            entry.name,
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    t1 - t0)
+                    .count()));
+    } else {
+        entry.cb();
+    }
+}
+
+void
+EventQueue::discardPending()
+{
+    _heap = decltype(_heap)();
+    _cancelled.clear();
+    _weakIds.clear();
+    _live = 0;
+    _weakLive = 0;
 }
 
 bool
@@ -60,7 +111,17 @@ EventQueue::step()
             _heap.pop();
             continue;
         }
+        if (_live == _weakLive) {
+            // Only weak (background) events remain: the simulation
+            // proper is over. Drop them without advancing time.
+            discardPending();
+            return false;
+        }
         --_live;
+        if (head.weak) {
+            _weakIds.erase(head.id);
+            --_weakLive;
+        }
         executeHead();
         return true;
     }
@@ -87,9 +148,17 @@ EventQueue::runUntil(Tick limit)
             _heap.pop();
             continue;
         }
+        if (_live == _weakLive) {
+            discardPending();
+            break;
+        }
         if (head.when > limit)
             break;
         --_live;
+        if (head.weak) {
+            _weakIds.erase(head.id);
+            --_weakLive;
+        }
         executeHead();
         ++n;
     }
@@ -103,10 +172,12 @@ EventQueue::reset()
 {
     _heap = decltype(_heap)();
     _cancelled.clear();
+    _weakIds.clear();
     _now = 0;
     _nextSeq = 0;
     _executed = 0;
     _live = 0;
+    _weakLive = 0;
 }
 
 } // namespace mcdla

@@ -27,6 +27,8 @@
 namespace mcdla
 {
 
+class DesProfiler;
+
 /** Opaque handle identifying a scheduled event (for cancellation). */
 using EventId = std::uint64_t;
 
@@ -73,6 +75,17 @@ class EventQueue
     }
 
     /**
+     * Schedule a *weak* (background) event. Weak events — periodic
+     * metric samplers, watchdogs — execute normally while ordinary
+     * events exist, but do not keep the simulation alive: the moment
+     * only weak events remain pending, run()/step() discard them
+     * without executing and stop, leaving now() at the last ordinary
+     * event. This lets observers self-reschedule unconditionally
+     * without wedging the drain or distorting makespans.
+     */
+    EventId scheduleWeak(Tick when, Callback cb, std::string name = {});
+
+    /**
      * Cancel a pending event.
      *
      * @param id Handle returned by schedule().
@@ -80,11 +93,14 @@ class EventQueue
      */
     bool deschedule(EventId id);
 
-    /** Whether any events remain pending. */
+    /** Whether any events remain pending (weak ones included). */
     bool empty() const { return _live == 0; }
 
-    /** Number of pending (non-cancelled) events. */
+    /** Number of pending (non-cancelled) events, weak ones included. */
     std::size_t pendingCount() const { return _live; }
+
+    /** Number of pending weak (background) events. */
+    std::size_t weakCount() const { return _weakLive; }
 
     /**
      * Run until the queue drains.
@@ -107,6 +123,17 @@ class EventQueue
     /** Total events executed since construction or reset(). */
     std::uint64_t executedCount() const { return _executed; }
 
+    /**
+     * Attach a wall-clock profiler (nullptr detaches). While attached,
+     * executeHead times every callback and attributes the host time to
+     * the event's label; schedule/deschedule counts and peak heap
+     * depth are tracked too. Off by default — the hot path pays only a
+     * branch when no profiler is attached.
+     */
+    void setProfiler(DesProfiler *profiler) { _profiler = profiler; }
+
+    DesProfiler *profiler() const { return _profiler; }
+
     /** Clear all pending events and rewind time to zero. */
     void reset();
 
@@ -118,6 +145,7 @@ class EventQueue
         EventId id;
         Callback cb;
         std::string name;
+        bool weak = false;
     };
 
     struct Later
@@ -134,13 +162,22 @@ class EventQueue
     /** Pop/execute the head entry. Precondition: a live entry exists. */
     void executeHead();
 
+    EventId scheduleEntry(Tick when, Callback cb, std::string name,
+                          bool weak);
+
+    /** Drop every remaining (weak) entry without executing it. */
+    void discardPending();
+
     Tick _now = 0;
     std::uint64_t _nextSeq = 0;
     EventId _nextId = 1;
     std::uint64_t _executed = 0;
     std::size_t _live = 0;
+    std::size_t _weakLive = 0;
     std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
     std::unordered_set<EventId> _cancelled;
+    std::unordered_set<EventId> _weakIds;
+    DesProfiler *_profiler = nullptr;
 };
 
 } // namespace mcdla

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * JSON emission helper implementation.
+ */
+
+#include "sim/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace mcdla
+{
+
+void
+jsonEscape(std::ostream &os, std::string_view s)
+{
+    for (const char ch : s) {
+        switch (ch) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\r':
+            os << "\\r";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          case '\b':
+            os << "\\b";
+            break;
+          case '\f':
+            os << "\\f";
+            break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(ch)));
+                os << buf;
+            } else {
+                os << ch;
+            }
+        }
+    }
+}
+
+void
+jsonString(std::ostream &os, std::string_view s)
+{
+    os << '"';
+    jsonEscape(os, s);
+    os << '"';
+}
+
+std::string
+jsonEscaped(std::string_view s)
+{
+    std::ostringstream os;
+    jsonEscape(os, s);
+    return os.str();
+}
+
+void
+jsonNumber(std::ostream &os, double value)
+{
+    if (std::isnan(value) || std::isinf(value)) {
+        os << "null";
+        return;
+    }
+    os << value;
+}
+
+} // namespace mcdla

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal JSON string-emission helpers shared by every writer in the
+ * tree (ResultSet, TraceSink, the bench runners).
+ *
+ * Lives in sim/ — the bottom layer — so both core/report and sim/trace
+ * can use one escaper instead of each growing its own subtly different
+ * copy.
+ */
+
+#ifndef MCDLA_SIM_JSON_HH
+#define MCDLA_SIM_JSON_HH
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace mcdla
+{
+
+/**
+ * Write @p s to @p os with JSON string escaping (no surrounding
+ * quotes): backslash, double quote, and the control characters get the
+ * usual two-character escapes; any other byte < 0x20 becomes \\u00XX.
+ */
+void jsonEscape(std::ostream &os, std::string_view s);
+
+/** Write @p s as a complete JSON string literal, quotes included. */
+void jsonString(std::ostream &os, std::string_view s);
+
+/** Convenience: escaped copy of @p s (no quotes). */
+std::string jsonEscaped(std::string_view s);
+
+/**
+ * Write a double as a JSON number. NaN and infinities are not
+ * representable in JSON and are emitted as null.
+ */
+void jsonNumber(std::ostream &os, double value);
+
+} // namespace mcdla
+
+#endif // MCDLA_SIM_JSON_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * MetricRegistry implementation.
+ */
+
+#include "sim/metrics.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mcdla
+{
+
+void
+MetricRegistry::add(const std::string &name, Sampler sampler)
+{
+    if (!sampler)
+        panic("metric '%s' registered with empty sampler", name.c_str());
+    if (has(name))
+        panic("metric '%s' registered twice", name.c_str());
+    if (!_samples.empty())
+        panic("metric '%s' registered after sampling started",
+              name.c_str());
+    _names.push_back(name);
+    _samplers.push_back(std::move(sampler));
+}
+
+bool
+MetricRegistry::has(const std::string &name) const
+{
+    return std::find(_names.begin(), _names.end(), name) != _names.end();
+}
+
+void
+MetricRegistry::sample(EventQueue &eq)
+{
+    Sample row;
+    row.at = eq.now();
+    row.values.reserve(_samplers.size());
+    for (std::size_t i = 0; i < _samplers.size(); ++i) {
+        const double v = _samplers[i]();
+        row.values.push_back(v);
+        if (_trace)
+            _trace->addCounter("metrics", _names[i], row.at, v);
+    }
+    _samples.push_back(std::move(row));
+}
+
+void
+MetricRegistry::scheduleNext(EventQueue &eq)
+{
+    // Weak events never keep the simulation alive: the kernel discards
+    // the pending sampler the moment only background work remains, so
+    // sampling cannot wedge run() or stretch a run's makespan.
+    eq.scheduleWeak(
+        eq.now() + _period,
+        [this, &eq] {
+            sample(eq);
+            scheduleNext(eq);
+        },
+        "metrics.sample");
+}
+
+void
+MetricRegistry::start(EventQueue &eq)
+{
+    if (empty())
+        return;
+    sample(eq);
+    scheduleNext(eq);
+}
+
+} // namespace mcdla

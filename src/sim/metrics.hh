@@ -1,0 +1,99 @@
+/**
+ * @file
+ * MetricRegistry: named gauge samplers polled by a periodic DES event.
+ *
+ * Subsystems register cheap sampler lambdas (channel utilization, pool
+ * occupancy, HBM residency, serving queue depth, ...); start() arms a
+ * self-rescheduling event on the EventQueue that records one row per
+ * period. The time-series feeds two consumers:
+ *  - TraceSink counter ("C") tracks when attachTrace() is set, so the
+ *    metrics render as stacked-area tracks under the Perfetto timeline;
+ *  - the ResultSet CSV/JSON pipeline via core/report metricsTable()
+ *    (`mcdla_sim --metrics-csv/--metrics-json`).
+ *
+ * The sampler rides the kernel's *weak* events (scheduleWeak): it
+ * reschedules itself unconditionally, and the EventQueue discards it
+ * the moment only background events remain — so sampling can neither
+ * wedge EventQueue::run() nor stretch a run's measured makespan.
+ */
+
+#ifndef MCDLA_SIM_METRICS_HH
+#define MCDLA_SIM_METRICS_HH
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/trace.hh"
+#include "sim/units.hh"
+
+namespace mcdla
+{
+
+/** Named gauge samplers + the rows sampled so far. */
+class MetricRegistry
+{
+  public:
+    using Sampler = std::function<double()>;
+
+    /** One recorded row: the sample time and one value per metric. */
+    struct Sample
+    {
+        Tick at = 0;
+        std::vector<double> values;
+    };
+
+    explicit MetricRegistry(Tick period = defaultPeriod())
+        : _period(period)
+    {}
+
+    /** Default sampling period: 100 simulated microseconds. */
+    static constexpr Tick defaultPeriod() { return 100 * ticksPerUs; }
+
+    Tick period() const { return _period; }
+    void setPeriod(Tick period) { _period = period; }
+
+    /**
+     * Register a gauge. Must happen before start(); the column set is
+     * frozen by the first sample. Duplicate names are rejected.
+     */
+    void add(const std::string &name, Sampler sampler);
+
+    bool has(const std::string &name) const;
+    std::size_t metricCount() const { return _names.size(); }
+    bool empty() const { return _names.empty(); }
+    const std::vector<std::string> &names() const { return _names; }
+
+    /**
+     * Mirror every sample into @p sink as counter events on the
+     * "metrics" process (nullptr detaches).
+     */
+    void attachTrace(TraceSink *sink) { _trace = sink; }
+
+    /**
+     * Take the first sample now and arm periodic sampling on @p eq.
+     * No-op when no metrics are registered.
+     */
+    void start(EventQueue &eq);
+
+    /** Take one sample at @p eq's current time. */
+    void sample(EventQueue &eq);
+
+    std::size_t sampleCount() const { return _samples.size(); }
+    const std::vector<Sample> &samples() const { return _samples; }
+
+  private:
+    void scheduleNext(EventQueue &eq);
+
+    Tick _period;
+    std::vector<std::string> _names;
+    std::vector<Sampler> _samplers;
+    std::vector<Sample> _samples;
+    TraceSink *_trace = nullptr;
+};
+
+} // namespace mcdla
+
+#endif // MCDLA_SIM_METRICS_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Wall-clock profiler for the DES kernel.
+ *
+ * Attached to an EventQueue (EventQueue::setProfiler), it attributes
+ * *host* time — not simulated time — to event labels by timing each
+ * callback inside executeHead, and tracks kernel health counters:
+ * events/sec, peak heap depth, schedule/deschedule counts. This is the
+ * measurement side of the ROADMAP's "make a single simulation fast"
+ * item: `mcdla_sim --profile` prints the report, and bench_simcore
+ * persists it as BENCH_simcore.json so DES optimizations are judged
+ * against a checked-in trajectory.
+ */
+
+#ifndef MCDLA_SIM_PROFILER_HH
+#define MCDLA_SIM_PROFILER_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mcdla
+{
+
+/** Host-time accounting for one event label. */
+struct ProfiledLabel
+{
+    std::uint64_t count = 0;
+    std::uint64_t wallNs = 0;
+
+    double
+    meanNs() const
+    {
+        return count > 0
+            ? static_cast<double>(wallNs) / static_cast<double>(count)
+            : 0.0;
+    }
+};
+
+/**
+ * Collects per-label wall time and kernel counters from an EventQueue.
+ * Attach before run(); all counters accumulate until reset().
+ */
+class DesProfiler
+{
+  public:
+    /// @name EventQueue hooks
+    /// @{
+    void
+    noteSchedule(std::size_t heap_depth)
+    {
+        ++_schedules;
+        if (heap_depth > _peakHeapDepth)
+            _peakHeapDepth = heap_depth;
+    }
+
+    void noteDeschedule() { ++_deschedules; }
+
+    /** Record one executed callback and its measured host time. */
+    void
+    noteExecute(const std::string &label, std::uint64_t wall_ns)
+    {
+        ++_executed;
+        _wallNs += wall_ns;
+        auto &stats =
+            _labels[label.empty() ? std::string("(unnamed)") : label];
+        ++stats.count;
+        stats.wallNs += wall_ns;
+    }
+    /// @}
+
+    /// @name Aggregates
+    /// @{
+    std::uint64_t eventsExecuted() const { return _executed; }
+    std::uint64_t schedules() const { return _schedules; }
+    std::uint64_t deschedules() const { return _deschedules; }
+    std::size_t peakHeapDepth() const { return _peakHeapDepth; }
+    /** Total host time spent inside event callbacks. */
+    double wallSeconds() const { return 1e-9 * static_cast<double>(_wallNs); }
+
+    /** Callbacks executed per host second (0 before any execution). */
+    double
+    eventsPerSecond() const
+    {
+        return _wallNs > 0
+            ? static_cast<double>(_executed) / wallSeconds()
+            : 0.0;
+    }
+
+    const std::map<std::string, ProfiledLabel> &
+    labels() const
+    {
+        return _labels;
+    }
+
+    /** Labels sorted by descending wall time (ties: by name). */
+    std::vector<std::pair<std::string, ProfiledLabel>>
+    topLabels(std::size_t limit = 0) const;
+    /// @}
+
+    /** Human-readable report (the `--profile` output). */
+    void report(std::ostream &os, std::size_t top = 20) const;
+
+    void reset();
+
+  private:
+    std::uint64_t _executed = 0;
+    std::uint64_t _schedules = 0;
+    std::uint64_t _deschedules = 0;
+    std::uint64_t _wallNs = 0;
+    std::size_t _peakHeapDepth = 0;
+    std::map<std::string, ProfiledLabel> _labels;
+};
+
+} // namespace mcdla
+
+#endif // MCDLA_SIM_PROFILER_HH

@@ -7,34 +7,136 @@
 
 #include <iomanip>
 
+#include "sim/json.hh"
+
 namespace mcdla
 {
 
-int
-TraceSink::trackId(const std::string &track)
+void
+TraceSink::enableCategories(const std::vector<std::string> &cats)
 {
-    auto it = _trackIds.find(track);
-    if (it == _trackIds.end())
-        it = _trackIds.emplace(track,
-                               static_cast<int>(_trackIds.size()))
+    _categories.clear();
+    _categories.insert(cats.begin(), cats.end());
+}
+
+int
+TraceSink::internProcess(const std::string &process)
+{
+    auto it = _processIds.find(process);
+    if (it == _processIds.end()) {
+        it = _processIds
+                 .emplace(process,
+                          static_cast<int>(_processNames.size()))
                  .first;
+        _processNames.push_back(process);
+        _trackNames.emplace_back();
+    }
+    return it->second;
+}
+
+int
+TraceSink::internTrack(int pid, const std::string &track)
+{
+    const auto key = std::make_pair(pid, track);
+    auto it = _trackIds.find(key);
+    if (it == _trackIds.end()) {
+        auto &names = _trackNames[static_cast<std::size_t>(pid)];
+        it = _trackIds.emplace(key, static_cast<int>(names.size()))
+                 .first;
+        names.push_back(track);
+    }
     return it->second;
 }
 
 void
-TraceSink::addSpan(const std::string &track, const std::string &name,
-                   Tick start, Tick duration,
-                   const std::string &category)
+TraceSink::push(char phase, const std::string &process,
+                const std::string &track, const std::string &name,
+                const std::string &category, Tick start, Tick duration,
+                double value, std::uint64_t id)
 {
-    _events.push_back(Event{track, name, category, start, duration,
-                            false});
+    if (!categoryEnabled(category))
+        return;
+    Event e;
+    e.phase = phase;
+    e.pid = internProcess(process);
+    // Counters are keyed by (pid, name); they have no thread track.
+    e.tid = phase == 'C' ? 0 : internTrack(e.pid, track);
+    e.start = start;
+    e.duration = duration;
+    e.value = value;
+    e.id = id;
+    e.name = name;
+    e.category = category;
+    _events.push_back(std::move(e));
 }
 
 void
-TraceSink::addInstant(const std::string &track, const std::string &name,
-                      Tick at)
+TraceSink::addSpan(const std::string &process, const std::string &track,
+                   const std::string &name, Tick start, Tick duration,
+                   const std::string &category)
 {
-    _events.push_back(Event{track, name, "mark", at, 0, true});
+    push('X', process, track, name, category, start, duration, 0.0, 0);
+}
+
+void
+TraceSink::addInstant(const std::string &process,
+                      const std::string &track, const std::string &name,
+                      Tick at, const std::string &category)
+{
+    push('i', process, track, name, category, at, 0, 0.0, 0);
+}
+
+void
+TraceSink::addCounter(const std::string &process,
+                      const std::string &counter, Tick at, double value,
+                      const std::string &category)
+{
+    push('C', process, counter, counter, category, at, 0, value, 0);
+}
+
+void
+TraceSink::flowBegin(const std::string &process,
+                     const std::string &track, const std::string &name,
+                     Tick at, std::uint64_t flow,
+                     const std::string &category)
+{
+    push('s', process, track, name, category, at, 0, 0.0, flow);
+}
+
+void
+TraceSink::flowEnd(const std::string &process, const std::string &track,
+                   const std::string &name, Tick at, std::uint64_t flow,
+                   const std::string &category)
+{
+    push('f', process, track, name, category, at, 0, 0.0, flow);
+}
+
+void
+TraceSink::asyncBegin(const std::string &process,
+                      const std::string &track, const std::string &name,
+                      std::uint64_t id, Tick at,
+                      const std::string &category)
+{
+    push('b', process, track, name, category, at, 0, 0.0, id);
+}
+
+void
+TraceSink::asyncEnd(const std::string &process, const std::string &track,
+                    const std::string &name, std::uint64_t id, Tick at,
+                    const std::string &category)
+{
+    push('e', process, track, name, category, at, 0, 0.0, id);
+}
+
+void
+TraceSink::clear()
+{
+    _events.clear();
+    _processIds.clear();
+    _processNames.clear();
+    _trackIds.clear();
+    _trackNames.clear();
+    _nextFlow = 1;
 }
 
 void
@@ -45,30 +147,70 @@ TraceSink::write(std::ostream &os) const
         return static_cast<double>(t)
             / static_cast<double>(ticksPerUs);
     };
-    // trackId() is non-const; rebuild ids deterministically here.
-    std::map<std::string, int> ids;
-    for (const Event &e : _events)
-        ids.emplace(e.track, static_cast<int>(ids.size()));
-
+    os << std::setprecision(12);
     os << "{\"traceEvents\":[\n";
     bool first = true;
-    for (const auto &[track, id] : ids) {
+    auto sep = [&] {
         if (!first)
             os << ",\n";
         first = false;
-        os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << id
-           << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << track
-           << "\"}}";
+    };
+    // Metadata: process names/ordering, then per-process track names.
+    for (std::size_t pid = 0; pid < _processNames.size(); ++pid) {
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":" << pid
+           << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":";
+        jsonString(os, _processNames[pid]);
+        os << "}}";
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":" << pid
+           << ",\"tid\":0,\"name\":\"process_sort_index\",\"args\":"
+           << "{\"sort_index\":" << pid << "}}";
+        for (std::size_t tid = 0; tid < _trackNames[pid].size(); ++tid) {
+            sep();
+            os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+               << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+            jsonString(os, _trackNames[pid][tid]);
+            os << "}}";
+            sep();
+            os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+               << ",\"name\":\"thread_sort_index\",\"args\":"
+               << "{\"sort_index\":" << tid << "}}";
+        }
     }
     for (const Event &e : _events) {
-        os << ",\n{\"ph\":\"" << (e.instant ? 'i' : 'X')
-           << "\",\"pid\":0,\"tid\":" << ids.at(e.track) << ",\"ts\":"
-           << std::setprecision(12) << us(e.start) << ",\"name\":\""
-           << e.name << "\",\"cat\":\"" << e.category << '"';
-        if (!e.instant)
+        sep();
+        os << "{\"ph\":\"" << e.phase << "\",\"pid\":" << e.pid
+           << ",\"tid\":" << e.tid << ",\"ts\":" << us(e.start)
+           << ",\"name\":";
+        jsonString(os, e.name);
+        os << ",\"cat\":";
+        jsonString(os, e.category);
+        switch (e.phase) {
+          case 'X':
             os << ",\"dur\":" << us(e.duration);
-        if (e.instant)
+            break;
+          case 'i':
             os << ",\"s\":\"t\"";
+            break;
+          case 'C':
+            os << ",\"args\":{\"value\":";
+            jsonNumber(os, e.value);
+            os << '}';
+            break;
+          case 's':
+            os << ",\"id\":" << e.id;
+            break;
+          case 'f':
+            os << ",\"id\":" << e.id << ",\"bp\":\"e\"";
+            break;
+          case 'b':
+          case 'e':
+            os << ",\"id\":" << e.id;
+            break;
+          default:
+            break;
+        }
         os << '}';
     }
     os << "\n]}\n";

@@ -2,10 +2,25 @@
  * @file
  * Chrome-tracing ("trace_event" JSON) event sink.
  *
- * Simulation components append complete spans (ops, DMA transfers,
- * collectives) on named tracks; the resulting file loads directly in
- * Perfetto / chrome://tracing for timeline inspection of a training
- * iteration.
+ * Simulation components append events on named tracks grouped into
+ * named processes (one pid per subsystem: device, vmem, collective,
+ * cluster, serving, metrics, ...); the resulting file loads directly in
+ * Perfetto / chrome://tracing for timeline inspection of anything from
+ * a single training iteration to a multi-job cluster or serving run.
+ *
+ * Supported event kinds:
+ *  - complete spans ("X") — ops, DMA transfers, collectives, batches;
+ *  - instants ("i") — markers (rejections, arrivals);
+ *  - counters ("C") — metric time-series (channel utilization, pool
+ *    occupancy, HBM residency, queue depths);
+ *  - flow arrows ("s"/"f") — causality across tracks (DMA
+ *    write-before-read, batch dispatch → first compute op);
+ *  - legacy async spans ("b"/"e") — per-request queue residency, which
+ *    may overlap arbitrarily on one track.
+ *
+ * Categories can be filtered at collection time (enableCategories), and
+ * all strings are JSON-escaped on output, so adversarial layer/job
+ * names cannot corrupt the file.
  */
 
 #ifndef MCDLA_SIM_TRACE_HH
@@ -14,7 +29,9 @@
 #include <cstdint>
 #include <map>
 #include <ostream>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/units.hh"
@@ -23,45 +40,131 @@ namespace mcdla
 {
 
 /**
- * Chrome-tracing event collector ("trace_event" JSON format). Producers
- * add complete ("X") events with microsecond timestamps derived from
- * ticks; tracks are (pid, tid) pairs mapped from device / engine names.
+ * Chrome-tracing event collector ("trace_event" JSON format).
+ *
+ * Producers name a process (subsystem) and a track (thread) per event;
+ * pids and tids are interned deterministically in first-use order, so
+ * two identical runs produce byte-identical files. Timestamps are
+ * microseconds derived from ticks.
  */
 class TraceSink
 {
   public:
-    /** Record a complete event on a named track. */
-    void addSpan(const std::string &track, const std::string &name,
-                 Tick start, Tick duration,
+    /**
+     * Restrict collection to the given categories. An empty list (the
+     * default) collects everything. Events in a disabled category are
+     * dropped at add-time, before any string interning.
+     */
+    void enableCategories(const std::vector<std::string> &cats);
+
+    /** Whether events of @p category are currently collected. */
+    bool
+    categoryEnabled(const std::string &category) const
+    {
+        return _categories.empty() || _categories.count(category) > 0;
+    }
+
+    /** Record a complete ("X") event on @p process / @p track. */
+    void addSpan(const std::string &process, const std::string &track,
+                 const std::string &name, Tick start, Tick duration,
                  const std::string &category = "op");
 
-    /** Record an instantaneous event. */
-    void addInstant(const std::string &track, const std::string &name,
-                    Tick at);
+    /** Legacy single-process span (process "sim"). */
+    void
+    addSpan(const std::string &track, const std::string &name,
+            Tick start, Tick duration,
+            const std::string &category = "op")
+    {
+        addSpan("sim", track, name, start, duration, category);
+    }
+
+    /** Record an instantaneous ("i") event. */
+    void addInstant(const std::string &process, const std::string &track,
+                    const std::string &name, Tick at,
+                    const std::string &category = "mark");
+
+    /** Legacy single-process instant (process "sim"). */
+    void
+    addInstant(const std::string &track, const std::string &name,
+               Tick at)
+    {
+        addInstant("sim", track, name, at, "mark");
+    }
+
+    /**
+     * Record a counter ("C") sample. Counters are keyed by
+     * (process, counter-name); Perfetto renders each as its own
+     * stacked-area track.
+     */
+    void addCounter(const std::string &process,
+                    const std::string &counter, Tick at, double value,
+                    const std::string &category = "counter");
+
+    /** Allocate a fresh flow id (never 0). */
+    std::uint64_t newFlow() { return _nextFlow++; }
+
+    /**
+     * Flow start ("s"). Must coincide (same process/track, ts inside)
+     * with a span for Perfetto to draw the arrow tail.
+     */
+    void flowBegin(const std::string &process, const std::string &track,
+                   const std::string &name, Tick at, std::uint64_t flow,
+                   const std::string &category = "flow");
+
+    /** Flow end ("f", binding-point "e"); the arrow head. */
+    void flowEnd(const std::string &process, const std::string &track,
+                 const std::string &name, Tick at, std::uint64_t flow,
+                 const std::string &category = "flow");
+
+    /** Legacy async begin ("b"); pairs with asyncEnd by (id, name). */
+    void asyncBegin(const std::string &process, const std::string &track,
+                    const std::string &name, std::uint64_t id, Tick at,
+                    const std::string &category = "async");
+
+    /** Legacy async end ("e"). */
+    void asyncEnd(const std::string &process, const std::string &track,
+                  const std::string &name, std::uint64_t id, Tick at,
+                  const std::string &category = "async");
 
     std::size_t eventCount() const { return _events.size(); }
     bool empty() const { return _events.empty(); }
+    /** Number of distinct processes (pids) seen so far. */
+    std::size_t processCount() const { return _processNames.size(); }
 
     /** Write the "traceEvents" JSON document. */
     void write(std::ostream &os) const;
 
-    void clear() { _events.clear(); }
+    void clear();
 
   private:
     struct Event
     {
-        std::string track;
+        char phase = 'X'; ///< 'X','i','C','s','f','b','e'
+        int pid = 0;
+        int tid = 0;
+        Tick start = 0;
+        Tick duration = 0;      ///< 'X' only.
+        double value = 0.0;     ///< 'C' only.
+        std::uint64_t id = 0;   ///< 's','f','b','e' only.
         std::string name;
         std::string category;
-        Tick start = 0;
-        Tick duration = 0;
-        bool instant = false;
     };
 
-    int trackId(const std::string &track);
+    int internProcess(const std::string &process);
+    int internTrack(int pid, const std::string &track);
+    void push(char phase, const std::string &process,
+              const std::string &track, const std::string &name,
+              const std::string &category, Tick start, Tick duration,
+              double value, std::uint64_t id);
 
     std::vector<Event> _events;
-    std::map<std::string, int> _trackIds;
+    std::set<std::string> _categories;
+    std::map<std::string, int> _processIds;
+    std::vector<std::string> _processNames;
+    std::map<std::pair<int, std::string>, int> _trackIds;
+    /** Per pid: tid → track name, in interning order. */
+    std::vector<std::vector<std::string>> _trackNames;
+    std::uint64_t _nextFlow = 1;
 };
 
 } // namespace mcdla

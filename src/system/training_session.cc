@@ -695,6 +695,15 @@ TrainingSession::dumpPagingStats(std::ostream &os) const
         pager->stats().dump(os);
 }
 
+std::uint64_t
+TrainingSession::hbmResidentBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &pager : _pagers)
+        total += pager->pageTable().usedBytes();
+    return total;
+}
+
 void
 TrainingSession::tryIssue(int dev)
 {
@@ -786,8 +795,14 @@ TrainingSession::issueP2p(int src, const P2pSend &send)
                  const Tick now = _system.eventQueue().now();
                  _syncTracker.end(now);
                  if (_trace) {
+                     if (launched > now)
+                         panic("p2p trace span launched at tick %llu, "
+                               "after its completion (%llu)",
+                               static_cast<unsigned long long>(
+                                   launched),
+                               static_cast<unsigned long long>(now));
                      _trace->addSpan(
-                         "p2p",
+                         "collective", "p2p",
                          "xfer d" + std::to_string(src) + "->d"
                              + std::to_string(dst),
                          launched, now - launched, "sync");
@@ -819,12 +834,36 @@ TrainingSession::completeOp(int dev)
     ctx.readyAt = _system.eventQueue().now();
 
     if (_trace && dev == 0 && op.duration > 0) {
+        // Invariant guards: the span must not start before tick 0
+        // (Tick is unsigned — "negative duration" is underflow) nor
+        // extend past now().
+        if (op.duration > ctx.readyAt)
+            panic("op trace span of layer %d would start before tick "
+                  "0 (duration %llu > end %llu)",
+                  op.layer,
+                  static_cast<unsigned long long>(op.duration),
+                  static_cast<unsigned long long>(ctx.readyAt));
+        if (ctx.readyAt > _system.eventQueue().now())
+            panic("op trace span of layer %d ends at tick %llu, past "
+                  "now (%llu)",
+                  op.layer,
+                  static_cast<unsigned long long>(ctx.readyAt),
+                  static_cast<unsigned long long>(
+                      _system.eventQueue().now()));
         const char *kind = op.kind == OpSpec::Kind::Fwd
             ? "fwd "
             : (op.kind == OpSpec::Kind::Bwd ? "bwd " : "wup ");
-        _trace->addSpan("dev0.compute",
-                        kind + _net.layer(op.layer).name(),
-                        ctx.readyAt - op.duration, op.duration);
+        const Tick span_start = ctx.readyAt - op.duration;
+        _trace->addSpan("device", computeTrack(),
+                        kind + _net.layer(op.layer).name(), span_start,
+                        op.duration);
+        if (_iterFlow != 0) {
+            // Head of a dispatch arrow armed by the cluster/serving
+            // driver: bind to this, the iteration's first traced op.
+            _trace->flowEnd("device", computeTrack(), "dispatch",
+                            span_start, _iterFlow);
+            _iterFlow = 0;
+        }
     }
 
     _pagers[static_cast<std::size_t>(dev)]->opRetired(op_index);
@@ -987,10 +1026,23 @@ TrainingSession::setupIteration()
                         [this, &latch, launched, sync_label] {
                             const Tick now = _system.eventQueue().now();
                             _syncTracker.end(now);
-                            if (_trace)
-                                _trace->addSpan("collectives",
+                            if (_trace) {
+                                if (launched > now)
+                                    panic("collective trace span "
+                                          "launched at tick %llu, "
+                                          "after its completion "
+                                          "(%llu)",
+                                          static_cast<
+                                              unsigned long long>(
+                                              launched),
+                                          static_cast<
+                                              unsigned long long>(
+                                              now));
+                                _trace->addSpan("collective",
+                                                "collectives",
                                                 sync_label, launched,
                                                 now - launched, "sync");
+                            }
                             latch.complete();
                         });
                 });

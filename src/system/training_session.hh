@@ -216,6 +216,21 @@ class TrainingSession
     void setTraceSink(TraceSink *sink) { _trace = sink; }
 
     /**
+     * Arm a flow arrow: the next traced compute-op span terminates
+     * flow @p flow (TraceSink::newFlow id). Drivers — the cluster's
+     * job spans, serving's batch spans — use this to draw
+     * dispatch → first-op arrows across processes.
+     */
+    void setIterationFlow(std::uint64_t flow) { _iterFlow = flow; }
+
+    /**
+     * Bytes currently resident in the owned devices' HBM page tables
+     * (0 before the first iteration allocates pagers) — the "HBM
+     * residency" metric gauge.
+     */
+    std::uint64_t hbmResidentBytes() const;
+
+    /**
      * Device @p dev's pager (valid after the first run()); exposes the
      * page table and the hit/miss/stall statistics.
      */
@@ -362,6 +377,22 @@ class TrainingSession
     /// Pipeline boundary-transfer latches, indexed by token.
     std::vector<std::unique_ptr<Latch>> _p2pLatches;
     TraceSink *_trace = nullptr;
+    /// Pending dispatch-flow id (0 none); cleared by the first traced
+    /// compute-op span.
+    std::uint64_t _iterFlow = 0;
+    /// Lazily built "dev<sysDev(0)>.compute" trace track name.
+    std::string _computeTrack;
+
+    /// Trace track of the owned device 0's compute stream.
+    const std::string &
+    computeTrack()
+    {
+        if (_computeTrack.empty())
+            _computeTrack =
+                "dev" + std::to_string(sysDev(0)) + ".compute";
+        return _computeTrack;
+    }
+
     ActivityTracker _syncTracker;
     ActivityTracker _vmemTracker;
     /// Per-device compute/stall totals; dp/mp report device 0 (the

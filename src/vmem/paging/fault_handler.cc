@@ -25,9 +25,12 @@ FaultHandler::FaultHandler(
 
 void
 FaultHandler::beginIteration(TraceSink *trace,
-                             bool precreate_writeback_latches)
+                             bool precreate_writeback_latches,
+                             std::string trace_track)
 {
     _trace = trace;
+    _traceTrack = std::move(trace_track);
+    _writebackIssued.clear();
     _writebackLatch.clear();
     _fillLatch.clear();
     if (precreate_writeback_latches) {
@@ -58,19 +61,44 @@ FaultHandler::transfer(LayerId layer, DmaDirection direction,
     ++_outstanding;
     _runtime.memcpyAsync(
         _remotePtrs.at(layer), bytes, direction,
-        [this, tracked, issued, layer, label,
+        [this, tracked, issued, layer, label, direction,
          on_drain = std::move(on_drain)] {
             const Tick now = _runtime.dma().now();
             if (tracked) {
                 _tracker->end(now);
                 if (_trace) {
+                    // Invariant guards: the span must lie entirely in
+                    // the past ([issued, now], now() included).
+                    if (issued > now)
+                        panic("DMA trace span of group %d starts at "
+                              "tick %llu, after its completion (%llu)",
+                              layer,
+                              static_cast<unsigned long long>(issued),
+                              static_cast<unsigned long long>(now));
                     const LayerId owner = _groupLayer.empty()
                         ? layer
                         : _groupLayer.at(
                               static_cast<std::size_t>(layer));
-                    _trace->addSpan("dev0.dma",
+                    _trace->addSpan("vmem", _traceTrack,
                                     label + _net.layer(owner).name(),
                                     issued, now - issued, "dma");
+                    if (direction == DmaDirection::LocalToRemote) {
+                        _writebackIssued[layer] = issued;
+                    } else if (auto wb = _writebackIssued.find(layer);
+                               wb != _writebackIssued.end()) {
+                        // Write-before-read arrow, offload -> fill.
+                        // Both endpoints are emitted here so a group
+                        // that is never filled back leaves no
+                        // dangling arrow.
+                        const std::uint64_t flow = _trace->newFlow();
+                        _trace->flowBegin("vmem", _traceTrack,
+                                          "wb->fill", wb->second, flow,
+                                          "dma");
+                        _trace->flowEnd("vmem", _traceTrack,
+                                        "wb->fill", issued, flow,
+                                        "dma");
+                        _writebackIssued.erase(wb);
+                    }
                 }
             }
             if (on_drain)

@@ -23,9 +23,11 @@
 #ifndef MCDLA_VMEM_PAGING_FAULT_HANDLER_HH
 #define MCDLA_VMEM_PAGING_FAULT_HANDLER_HH
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "dnn/layer.hh"
@@ -67,9 +69,12 @@ class FaultHandler
      * @param precreate_writeback_latches Static-plan mode: create every
      *        layer's writeback latch up front so fills can chain on
      *        writebacks that have not been issued yet.
+     * @param trace_track Track name for DMA spans on the "vmem"
+     *        process (per-device under multi-tenancy).
      */
     void beginIteration(TraceSink *trace,
-                        bool precreate_writeback_latches);
+                        bool precreate_writeback_latches,
+                        std::string trace_track = "dev0.dma");
 
     /// @name Plan-driven service (static-plan policy)
     /// @{
@@ -138,6 +143,15 @@ class FaultHandler
     const Network &_net;
     ActivityTracker *_tracker;
     TraceSink *_trace = nullptr;
+    std::string _traceTrack = "dev0.dma";
+    /**
+     * Issue tick of each group's last completed writeback. A later
+     * fill of the group draws the write-before-read flow arrow from
+     * this tick; groups never filled back (trailing writebacks,
+     * forward-only runs) leave no dangling arrow because both flow
+     * endpoints are emitted at fill time.
+     */
+    std::map<LayerId, Tick> _writebackIssued;
 
     std::map<LayerId, std::shared_ptr<Latch>> _writebackLatch;
     std::map<LayerId, std::shared_ptr<Latch>> _fillLatch;

@@ -89,7 +89,13 @@ DevicePager::beginIteration(TraceSink *trace)
 {
     _stats.reset();
     _table.resetIteration();
-    _fault.beginIteration(trace, !_policy->demandPaged());
+    // "dev<N>.pager" → DMA track "dev<N>.dma" on the vmem process.
+    std::string track = _name;
+    if (const auto pos = track.rfind(".pager");
+        pos != std::string::npos)
+        track.resize(pos);
+    _fault.beginIteration(trace, !_policy->demandPaged(),
+                          track + ".dma");
     _frontier = 0;
     _accounted.clear();
     _pendingFills.clear();

@@ -49,6 +49,7 @@
  *       --csv jobs.csv
  */
 
+#include <cctype>
 #include <fstream>
 #include <iostream>
 
@@ -56,6 +57,115 @@
 #include "core/options.hh"
 
 using namespace mcdla;
+
+namespace
+{
+
+/**
+ * The observer bundle resolved from --trace / --trace-categories /
+ * --metrics-* / --profile. Tracing implies a metrics registry even
+ * without a --metrics-* file so the timeline gains counter tracks.
+ */
+struct Observers
+{
+    TraceSink trace;
+    MetricRegistry metrics;
+    DesProfiler profiler;
+    bool wantTrace = false;
+    bool wantMetrics = false;
+    bool wantProfile = false;
+
+    bool any() const { return wantTrace || wantMetrics || wantProfile; }
+};
+
+void
+setupObservers(const OptionParser &opts, Observers &obs)
+{
+    obs.wantTrace = !opts.getString("trace").empty();
+    obs.wantMetrics = obs.wantTrace
+        || !opts.getString("metrics-csv").empty()
+        || !opts.getString("metrics-json").empty();
+    obs.wantProfile = opts.getFlag("profile");
+
+    if (obs.wantTrace && !opts.getString("trace-categories").empty()) {
+        std::vector<std::string> cats;
+        std::string cat;
+        for (char c : opts.getString("trace-categories")) {
+            if (c == ',') {
+                if (!cat.empty())
+                    cats.push_back(std::move(cat));
+                cat.clear();
+            } else if (c != ' ') {
+                cat += c;
+            }
+        }
+        if (!cat.empty())
+            cats.push_back(std::move(cat));
+        obs.trace.enableCategories(cats);
+    }
+    if (obs.wantMetrics) {
+        const std::int64_t period_us = opts.getInt("metrics-period-us");
+        if (period_us < 1)
+            fatal("--metrics-period-us must be positive (got %lld)",
+                  static_cast<long long>(period_us));
+        obs.metrics.setPeriod(static_cast<Tick>(period_us)
+                              * ticksPerUs);
+        if (obs.wantTrace)
+            obs.metrics.attachTrace(&obs.trace);
+    }
+}
+
+/** "t.json" + "VGG-E" -> "t.VGG-E.json" (suffix sanitized). */
+std::string
+suffixedPath(const std::string &path, const std::string &suffix)
+{
+    if (path.empty() || suffix.empty())
+        return path;
+    std::string tag;
+    for (char c : suffix)
+        tag += std::isalnum(static_cast<unsigned char>(c)) != 0
+            ? c : '-';
+    const std::size_t dot = path.find_last_of('.');
+    if (dot == std::string::npos || dot == 0)
+        return path + "." + tag;
+    return path.substr(0, dot) + "." + tag + path.substr(dot);
+}
+
+/** Write the trace/metrics files and the profiler report. */
+void
+writeObserverOutputs(const OptionParser &opts, const Observers &obs,
+                     const std::string &suffix = "")
+{
+    if (obs.wantTrace) {
+        const std::string path =
+            suffixedPath(opts.getString("trace"), suffix);
+        std::ofstream out(path);
+        obs.trace.write(out);
+        std::cout << "wrote " << path << " (" << obs.trace.eventCount()
+                  << " events, " << obs.trace.processCount()
+                  << " processes)\n";
+    }
+    if (!opts.getString("metrics-csv").empty()) {
+        const std::string path =
+            suffixedPath(opts.getString("metrics-csv"), suffix);
+        std::ofstream out(path);
+        metricsTable(obs.metrics).writeCsv(out);
+        std::cout << "wrote " << path << " ("
+                  << obs.metrics.sampleCount() << " samples of "
+                  << obs.metrics.metricCount() << " metrics)\n";
+    }
+    if (!opts.getString("metrics-json").empty()) {
+        const std::string path =
+            suffixedPath(opts.getString("metrics-json"), suffix);
+        std::ofstream out(path);
+        metricsTable(obs.metrics).writeJson(out);
+        std::cout << "wrote " << path << '\n';
+    }
+    if (obs.wantProfile)
+        obs.profiler.report(std::cout);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -97,7 +207,25 @@ main(int argc, char **argv)
                    "write per-channel link-utilization rows to this "
                    "CSV file (non-cluster runs)");
     opts.addString("trace", "",
-                   "write a Chrome-tracing timeline (one iteration)");
+                   "write a Chrome-tracing (Perfetto) timeline: "
+                   "compute/DMA/collective spans, counter tracks, and "
+                   "flow arrows; works with sweeps, --cluster and "
+                   "--serve (with --workload all each scenario writes "
+                   "its own suffixed file)");
+    opts.addString("trace-categories", "",
+                   "comma-separated trace category filter (op, dma, "
+                   "sync, counter, flow, job, batch, request, queue, "
+                   "mark; default: all)");
+    opts.addString("metrics-csv", "",
+                   "write the periodically sampled metrics time-series "
+                   "to this CSV file");
+    opts.addString("metrics-json", "",
+                   "write the metrics time-series to this JSON file");
+    opts.addInt("metrics-period-us", 100,
+                "metrics sampling period in simulated microseconds");
+    opts.addFlag("profile",
+                 "print a DES wall-clock profile (host time per event "
+                 "label, events/sec, heap depth) after the run");
     opts.addFlag("stats", "dump component statistics after the run");
     opts.addFlag("list", "alias for --list-workloads");
     opts.addFlag("list-workloads",
@@ -230,6 +358,17 @@ main(int argc, char **argv)
         if (!opts.getString("job-trace").empty())
             cfg.trainingJobs =
                 loadJobTrace(opts.getString("job-trace"));
+        if (opts.getFlag("stats"))
+            warn("--stats applies to single-machine sweeps; ignoring "
+                 "it in --serve mode");
+        Observers obs;
+        setupObservers(opts, obs);
+        if (obs.wantTrace)
+            cfg.trace = &obs.trace;
+        if (obs.wantMetrics)
+            cfg.metrics = &obs.metrics;
+        if (obs.wantProfile)
+            cfg.profiler = &obs.profiler;
 
         std::vector<Request> stream;
         if (!opts.getString("request-trace").empty()) {
@@ -334,6 +473,7 @@ main(int argc, char **argv)
             std::cout << "wrote " << opts.getString("replica-csv")
                       << '\n';
         }
+        writeObserverOutputs(opts, obs);
         return 0;
     }
 
@@ -348,6 +488,17 @@ main(int argc, char **argv)
             parsePoolAllocator(opts.getString("allocator"));
         cfg.placement = parseJobPlacement(opts.getString("placement"));
         cfg.progress = LogConfig::verbose;
+        if (opts.getFlag("stats"))
+            warn("--stats applies to single-machine sweeps; ignoring "
+                 "it in --cluster mode");
+        Observers obs;
+        setupObservers(opts, obs);
+        if (obs.wantTrace)
+            cfg.trace = &obs.trace;
+        if (obs.wantMetrics)
+            cfg.metrics = &obs.metrics;
+        if (obs.wantProfile)
+            cfg.profiler = &obs.profiler;
 
         std::vector<JobSpec> jobs;
         if (!opts.getString("job-trace").empty()) {
@@ -431,6 +582,7 @@ main(int argc, char **argv)
             std::cout << "wrote " << opts.getString("pool-csv")
                       << '\n';
         }
+        writeObserverOutputs(opts, obs);
         return 0;
     }
 
@@ -447,14 +599,21 @@ main(int argc, char **argv)
         scenarios.push_back(prototype);
     }
 
-    // The trace and stats observers need a serial run over the live
-    // System; otherwise the sweep runner handles any thread count.
+    // The observers (--trace/--metrics-*/--profile/--stats) need a
+    // serial run over the live System; otherwise the sweep runner
+    // handles any thread count. An explicit parallel request alongside
+    // an observer is a contradiction, not a preference — reject it
+    // instead of silently downgrading.
     const bool observed = !opts.getString("trace").empty()
-        || opts.getFlag("stats");
+        || !opts.getString("metrics-csv").empty()
+        || !opts.getString("metrics-json").empty()
+        || opts.getFlag("profile") || opts.getFlag("stats");
     if (observed && opts.getInt("jobs") != 1)
-        warn("--trace/--stats require a serial run; ignoring --jobs");
+        fatal("--trace/--metrics-*/--profile/--stats observe one live "
+              "serial run; drop --jobs (or set --jobs 1). With "
+              "--workload all the scenarios run serially and each "
+              "observer file gains a per-workload suffix.");
 
-    TraceSink trace;
     SweepRunner runner(SweepConfig{
         observed ? 1 : static_cast<int>(opts.getInt("jobs")),
         /*progress=*/false});
@@ -463,13 +622,29 @@ main(int argc, char **argv)
     // per-channel link-utilization rows next to the summary table.
     std::vector<IterationResult> iter_results;
     if (observed) {
-        Simulator::Hooks hooks;
-        if (!opts.getString("trace").empty())
-            hooks.trace = &trace;
-        if (opts.getFlag("stats"))
-            hooks.stats = &std::cout;
-        for (const Scenario &sc : scenarios)
+        // Each scenario gets a fresh observer set (a shared
+        // MetricRegistry would re-register its gauges), and its
+        // outputs go to per-workload suffixed files when the sweep
+        // has more than one scenario.
+        const bool multi = scenarios.size() > 1;
+        for (const Scenario &sc : scenarios) {
+            Observers obs;
+            setupObservers(opts, obs);
+            Simulator::Hooks hooks;
+            if (obs.wantTrace)
+                hooks.trace = &obs.trace;
+            if (opts.getFlag("stats"))
+                hooks.stats = &std::cout;
+            if (obs.wantMetrics)
+                hooks.metrics = &obs.metrics;
+            if (obs.wantProfile)
+                hooks.profiler = &obs.profiler;
             iter_results.push_back(runner.simulator().run(sc, hooks));
+            if (obs.wantProfile && multi)
+                std::cout << '\n' << sc.label() << ":\n";
+            writeObserverOutputs(opts, obs,
+                                 multi ? sc.workload : "");
+        }
     } else {
         iter_results = runner.run(scenarios);
     }
@@ -544,12 +719,6 @@ main(int argc, char **argv)
             std::cout << "\nwrote " << opts.getString("channel-csv")
                       << '\n';
         }
-    }
-    if (!opts.getString("trace").empty()) {
-        std::ofstream out(opts.getString("trace"));
-        trace.write(out);
-        std::cout << "\nwrote " << opts.getString("trace") << " ("
-                  << trace.eventCount() << " events)\n";
     }
     return 0;
 }
