@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/simcheck.hh"
 
 namespace mcdla
 {
@@ -62,6 +63,9 @@ MemoryPoolAllocator::allocate(std::uint64_t bytes)
     _peakUsed = std::max(_peakUsed, _used);
     _internalWaste += block->bytes - bytes;
     ++_live;
+    _liveBlocks[block->addr] = block->bytes;
+    if (simcheck::enabled())
+        simcheckVerify();
     return block;
 }
 
@@ -70,18 +74,106 @@ MemoryPoolAllocator::release(const PoolBlock &block)
 {
     if (!block.valid())
         panic("releasing an invalid pool block");
-    if (block.bytes > _used)
-        panic("pool releasing more than allocated");
+    // The ledger check subsumes the old releasing-more-than-allocated
+    // underflow guard: an outstanding block's bytes are always <= _used.
+    auto it = _liveBlocks.find(block.addr);
+    if (it == _liveBlocks.end() || it->second != block.bytes)
+        simcheck::failUntimed(
+            "memory-pool",
+            "%s release of [%llu, +%llu) which is not an outstanding "
+            "block (double free or corrupted handle)",
+            name(), static_cast<unsigned long long>(block.addr),
+            static_cast<unsigned long long>(block.bytes));
+    _liveBlocks.erase(it);
     doRelease(block);
     _used -= block.bytes;
     _internalWaste -= block.bytes - block.requested;
     --_live;
+    if (simcheck::enabled())
+        simcheckVerify();
 }
 
 double
 MemoryPoolAllocator::utilization() const
 {
     return static_cast<double>(_used) / static_cast<double>(_capacity);
+}
+
+void
+MemoryPoolAllocator::simcheckVerifyTiling(
+    const std::map<std::uint64_t, std::uint64_t> &free_spans) const
+{
+    // Merge-walk the live blocks and free spans in address order: they
+    // must tile [0, capacity()) exactly. One pass subsumes every
+    // free-list law — no overlapping blocks, no block/hole overlap,
+    // no lost bytes, free + allocated == capacity.
+    auto live = _liveBlocks.begin();
+    auto free_it = free_spans.begin();
+    std::uint64_t cursor = 0;
+    std::uint64_t free_total = 0;
+    while (live != _liveBlocks.end() || free_it != free_spans.end()) {
+        const bool take_live = live != _liveBlocks.end()
+            && (free_it == free_spans.end()
+                || live->first < free_it->first);
+        const std::uint64_t addr =
+            take_live ? live->first : free_it->first;
+        const std::uint64_t bytes =
+            take_live ? live->second : free_it->second;
+        if (addr != cursor)
+            simcheck::failUntimed(
+                "memory-pool",
+                "%s %s span [%llu, +%llu) %s the previous span ending "
+                "at %llu (overlap or lost bytes)",
+                name(), take_live ? "allocated" : "free",
+                static_cast<unsigned long long>(addr),
+                static_cast<unsigned long long>(bytes),
+                addr < cursor ? "overlaps" : "leaves a gap after",
+                static_cast<unsigned long long>(cursor));
+        cursor = addr + bytes;
+        if (!take_live)
+            free_total += bytes;
+        if (take_live)
+            ++live;
+        else
+            ++free_it;
+    }
+    if (cursor != _capacity)
+        simcheck::failUntimed(
+            "memory-pool",
+            "%s spans cover [0, %llu) but the pool capacity is %llu",
+            name(), static_cast<unsigned long long>(cursor),
+            static_cast<unsigned long long>(_capacity));
+    if (free_total != _capacity - _used)
+        simcheck::failUntimed(
+            "memory-pool",
+            "%s free bytes %llu != capacity %llu - used %llu",
+            name(), static_cast<unsigned long long>(free_total),
+            static_cast<unsigned long long>(_capacity),
+            static_cast<unsigned long long>(_used));
+}
+
+void
+MemoryPoolAllocator::simcheckVerify() const
+{
+    std::uint64_t allocated = 0;
+    for (const auto &[addr, bytes] : _liveBlocks) {
+        (void)addr;
+        allocated += bytes;
+    }
+    if (allocated != _used)
+        simcheck::failUntimed(
+            "memory-pool",
+            "%s outstanding blocks hold %llu bytes but usedBytes() is "
+            "%llu",
+            name(), static_cast<unsigned long long>(allocated),
+            static_cast<unsigned long long>(_used));
+    if (_liveBlocks.size() != _live)
+        simcheck::failUntimed(
+            "memory-pool",
+            "%s tracks %zu outstanding blocks but liveAllocations() "
+            "is %llu",
+            name(), _liveBlocks.size(),
+            static_cast<unsigned long long>(_live));
 }
 
 double
@@ -119,6 +211,28 @@ FirstFitPoolAllocator::largestFreeBlock() const
     for (const auto &[addr, size] : _holes)
         largest = std::max(largest, size);
     return largest;
+}
+
+void
+FirstFitPoolAllocator::simcheckVerify() const
+{
+    MemoryPoolAllocator::simcheckVerify();
+    // Holes must be coalesced: two adjoining holes mean doRelease's
+    // merge logic broke down.
+    for (auto it = _holes.begin(); it != _holes.end(); ++it) {
+        auto next = std::next(it);
+        if (next != _holes.end()
+            && it->first + it->second == next->first)
+            simcheck::failUntimed(
+                "memory-pool",
+                "first-fit holes [%llu, +%llu) and [%llu, +%llu) "
+                "adjoin but were not coalesced",
+                static_cast<unsigned long long>(it->first),
+                static_cast<unsigned long long>(it->second),
+                static_cast<unsigned long long>(next->first),
+                static_cast<unsigned long long>(next->second));
+    }
+    simcheckVerifyTiling(_holes);
 }
 
 std::optional<PoolBlock>
@@ -258,6 +372,32 @@ BuddyPoolAllocator::largestFreeBlock() const
         if (!_free[o].empty())
             return _minBlock << o;
     return 0;
+}
+
+void
+BuddyPoolAllocator::simcheckVerify() const
+{
+    MemoryPoolAllocator::simcheckVerify();
+    std::map<std::uint64_t, std::uint64_t> free_spans;
+    for (std::size_t order = 0; order < _free.size(); ++order) {
+        const std::uint64_t size = _minBlock << order;
+        for (const auto &[addr, tag] : _free[order]) {
+            (void)tag;
+            if (addr % size != 0)
+                simcheck::failUntimed(
+                    "memory-pool",
+                    "buddy free block [%llu, +%llu) is not naturally "
+                    "aligned to its size",
+                    static_cast<unsigned long long>(addr),
+                    static_cast<unsigned long long>(size));
+            if (!free_spans.emplace(addr, size).second)
+                simcheck::failUntimed(
+                    "memory-pool",
+                    "buddy address %llu is on two free lists",
+                    static_cast<unsigned long long>(addr));
+        }
+    }
+    simcheckVerifyTiling(free_spans);
 }
 
 std::optional<PoolBlock>

@@ -115,9 +115,33 @@ class MemoryPoolAllocator
     std::uint64_t liveAllocations() const { return _live; }
     /// @}
 
+    /**
+     * SimCheck: free-list integrity. The live blocks and the
+     * allocator's free space must tile the pool exactly — no
+     * overlapping blocks, free + allocated == capacity, and (buddy)
+     * every free block naturally aligned to its size. Panics
+     * (SimCheck[memory-pool]) on violation. Runs automatically at
+     * every allocate/release while SimCheck is enabled.
+     */
+    virtual void simcheckVerify() const;
+
   protected:
     virtual std::optional<PoolBlock> doAllocate(std::uint64_t bytes) = 0;
     virtual void doRelease(const PoolBlock &block) = 0;
+
+    /**
+     * SimCheck helper: verify that @p free_spans (addr -> bytes, one
+     * entry per free span) plus the live blocks tile [0, capacity())
+     * with no overlap and no gap.
+     */
+    void simcheckVerifyTiling(
+        const std::map<std::uint64_t, std::uint64_t> &free_spans) const;
+
+    /** Live (allocated, unreleased) blocks, addr -> reserved bytes. */
+    const std::map<std::uint64_t, std::uint64_t> &liveBlocks() const
+    {
+        return _liveBlocks;
+    }
 
   private:
     std::uint64_t _capacity;
@@ -126,6 +150,9 @@ class MemoryPoolAllocator
     std::uint64_t _internalWaste = 0;
     std::uint64_t _failures = 0;
     std::uint64_t _live = 0;
+    /** Ledger of outstanding blocks (addr -> reserved bytes) backing
+        the SimCheck tiling/double-free checks. */
+    std::map<std::uint64_t, std::uint64_t> _liveBlocks;
 };
 
 /** Address-ordered first-fit with coalescing on release. */
@@ -137,6 +164,7 @@ class FirstFitPoolAllocator : public MemoryPoolAllocator
     const char *name() const override { return "first-fit"; }
     bool canAllocate(std::uint64_t bytes) const override;
     std::uint64_t largestFreeBlock() const override;
+    void simcheckVerify() const override;
 
     /** Number of free holes (fragmentation diagnostics). */
     std::size_t holeCount() const { return _holes.size(); }
@@ -170,6 +198,7 @@ class BuddyPoolAllocator : public MemoryPoolAllocator
     const char *name() const override { return "buddy"; }
     bool canAllocate(std::uint64_t bytes) const override;
     std::uint64_t largestFreeBlock() const override;
+    void simcheckVerify() const override;
 
   protected:
     std::optional<PoolBlock> doAllocate(std::uint64_t bytes) override;

@@ -5,7 +5,10 @@
 
 #include "interconnect/channel.hh"
 
+#include <cmath>
+
 #include "sim/logging.hh"
+#include "sim/simcheck.hh"
 
 namespace mcdla
 {
@@ -30,7 +33,11 @@ Channel::submit(double bytes, Handler on_delivered)
 {
     if (bytes <= 0.0)
         panic("channel '%s': non-positive transfer size", name().c_str());
+    _conservedEnqueued += bytes;
+    _conservedQueued += bytes;
     _queue.push_back(Pending{bytes, std::move(on_delivered)});
+    if (simcheck::enabled())
+        simcheckVerifyConservation();
     // Only count genuine waiters: on an idle channel the transfer
     // starts immediately, so an uncontended channel reports 0.
     if (_busy)
@@ -49,6 +56,8 @@ Channel::startNext()
     _busy = true;
     Pending req = std::move(_queue.front());
     _queue.pop_front();
+    _conservedQueued -= req.bytes;
+    _conservedWire += req.bytes;
 
     const Tick occupancy = transferTicks(req.bytes, _bandwidth);
     _busyTicks += occupancy;
@@ -60,6 +69,10 @@ Channel::startNext()
     Handler handler = std::move(req.onDelivered);
     after(occupancy,
           [this, bytes, handler = std::move(handler)]() mutable {
+              _conservedWire -= bytes;
+              _conservedDelivered += bytes;
+              if (simcheck::enabled())
+                  simcheckVerifyConservation();
               recordWindowBytes(now(), bytes);
               // Wire latency delays delivery but not the next transfer.
               if (handler) {
@@ -110,6 +123,37 @@ Channel::peakBandwidth() const
         return 0.0;
     const double peak = std::max(_maxWindowBytes, _currentWindowBytes);
     return peak / ticksToSeconds(_peakWindow);
+}
+
+void
+Channel::simcheckVerifyConservation() const
+{
+    // Recompute the queued side from the queue itself so a drifted
+    // incremental counter cannot mask a lost transfer.
+    double queued = 0.0;
+    for (const Pending &req : _queue)
+        queued += req.bytes;
+    const double eps =
+        1e-6 * std::max(1.0, _conservedEnqueued); // fp rounding slack
+    if (std::abs(queued - _conservedQueued) > eps)
+        simcheck::fail("channel", now(),
+                       "'%s' queue holds %.0f bytes but the ledger "
+                       "says %.0f",
+                       name().c_str(), queued, _conservedQueued);
+    const double accounted =
+        _conservedDelivered + _conservedWire + queued;
+    if (std::abs(_conservedEnqueued - accounted) > eps)
+        simcheck::fail("channel", now(),
+                       "'%s' leaks bytes: enqueued %.0f != delivered "
+                       "%.0f + in-flight %.0f + queued %.0f",
+                       name().c_str(), _conservedEnqueued,
+                       _conservedDelivered, _conservedWire, queued);
+    if (_conservedWire < -eps || _conservedQueued < -eps)
+        simcheck::fail("channel", now(),
+                       "'%s' negative occupancy: in-flight %.0f, "
+                       "queued %.0f",
+                       name().c_str(), _conservedWire,
+                       _conservedQueued);
 }
 
 void

@@ -88,6 +88,15 @@ class Channel : public SimObject
     /** Clear statistics (not queued work). */
     void resetStats() override;
 
+    /**
+     * SimCheck: byte conservation. Everything ever submitted is either
+     * delivered, on the wire, or still queued — at all times:
+     *   enqueued == delivered + in-flight + queued.
+     * Panics (SimCheck[channel]) on violation. Runs automatically at
+     * every submit and delivery while SimCheck is enabled.
+     */
+    void simcheckVerifyConservation() const;
+
   private:
     void startNext();
     void recordWindowBytes(Tick at, double bytes);
@@ -106,6 +115,13 @@ class Channel : public SimObject
     double _bytesTransferred = 0.0;
     Tick _busyTicks = 0;
     std::size_t _peakQueueDepth = 0;
+
+    // Conservation ledger (lifetime totals, independent of the
+    // resettable stats above): enqueued = delivered + wire + queued.
+    double _conservedEnqueued = 0.0;
+    double _conservedDelivered = 0.0;
+    double _conservedWire = 0.0;
+    double _conservedQueued = 0.0;
 
     // Peak tracking: bytes accumulated per fixed window.
     Tick _peakWindow = 0;

@@ -8,11 +8,41 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/simcheck.hh"
 #include "sim/trace.hh"
 #include "system/analytic_model.hh"
 
 namespace mcdla
 {
+
+void
+simcheckVerifyRequestOutcomes(
+    const std::vector<RequestOutcome> &outcomes)
+{
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const RequestOutcome &outcome = outcomes[i];
+        if (outcome.completed && outcome.dropped)
+            simcheck::failUntimed(
+                "serving",
+                "request %zu (%s) both completed and was shed", i,
+                outcome.request.name.c_str());
+        if (!outcome.completed && !outcome.dropped)
+            simcheck::failUntimed(
+                "serving",
+                "request %zu (%s) neither completed nor was shed "
+                "(lost in a queue)",
+                i, outcome.request.name.c_str());
+        if (outcome.completed
+            && (outcome.replica < 0 || outcome.dispatchSec < 0.0
+                || outcome.doneSec < outcome.dispatchSec))
+            simcheck::failUntimed(
+                "serving",
+                "request %zu (%s) completed with inconsistent "
+                "routing/timestamps (replica %d, dispatch %g, done %g)",
+                i, outcome.request.name.c_str(), outcome.replica,
+                outcome.dispatchSec, outcome.doneSec);
+    }
+}
 
 ServingCluster::ServingCluster(ServingConfig cfg,
                                std::vector<Request> stream)
@@ -183,6 +213,8 @@ ServingCluster::run()
         panic("serving drained with training jobs still pending "
               "(%zu queued, %zu running)", _jobQueue.size(),
               _activeJobs.size());
+    if (simcheck::enabled())
+        simcheckVerifyRequestOutcomes(_outcomes);
 
     ServingReport report;
     report.requests = _outcomes;
@@ -391,6 +423,12 @@ ServingCluster::onBatchDone(std::size_t r,
 
     for (std::size_t index : replica.inflight) {
         RequestOutcome &outcome = _outcomes[index];
+        if (simcheck::enabled() && (outcome.completed || outcome.dropped))
+            simcheck::fail("serving", _eq.now(),
+                           "request %zu (%s) finishing twice (already "
+                           "%s)",
+                           index, outcome.request.name.c_str(),
+                           outcome.completed ? "completed" : "shed");
         outcome.doneSec = now;
         outcome.batchSamples = batch_samples;
         outcome.computeSec = result.breakdown.computeSec;

@@ -137,6 +137,17 @@ struct RequestOutcome
     }
 };
 
+/**
+ * SimCheck: request accounting. Panics (SimCheck[serving]) unless
+ * every submitted request either completed or was shed — exactly one
+ * of the two — and every completed request carries a routed replica
+ * and a dispatch/done timestamp pair. ServingCluster::run() asserts
+ * this over its outcomes after the event queue drains; exposed as a
+ * free function so the invariant is testable on synthetic outcomes.
+ */
+void simcheckVerifyRequestOutcomes(
+    const std::vector<RequestOutcome> &outcomes);
+
 /** One replica's whole-run accounting. */
 struct ReplicaStats
 {

@@ -9,6 +9,7 @@
 
 #include "logging.hh"
 #include "profiler.hh"
+#include "simcheck.hh"
 
 namespace mcdla
 {
@@ -18,9 +19,21 @@ EventQueue::scheduleEntry(Tick when, Callback cb, std::string name,
                           bool weak)
 {
     if (when < _now) {
-        panic("scheduling event '%s' at tick %llu before now (%llu)",
-              name.c_str(), static_cast<unsigned long long>(when),
-              static_cast<unsigned long long>(_now));
+        // Scheduling in the past is a component bug: under SimCheck it
+        // is a hard error; otherwise the event is clamped to now()
+        // (with a warning) so it at least fires in scheduling order
+        // instead of silently reordering history.
+        if (simcheck::enabled())
+            simcheck::fail("event-queue", _now,
+                           "scheduling event '%s' at tick %llu before "
+                           "now",
+                           name.c_str(),
+                           static_cast<unsigned long long>(when));
+        warn("scheduling event '%s' at tick %llu before now (%llu); "
+             "clamping to now",
+             name.c_str(), static_cast<unsigned long long>(when),
+             static_cast<unsigned long long>(_now));
+        when = _now;
     }
     if (!cb)
         panic("scheduling event '%s' with empty callback", name.c_str());
@@ -74,6 +87,12 @@ EventQueue::executeHead()
 {
     Entry entry = std::move(const_cast<Entry &>(_heap.top()));
     _heap.pop();
+    if (simcheck::enabled() && entry.when < _now)
+        simcheck::fail("event-queue", _now,
+                       "event '%s' fires at tick %llu, in the past "
+                       "(time must be monotonic)",
+                       entry.name.c_str(),
+                       static_cast<unsigned long long>(entry.when));
     _now = entry.when;
     ++_executed;
     if (_profiler) {
@@ -81,7 +100,7 @@ EventQueue::executeHead()
         entry.cb();
         const auto t1 = std::chrono::steady_clock::now();
         _profiler->noteExecute(
-            entry.name,
+            entry.name, _now,
             static_cast<std::uint64_t>(
                 std::chrono::duration_cast<std::chrono::nanoseconds>(
                     t1 - t0)

@@ -60,7 +60,9 @@ class EventQueue
     /**
      * Schedule a callback at an absolute tick.
      *
-     * @param when Absolute firing time; must be >= now().
+     * @param when Absolute firing time; must be >= now(). A tick in
+     *             the past is a hard error under SimCheck, and is
+     *             otherwise clamped to now() with a warning.
      * @param cb Callback invoked when the event fires.
      * @param name Optional debug label.
      * @return A handle usable with deschedule().

@@ -63,6 +63,7 @@ DesProfiler::reset()
     _schedules = 0;
     _deschedules = 0;
     _wallNs = 0;
+    _streamHash = 14695981039346656037ULL;
     _peakHeapDepth = 0;
     _labels.clear();
 }

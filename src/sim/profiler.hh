@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/units.hh"
+
 namespace mcdla
 {
 
@@ -60,10 +62,25 @@ class DesProfiler
 
     /** Record one executed callback and its measured host time. */
     void
-    noteExecute(const std::string &label, std::uint64_t wall_ns)
+    noteExecute(const std::string &label, Tick when,
+                std::uint64_t wall_ns)
     {
         ++_executed;
         _wallNs += wall_ns;
+        // FNV-1a over the (tick, label) stream. Wall time is host
+        // noise and deliberately excluded: two runs of the same seed
+        // must produce the same hash, which is exactly what
+        // `mcdla_sim --audit-determinism` compares.
+        std::uint64_t hash = _streamHash;
+        for (int shift = 0; shift < 64; shift += 8) {
+            hash ^= (when >> shift) & 0xffu;
+            hash *= 1099511628211ULL;
+        }
+        for (const char c : label) {
+            hash ^= static_cast<unsigned char>(c);
+            hash *= 1099511628211ULL;
+        }
+        _streamHash = hash;
         auto &stats =
             _labels[label.empty() ? std::string("(unnamed)") : label];
         ++stats.count;
@@ -98,6 +115,13 @@ class DesProfiler
     /** Labels sorted by descending wall time (ties: by name). */
     std::vector<std::pair<std::string, ProfiledLabel>>
     topLabels(std::size_t limit = 0) const;
+
+    /**
+     * FNV-1a digest of the executed (tick, label) event stream. Two
+     * runs of the same scenario and seed must agree; the determinism
+     * auditor fails when they do not.
+     */
+    std::uint64_t streamHash() const { return _streamHash; }
     /// @}
 
     /** Human-readable report (the `--profile` output). */
@@ -110,6 +134,8 @@ class DesProfiler
     std::uint64_t _schedules = 0;
     std::uint64_t _deschedules = 0;
     std::uint64_t _wallNs = 0;
+    /** FNV-1a offset basis. */
+    std::uint64_t _streamHash = 14695981039346656037ULL;
     std::size_t _peakHeapDepth = 0;
     std::map<std::string, ProfiledLabel> _labels;
 };

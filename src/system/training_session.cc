@@ -10,6 +10,7 @@
 
 #include "interconnect/flow.hh"
 #include "sim/logging.hh"
+#include "sim/simcheck.hh"
 
 namespace mcdla
 {
@@ -910,6 +911,13 @@ TrainingSession::finishWhenQuiescent()
             pager->whenDmaIdle([this] { finishWhenQuiescent(); });
             return;
         }
+    }
+    if (simcheck::enabled()) {
+        // The loop above vouched for quiescence; re-assert it through
+        // the fault handlers' own counters so a desynchronized
+        // dmaIdle() shortcut cannot mask a leaked DMA.
+        for (auto &pager : _pagers)
+            pager->simcheckExpectQuiescent("end of iteration");
     }
     auto done = std::move(_onIterationDone);
     _onIterationDone = nullptr;

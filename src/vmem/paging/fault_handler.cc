@@ -7,6 +7,7 @@
 
 #include "dnn/network.hh"
 #include "sim/logging.hh"
+#include "sim/simcheck.hh"
 #include "sim/trace.hh"
 
 namespace mcdla
@@ -103,6 +104,12 @@ FaultHandler::transfer(LayerId layer, DmaDirection direction,
             }
             if (on_drain)
                 on_drain();
+            if (simcheck::enabled() && _outstanding == 0)
+                simcheck::fail(
+                    "fault-handler", now,
+                    "DMA of group %d drained with no outstanding "
+                    "transfer on record (count underflow)",
+                    layer);
             if (--_outstanding == 0 && !_idleWaiters.empty()) {
                 std::vector<Handler> waiters;
                 waiters.swap(_idleWaiters);
@@ -110,6 +117,17 @@ FaultHandler::transfer(LayerId layer, DmaDirection direction,
                     waiter();
             }
         });
+}
+
+void
+FaultHandler::simcheckExpectQuiescent(const char *when) const
+{
+    if (_outstanding != 0)
+        simcheck::fail("fault-handler", _runtime.dma().now(),
+                       "%llu DMA transfer(s) still outstanding at %s "
+                       "(leaked DMA)",
+                       static_cast<unsigned long long>(_outstanding),
+                       when);
 }
 
 void

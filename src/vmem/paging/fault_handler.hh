@@ -129,6 +129,15 @@ class FaultHandler
      */
     void whenDmaIdle(Handler cb);
 
+    /**
+     * SimCheck: panic (SimCheck[fault-handler]) unless every DMA has
+     * drained. Sessions assert this at end of iteration — a leaked
+     * transfer there means a completion callback will dangle.
+     *
+     * @param when Context for the diagnostic (e.g. "end of iteration").
+     */
+    void simcheckExpectQuiescent(const char *when) const;
+
     /// @}
 
   private:

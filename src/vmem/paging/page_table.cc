@@ -6,6 +6,7 @@
 #include "vmem/paging/page_table.hh"
 
 #include "sim/logging.hh"
+#include "sim/simcheck.hh"
 
 namespace mcdla
 {
@@ -58,9 +59,18 @@ void
 PageTable::expect(const PageEntry &e, PageState state,
                   const char *transition) const
 {
-    if (e.state != state)
-        panic("page group of layer %d is %s; %s requires %s", e.layer,
-              pageStateName(e.state), transition, pageStateName(state));
+    if (e.state == state)
+        return;
+    // A frame-state transition from the wrong state is how double
+    // mappings (filling an already-resident group) and stale-residency
+    // bugs begin; under SimCheck it carries the subsystem label.
+    if (simcheck::enabled())
+        simcheck::failUntimed(
+            "page-table",
+            "page group of layer %d is %s; %s requires %s", e.layer,
+            pageStateName(e.state), transition, pageStateName(state));
+    panic("page group of layer %d is %s; %s requires %s", e.layer,
+          pageStateName(e.state), transition, pageStateName(state));
 }
 
 void
@@ -90,6 +100,8 @@ PageTable::produce(LayerId layer, Tick now)
     e.dirty = true;
     e.lastTouch = now;
     charge(e.bytes);
+    if (simcheck::enabled())
+        simcheckVerify();
 }
 
 void
@@ -100,6 +112,8 @@ PageTable::beginEvict(LayerId layer)
     e.state = PageState::Evicting;
     ++_evicting;
     _evictingBytes += e.bytes;
+    if (simcheck::enabled())
+        simcheckVerify();
 }
 
 void
@@ -112,6 +126,8 @@ PageTable::finishEvict(LayerId layer)
     --_evicting;
     _evictingBytes -= e.bytes;
     uncharge(e.bytes);
+    if (simcheck::enabled())
+        simcheckVerify();
 }
 
 void
@@ -123,6 +139,8 @@ PageTable::discard(LayerId layer)
         panic("discarding dirty page group of layer %d", layer);
     e.state = PageState::NotResident;
     uncharge(e.bytes);
+    if (simcheck::enabled())
+        simcheckVerify();
 }
 
 void
@@ -133,6 +151,8 @@ PageTable::beginFill(LayerId layer)
     e.state = PageState::Filling;
     ++_filling;
     charge(e.bytes);
+    if (simcheck::enabled())
+        simcheckVerify();
 }
 
 void
@@ -143,6 +163,8 @@ PageTable::finishFill(LayerId layer, Tick now)
     e.state = PageState::Resident;
     --_filling;
     e.lastTouch = now;
+    if (simcheck::enabled())
+        simcheckVerify();
 }
 
 void
@@ -159,12 +181,68 @@ PageTable::release(LayerId layer)
     e.state = PageState::Invalid;
     e.dirty = false;
     e.pinned = false;
+    if (simcheck::enabled())
+        simcheckVerify();
 }
 
 void
 PageTable::touch(LayerId layer, Tick now)
 {
     entry(layer).lastTouch = now;
+}
+
+void
+PageTable::simcheckVerify() const
+{
+    // Recompute residency from the entries themselves: resident pages
+    // (plus in-transit frames, which stay charged) must equal the
+    // frames used, and no frame may be charged twice — each entry is
+    // counted exactly once by construction, so a mismatch means a
+    // transition charged or uncharged out of step with its state.
+    std::uint64_t charged = 0;
+    int evicting = 0;
+    int filling = 0;
+    std::uint64_t evicting_bytes = 0;
+    for (const auto &[layer, e] : _entries) {
+        (void)layer;
+        switch (e.state) {
+          case PageState::Resident:
+            charged += e.bytes;
+            break;
+          case PageState::Evicting:
+            charged += e.bytes;
+            ++evicting;
+            evicting_bytes += e.bytes;
+            break;
+          case PageState::Filling:
+            charged += e.bytes;
+            ++filling;
+            break;
+          case PageState::Invalid:
+          case PageState::NotResident:
+            break;
+        }
+    }
+    if (charged != _used)
+        simcheck::failUntimed(
+            "page-table",
+            "resident+in-transit page groups hold %llu bytes but %llu "
+            "frame bytes are charged (double-mapped or leaked frames)",
+            static_cast<unsigned long long>(charged),
+            static_cast<unsigned long long>(_used));
+    if (evicting != _evicting || evicting_bytes != _evictingBytes)
+        simcheck::failUntimed(
+            "page-table",
+            "%d evictions (%llu bytes) in flight but counters say %d "
+            "(%llu bytes)",
+            evicting, static_cast<unsigned long long>(evicting_bytes),
+            _evicting,
+            static_cast<unsigned long long>(_evictingBytes));
+    if (filling != _filling)
+        simcheck::failUntimed(
+            "page-table",
+            "%d fills in flight but the counter says %d", filling,
+            _filling);
 }
 
 void

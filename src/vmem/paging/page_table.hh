@@ -125,6 +125,15 @@ class PageTable
     /** Reset every entry to Invalid for a new iteration. */
     void resetIteration();
 
+    /**
+     * SimCheck: frame accounting. Recomputes residency from the
+     * entries and panics (SimCheck[page-table]) unless resident +
+     * in-transit bytes == usedBytes() and the eviction/fill in-flight
+     * counters match. Runs automatically at every residency transition
+     * while SimCheck is enabled.
+     */
+    void simcheckVerify() const;
+
   private:
     void expect(const PageEntry &e, PageState state,
                 const char *transition) const;

@@ -132,6 +132,13 @@ class DevicePager
         _fault.whenDmaIdle(std::move(cb));
     }
 
+    /** SimCheck: panic unless every DMA of this pager has drained. */
+    void
+    simcheckExpectQuiescent(const char *when) const
+    {
+        _fault.simcheckExpectQuiescent(when);
+    }
+
     /// @name Policy-facing operations
     /// @{
     /** Static plan: unconditionally write @p layer back now. */

@@ -91,10 +91,10 @@ INSTANTIATE_TEST_SUITE_P(
              ParallelMode::DataParallel},
         Case{"RNN-GRU", SystemDesign::DcDla,
              ParallelMode::DataParallel}),
-    [](const auto &info) {
-        std::string name = info.param.workload + "_"
-            + systemDesignName(info.param.design) + "_"
-            + (info.param.mode == ParallelMode::DataParallel ? "dp"
+    [](const auto &test_info) {
+        std::string name = test_info.param.workload + "_"
+            + systemDesignName(test_info.param.design) + "_"
+            + (test_info.param.mode == ParallelMode::DataParallel ? "dp"
                                                              : "mp");
         for (char &c : name)
             if (!std::isalnum(static_cast<unsigned char>(c)))

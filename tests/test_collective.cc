@@ -264,16 +264,16 @@ INSTANTIATE_TEST_SUITE_P(
                           CollectiveKind::ReduceScatter,
                           CollectiveKind::Broadcast),
         ::testing::Values(2, 4, 8, 16, 24, 36)),
-    [](const auto &info) {
+    [](const auto &test_info) {
         const char *kind = "x";
-        switch (std::get<0>(info.param)) {
+        switch (std::get<0>(test_info.param)) {
           case CollectiveKind::AllGather: kind = "ag"; break;
           case CollectiveKind::AllReduce: kind = "ar"; break;
           case CollectiveKind::ReduceScatter: kind = "rs"; break;
           case CollectiveKind::Broadcast: kind = "bc"; break;
         }
         return std::string(kind) + "_n"
-            + std::to_string(std::get<1>(info.param));
+            + std::to_string(std::get<1>(test_info.param));
     });
 
 TEST(AnalyticModel, DegenerateCases)

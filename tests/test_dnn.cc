@@ -415,8 +415,8 @@ TEST_P(BenchmarkProperties, SummaryMentionsEveryWeightedLayer)
 INSTANTIATE_TEST_SUITE_P(
     AllBenchmarks, BenchmarkProperties,
     ::testing::ValuesIn(benchmarkNames()),
-    [](const auto &info) {
-        std::string name = info.param;
+    [](const auto &test_info) {
+        std::string name = test_info.param;
         for (char &c : name)
             if (!std::isalnum(static_cast<unsigned char>(c)))
                 c = '_';

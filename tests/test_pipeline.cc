@@ -419,12 +419,12 @@ INSTANTIATE_TEST_SUITE_P(
                    ParallelMode::DataParallel},
         BoundsCase{"RNN-GEMV", SystemDesign::McDlaB,
                    ParallelMode::ModelParallel}),
-    [](const auto &info) {
-        std::string name = info.param.workload + "_"
-            + systemDesignName(info.param.design) + "_"
-            + parallelModeToken(info.param.mode) + "_s"
-            + std::to_string(info.param.stages) + "_mb"
-            + std::to_string(info.param.microbatches);
+    [](const auto &test_info) {
+        std::string name = test_info.param.workload + "_"
+            + systemDesignName(test_info.param.design) + "_"
+            + parallelModeToken(test_info.param.mode) + "_s"
+            + std::to_string(test_info.param.stages) + "_mb"
+            + std::to_string(test_info.param.microbatches);
         for (char &c : name)
             if (!std::isalnum(static_cast<unsigned char>(c)))
                 c = '_';

@@ -54,8 +54,9 @@ TEST_F(ServingTest, SynthesisIsSeededAndSortedForEveryArrivalKind)
             EXPECT_EQ(x[i].arrivalSec, y[i].arrivalSec);
             EXPECT_EQ(x[i].samples, y[i].samples);
             EXPECT_GE(x[i].samples, 1);
-            if (i > 0)
+            if (i > 0) {
                 EXPECT_LE(x[i - 1].arrivalSec, x[i].arrivalSec);
+            }
             if (x[i].arrivalSec != z[i].arrivalSec)
                 differs = true;
         }
@@ -525,8 +526,9 @@ TEST_F(ServingTest, AdmissionControlShedsWhenPredictionsBlowTheSlo)
     EXPECT_GT(shed.droppedRequests(), 0u);
     EXPECT_EQ(shed.completedRequests() + shed.droppedRequests(), 256u);
     for (const RequestOutcome &outcome : shed.requests)
-        if (outcome.dropped)
+        if (outcome.dropped) {
             EXPECT_EQ(outcome.replica, -1);
+        }
     // Shedding the hopeless tail tightens the served distribution.
     EXPECT_LT(shed.latencyPercentileMs(99.0),
               open.latencyPercentileMs(99.0));

@@ -12,6 +12,7 @@
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
+#include "sim/simcheck.hh"
 #include "sim/stats.hh"
 #include "sim/units.hh"
 
@@ -195,12 +196,36 @@ TEST(EventQueue, ResetClearsEverything)
     EXPECT_EQ(eq.executedCount(), 0u);
 }
 
-TEST_F(ThrowingErrors, SchedulingInThePastPanics)
+TEST_F(ThrowingErrors, SchedulingInThePastClampsToNow)
 {
+    // Without SimCheck a past-tick schedule is a logged clamp, not a
+    // hard error: the event runs at now().
+    const bool was_enabled = simcheck::enabled();
+    simcheck::setEnabled(false);
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    bool ran = false;
+    Tick fired = 0;
+    eq.schedule(50, [&] {
+        ran = true;
+        fired = eq.now();
+    });
+    eq.run();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(fired, 100u);
+    simcheck::setEnabled(was_enabled);
+}
+
+TEST_F(ThrowingErrors, SchedulingInThePastPanicsUnderSimCheck)
+{
+    const bool was_enabled = simcheck::enabled();
+    simcheck::setEnabled(true);
     EventQueue eq;
     eq.schedule(100, [] {});
     eq.run();
     EXPECT_THROW(eq.schedule(50, [] {}), PanicError);
+    simcheck::setEnabled(was_enabled);
 }
 
 TEST_F(ThrowingErrors, SchedulingEmptyCallbackPanics)

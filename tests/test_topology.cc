@@ -110,8 +110,9 @@ TEST_F(TopologyTest, VmemOnlyResourcesAreNotRoutable)
     for (const TopoLink &link : dc->topology().links()) {
         const NodeKind src = dc->topology().nodeInfo(link.src).kind;
         const NodeKind dst = dc->topology().nodeInfo(link.dst).kind;
-        if (src == NodeKind::Host || dst == NodeKind::Host)
+        if (src == NodeKind::Host || dst == NodeKind::Host) {
             EXPECT_FALSE(link.routable) << link.channel->name();
+        }
     }
 }
 

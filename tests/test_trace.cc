@@ -400,9 +400,10 @@ TEST(TraceSink, DeterministicPidAndTrackAssignment)
     for (const JsonValue &event : root.at("traceEvents").items) {
         pids.insert(event.at("pid").number);
         if (event.at("ph").text == "M"
-            && event.at("name").text == "process_name")
+            && event.at("name").text == "process_name") {
             EXPECT_TRUE(
                 procs.insert(event.at("args").at("name").text).second);
+        }
     }
     EXPECT_EQ(procs.size(), 5u);
     EXPECT_EQ(pids.size(), 5u);

@@ -304,10 +304,10 @@ INSTANTIATE_TEST_SUITE_P(
             std::begin(kAllDesigns), std::end(kAllDesigns))),
         ::testing::Values(ParallelMode::DataParallel,
                           ParallelMode::ModelParallel)),
-    [](const auto &info) {
-        std::string name = std::get<0>(info.param) + "_"
-            + systemDesignName(std::get<1>(info.param)) + "_"
-            + (std::get<2>(info.param) == ParallelMode::DataParallel
+    [](const auto &test_info) {
+        std::string name = std::get<0>(test_info.param) + "_"
+            + systemDesignName(std::get<1>(test_info.param)) + "_"
+            + (std::get<2>(test_info.param) == ParallelMode::DataParallel
                    ? "dp"
                    : "mp");
         for (char &c : name)

@@ -55,6 +55,7 @@
 
 #include "core/mcdla.hh"
 #include "core/options.hh"
+#include "sim/simcheck.hh"
 
 using namespace mcdla;
 
@@ -165,6 +166,112 @@ writeObserverOutputs(const OptionParser &opts, const Observers &obs,
         obs.profiler.report(std::cout);
 }
 
+/** One --audit-determinism run: the event-stream digest. */
+struct AuditRun
+{
+    std::uint64_t streamHash = 0;
+    std::uint64_t executed = 0;
+};
+
+/**
+ * Execute the selected mode (sweep/cluster/serve) once from fresh
+ * state with a DesProfiler attached, returning the (tick, label)
+ * stream digest. Observer and table output stay off: the audit only
+ * cares about the executed event stream.
+ */
+AuditRun
+auditRunOnce(const OptionParser &opts, const Scenario &prototype)
+{
+    DesProfiler profiler;
+    if (prototype.serve) {
+        ServingConfig cfg;
+        cfg.base = prototype;
+        cfg.allocator =
+            parsePoolAllocator(opts.getString("allocator"));
+        cfg.progress = false;
+        if (!opts.getString("job-trace").empty())
+            cfg.trainingJobs =
+                loadJobTrace(opts.getString("job-trace"));
+        cfg.profiler = &profiler;
+        std::vector<Request> stream;
+        if (!opts.getString("request-trace").empty()) {
+            stream = loadRequestTrace(opts.getString("request-trace"));
+        } else {
+            Random rng(prototype.seed);
+            stream = synthesizeRequests(
+                static_cast<int>(prototype.requests),
+                prototype.requestRate, prototype.arrivals, rng);
+        }
+        ServingCluster serving(cfg, std::move(stream));
+        (void)serving.run();
+    } else if (opts.getFlag("cluster")) {
+        ClusterConfig cfg;
+        cfg.base = prototype;
+        cfg.scheduler = parseScheduler(opts.getString("scheduler"));
+        cfg.allocator =
+            parsePoolAllocator(opts.getString("allocator"));
+        cfg.placement = parseJobPlacement(opts.getString("placement"));
+        cfg.progress = false;
+        cfg.profiler = &profiler;
+        std::vector<JobSpec> jobs;
+        if (!opts.getString("job-trace").empty()) {
+            jobs = loadJobTrace(opts.getString("job-trace"));
+        } else {
+            const int count = opts.wasSet("jobs")
+                ? static_cast<int>(opts.getInt("jobs"))
+                : 8;
+            Random rng(prototype.seed);
+            jobs = synthesizeJobs(count,
+                                  opts.getDouble("arrival-rate"),
+                                  prototype.base.fabric.numDevices,
+                                  rng);
+        }
+        Cluster cluster(cfg, std::move(jobs));
+        (void)cluster.run();
+    } else {
+        // A fresh Simulator per run: the network cache is read-only
+        // after construction, but the audit should not share *any*
+        // state between its two runs.
+        Simulator sim;
+        Simulator::Hooks hooks;
+        hooks.profiler = &profiler;
+        (void)sim.run(prototype, hooks);
+    }
+    return {profiler.streamHash(), profiler.eventsExecuted()};
+}
+
+/**
+ * --audit-determinism: run the scenario twice from fresh state with
+ * the same seed and compare the executed event streams. Divergence
+ * means hidden state leaked into the simulation (host pointers used
+ * as keys, uninitialized reads, a stray non-seeded RNG).
+ */
+int
+auditDeterminism(const OptionParser &opts, const Scenario &prototype)
+{
+    const char *mode = prototype.serve ? "serve"
+        : opts.getFlag("cluster")      ? "cluster"
+                                       : parallelModeName(prototype.mode);
+    const AuditRun first = auditRunOnce(opts, prototype);
+    const AuditRun second = auditRunOnce(opts, prototype);
+    if (first.streamHash != second.streamHash
+        || first.executed != second.executed) {
+        std::cerr << "determinism audit FAILED (" << mode << ", seed "
+                  << prototype.seed << "): run 1 executed "
+                  << first.executed << " events (stream hash "
+                  << std::hex << first.streamHash << "), run 2 "
+                  << std::dec << second.executed << " (stream hash "
+                  << std::hex << second.streamHash << std::dec
+                  << ")\n";
+        return 1;
+    }
+    std::cout << "determinism audit passed (" << mode << ", seed "
+              << prototype.seed << "): " << first.executed
+              << " events, stream hash " << std::hex
+              << first.streamHash << std::dec << '\n';
+    return 0;
+}
+
 } // namespace
 
 int
@@ -240,6 +347,13 @@ main(int argc, char **argv)
                  "print the serving batch-policy and router catalogs "
                  "and exit");
     opts.addFlag("quiet", "suppress informational output");
+    opts.addFlag("simcheck",
+                 "enable the runtime invariant checks (SimCheck) for "
+                 "this run, whatever the build default");
+    opts.addFlag("audit-determinism",
+                 "run the scenario twice with the same seed and fail "
+                 "unless the executed (tick, label) event streams "
+                 "hash identically");
 
     if (!opts.parse(argc, argv, std::cerr))
         return 1;
@@ -341,8 +455,17 @@ main(int argc, char **argv)
     }
     if (opts.getFlag("quiet"))
         LogConfig::verbose = false;
+    if (opts.getFlag("simcheck"))
+        simcheck::setEnabled(true);
 
     const Scenario prototype = Scenario::fromOptions(opts);
+
+    if (opts.getFlag("audit-determinism")) {
+        if (prototype.workload == "all")
+            fatal("--audit-determinism audits one scenario; pick a "
+                  "--workload");
+        return auditDeterminism(opts, prototype);
+    }
 
     if (prototype.serve) {
         if (opts.getFlag("cluster"))
