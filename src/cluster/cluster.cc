@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "sim/causal.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 #include "system/analytic_model.hh"
@@ -224,6 +225,8 @@ Cluster::run()
 
     if (_cfg.profiler != nullptr)
         _eq.setProfiler(_cfg.profiler);
+    if (_cfg.causal != nullptr)
+        _eq.setCausalRecorder(_cfg.causal);
     if (_cfg.trace != nullptr)
         _system->collectives().setTraceSink(_cfg.trace);
     if (_cfg.metrics != nullptr) {
@@ -248,9 +251,15 @@ Cluster::run()
         _cfg.metrics->start(_eq);
     }
 
-    for (std::size_t i = 0; i < _specs.size(); ++i) {
-        _eq.schedule(secondsToTicks(_specs[i].arrivalSec),
-                     [this, i] { onArrival(i); }, "job_arrival");
+    {
+        // Arrivals are scheduler-wait edges: a job's first admission
+        // attempt causally hangs off its arrival event.
+        CausalScope causal_scope(_eq.causalRecorder(), WaitKind::Sched,
+                                 CausalCtx::Cluster);
+        for (std::size_t i = 0; i < _specs.size(); ++i) {
+            _eq.schedule(secondsToTicks(_specs[i].arrivalSec),
+                         [this, i] { onArrival(i); }, "job_arrival");
+        }
     }
     _eq.run();
 
@@ -474,7 +483,11 @@ Cluster::finishJob(std::size_t index)
                outcome.jctSec(), outcome.queueSec());
 
     // Tear down from a fresh event: the session is live on the call
-    // stack (this runs inside its completion callback).
+    // stack (this runs inside its completion callback). The cleanup
+    // event re-runs admission, so waiting jobs' starts hang off it as
+    // scheduler-wait edges.
+    CausalScope causal_scope(_eq.causalRecorder(), WaitKind::Sched,
+                             CausalCtx::Cluster);
     _eq.schedule(_eq.now(), [this, index] { cleanupJob(index); },
                  "job_cleanup");
 }

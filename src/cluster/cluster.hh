@@ -117,6 +117,12 @@ struct ClusterConfig
     MetricRegistry *metrics = nullptr;
     /** DES wall-clock profiler attached to the cluster's EventQueue. */
     DesProfiler *profiler = nullptr;
+    /**
+     * Event-provenance recorder attached to the cluster's EventQueue.
+     * Job arrivals and scheduler passes tag sched-wait edges in the
+     * cluster context; admitted sessions tag their own subsystems.
+     */
+    CausalRecorder *causal = nullptr;
     /// @}
 };
 

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <memory>
 
+#include "sim/causal.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -119,6 +120,12 @@ CollectiveEngine::launchOn(const std::vector<const RingPath *> &rings,
                            CollectiveKind kind, double total_bytes,
                            Handler on_done, int root)
 {
+    // Everything scheduled while launching — degenerate noops and the
+    // first wave of chunk submissions — belongs to the collective
+    // subsystem; chained hops inherit the context from their parents.
+    CausalScope causal_scope(eventQueue().causalRecorder(),
+                             WaitKind::Collective,
+                             CausalCtx::Collective, name());
     _bytesLaunched += total_bytes;
     stats().scalar("bytes") += total_bytes;
 

@@ -67,6 +67,7 @@
 #include "serving/request.hh"
 #include "serving/router.hh"
 #include "serving/serving.hh"
+#include "sim/causal.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"

@@ -234,6 +234,9 @@ Scenario::addOptions(OptionParser &opts)
     opts.addDouble("socket-gbps", 0.0,
                    "host socket bandwidth cap, GB/s (0 = uncapped)");
     opts.addDouble("compression", 1.0, "cDMA compression ratio");
+    opts.addDouble("compute-scale", 1.0,
+                   "uniform scale on per-layer compute times "
+                   "(what-if validation)");
     opts.addInt("iterations", 1, "training iterations to simulate");
     opts.addFlag("no-recompute", "disable the footnote-4 optimization");
     opts.addString("prefetch-policy", "static-plan",
@@ -324,6 +327,10 @@ Scenario::fromOptions(const OptionParser &opts)
     sc.base.memNode.dimm = dimmByCapacityGib(
         static_cast<unsigned>(opts.getInt("dimm-gib")));
     sc.base.dmaCompressionRatio = opts.getDouble("compression");
+    sc.base.computeTimeScale = opts.getDouble("compute-scale");
+    if (sc.base.computeTimeScale <= 0.0)
+        fatal("--compute-scale must be positive (got %g)",
+              sc.base.computeTimeScale);
     sc.base.recomputeCheapLayers = !opts.getFlag("no-recompute");
 
     sc.base.paging.prefetch =

@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "interconnect/channel.hh"
+#include "sim/causal.hh"
 #include "sim/logging.hh"
 #include "system/system.hh"
 
@@ -76,6 +77,10 @@ Simulator::run(const Scenario &scenario, const Network &net,
                const Hooks &hooks) const
 {
     EventQueue eq;
+    // The recorder attaches before the System exists so that
+    // construction-time schedules land in the provenance DAG too.
+    if (hooks.causal != nullptr)
+        eq.setCausalRecorder(hooks.causal);
     System system(eq, scenario.config());
     TrainingSession session(system, net, scenario.mode,
                             scenario.globalBatch,

@@ -31,6 +31,8 @@
 namespace mcdla
 {
 
+class CausalRecorder;
+
 /**
  * Register the standard machine-level gauges on @p metrics: one
  * "chan.<name>.util" utilization gauge per fabric channel (fraction of
@@ -56,6 +58,13 @@ class Simulator
         MetricRegistry *metrics = nullptr;
         /** DES wall-clock profiler attached to the run's EventQueue. */
         DesProfiler *profiler = nullptr;
+        /**
+         * Event-provenance recorder attached to the run's EventQueue
+         * (attached before the System is built so construction-time
+         * schedules are captured). Observation-only: execution order
+         * and results are identical with or without it.
+         */
+        CausalRecorder *causal = nullptr;
         /** Inspect the live System after the last iteration. */
         std::function<void(System &, const IterationResult &)> postRun;
     };

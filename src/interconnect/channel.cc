@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "sim/causal.hh"
 #include "sim/logging.hh"
 #include "sim/simcheck.hh"
 
@@ -35,7 +36,10 @@ Channel::submit(double bytes, Handler on_delivered)
         panic("channel '%s': non-positive transfer size", name().c_str());
     _conservedEnqueued += bytes;
     _conservedQueued += bytes;
-    _queue.push_back(Pending{bytes, std::move(on_delivered)});
+    Pending pending{bytes, std::move(on_delivered), _busy, 0};
+    if (const CausalRecorder *rec = eventQueue().causalRecorder())
+        pending.causalCtx = rec->currentCtxRaw();
+    _queue.push_back(std::move(pending));
     if (simcheck::enabled())
         simcheckVerifyConservation();
     // Only count genuine waiters: on an idle channel the transfer
@@ -67,6 +71,14 @@ Channel::startNext()
 
     const double bytes = req.bytes;
     Handler handler = std::move(req.onDelivered);
+    // Causal tagging: the occupancy edge is chan_xfer (idle start) or
+    // chan_queue (started after queueing), in the subsystem context
+    // the transfer was submitted under; the post-occupancy delivery
+    // hop is a wire edge inheriting its parent's context.
+    CausalScope occupancy_scope(
+        eventQueue().causalRecorder(),
+        req.waited ? WaitKind::ChanQueue : WaitKind::ChanXfer,
+        CausalRecorder::ctxFromRaw(req.causalCtx), name());
     after(occupancy,
           [this, bytes, handler = std::move(handler)]() mutable {
               _conservedWire -= bytes;
@@ -79,6 +91,9 @@ Channel::startNext()
                   if (_latency == 0) {
                       handler();
                   } else {
+                      CausalScope wire_scope(
+                          eventQueue().causalRecorder(),
+                          WaitKind::Wire, name());
                       eventQueue().scheduleAfter(_latency,
                                                  std::move(handler),
                                                  name() + ".deliver");

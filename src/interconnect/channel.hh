@@ -105,6 +105,13 @@ class Channel : public SimObject
     {
         double bytes;
         Handler onDelivered;
+        /** Queued behind a busy channel (vs started immediately) —
+            recorded as a chan_queue rather than chan_xfer wait. */
+        bool waited = false;
+        /** CausalCtx at submit time (raw form), so a DMA transfer
+            queued behind collective traffic keeps its own subsystem
+            attribution when it finally starts. */
+        std::uint8_t causalCtx = 0;
     };
 
     double _bandwidth;

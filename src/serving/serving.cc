@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "sim/causal.hh"
 #include "sim/logging.hh"
 #include "sim/simcheck.hh"
 #include "sim/trace.hh"
@@ -156,6 +157,8 @@ ServingCluster::run()
 
     if (_cfg.profiler != nullptr)
         _eq.setProfiler(_cfg.profiler);
+    if (_cfg.causal != nullptr)
+        _eq.setCausalRecorder(_cfg.causal);
     if (_cfg.trace != nullptr)
         _system->collectives().setTraceSink(_cfg.trace);
     if (_cfg.metrics != nullptr) {
@@ -192,14 +195,26 @@ ServingCluster::run()
         _cfg.metrics->start(_eq);
     }
 
-    for (std::size_t i = 0; i < _stream.size(); ++i) {
-        _eq.schedule(secondsToTicks(_stream[i].arrivalSec),
-                     [this, i] { onRequestArrival(i); },
-                     "request_arrival");
+    {
+        // A request's batch launch hangs off its arrival: the gap is
+        // batch-coalescing wait in the serving context.
+        CausalScope causal_scope(_eq.causalRecorder(), WaitKind::Batch,
+                                 CausalCtx::Serving);
+        for (std::size_t i = 0; i < _stream.size(); ++i) {
+            _eq.schedule(secondsToTicks(_stream[i].arrivalSec),
+                         [this, i] { onRequestArrival(i); },
+                         "request_arrival");
+        }
     }
-    for (std::size_t j = 0; j < _cfg.trainingJobs.size(); ++j) {
-        _eq.schedule(secondsToTicks(_cfg.trainingJobs[j].arrivalSec),
-                     [this, j] { onJobArrival(j); }, "job_arrival");
+    {
+        // Co-located training jobs queue on the FIFO scheduler.
+        CausalScope causal_scope(_eq.causalRecorder(), WaitKind::Sched,
+                                 CausalCtx::Cluster);
+        for (std::size_t j = 0; j < _cfg.trainingJobs.size(); ++j) {
+            _eq.schedule(
+                secondsToTicks(_cfg.trainingJobs[j].arrivalSec),
+                [this, j] { onJobArrival(j); }, "job_arrival");
+        }
     }
     _eq.run();
 
@@ -349,6 +364,8 @@ ServingCluster::maybeLaunch(std::size_t r)
         // guarantees progress past the rounding gap.
         const Tick fire_tick = std::max(secondsToTicks(fire_at),
                                         _eq.now() + 1);
+        CausalScope causal_scope(_eq.causalRecorder(), WaitKind::Batch,
+                                 CausalCtx::Serving);
         _eq.schedule(fire_tick,
                      [this, r] {
                          _replicas[r].timerArmed = false;
@@ -471,7 +488,11 @@ ServingCluster::onBatchDone(std::size_t r,
                replica.ewmaPerSampleSec * 1e3);
 
     // Tear down from a fresh event: the session is live on the call
-    // stack (this runs inside its completion callback).
+    // stack (this runs inside its completion callback). Cleanup
+    // launches the next coalesced batch, so queued requests' service
+    // hangs off it as batch-wait edges.
+    CausalScope causal_scope(_eq.causalRecorder(), WaitKind::Batch,
+                             CausalCtx::Serving);
     _eq.schedule(_eq.now(), [this, r] { cleanupBatch(r); },
                  "batch_cleanup");
 }
@@ -656,6 +677,8 @@ ServingCluster::finishJob(std::size_t index)
     if (_cfg.progress)
         inform("t=%.4fs finish %s (JCT %.3fs)", outcome.finishSec,
                outcome.spec.label().c_str(), outcome.jctSec());
+    CausalScope causal_scope(_eq.causalRecorder(), WaitKind::Sched,
+                             CausalCtx::Cluster);
     _eq.schedule(_eq.now(), [this, index] { cleanupJob(index); },
                  "job_cleanup");
 }

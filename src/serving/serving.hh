@@ -94,6 +94,12 @@ struct ServingConfig
     MetricRegistry *metrics = nullptr;
     /** DES wall-clock profiler attached to the serving EventQueue. */
     DesProfiler *profiler = nullptr;
+    /**
+     * Event-provenance recorder attached to the serving EventQueue.
+     * Request arrivals and batch timers tag batch-wait edges in the
+     * serving context; co-located jobs tag sched-wait edges.
+     */
+    CausalRecorder *causal = nullptr;
     /// @}
 };
 

@@ -7,6 +7,7 @@
 
 #include <chrono>
 
+#include "causal.hh"
 #include "logging.hh"
 #include "profiler.hh"
 #include "simcheck.hh"
@@ -38,6 +39,8 @@ EventQueue::scheduleEntry(Tick when, Callback cb, std::string name,
     if (!cb)
         panic("scheduling event '%s' with empty callback", name.c_str());
     const EventId id = _nextId++;
+    if (_causal)
+        _causal->noteSchedule(id, when, _now, name, weak);
     _heap.push(Entry{when, _nextSeq++, id, std::move(cb),
                      std::move(name), weak});
     ++_live;
@@ -77,6 +80,8 @@ EventQueue::deschedule(EventId id)
         }
         if (_profiler)
             _profiler->noteDeschedule();
+        if (_causal)
+            _causal->noteDeschedule(id);
         return true;
     }
     return false;
@@ -95,6 +100,8 @@ EventQueue::executeHead()
                        static_cast<unsigned long long>(entry.when));
     _now = entry.when;
     ++_executed;
+    if (_causal)
+        _causal->noteExecute(entry.id, _now);
     if (_profiler) {
         const auto t0 = std::chrono::steady_clock::now();
         entry.cb();
@@ -108,6 +115,8 @@ EventQueue::executeHead()
     } else {
         entry.cb();
     }
+    if (_causal)
+        _causal->noteExecuteEnd();
 }
 
 void

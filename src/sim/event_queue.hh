@@ -27,6 +27,7 @@
 namespace mcdla
 {
 
+class CausalRecorder;
 class DesProfiler;
 
 /** Opaque handle identifying a scheduled event (for cancellation). */
@@ -136,6 +137,22 @@ class EventQueue
 
     DesProfiler *profiler() const { return _profiler; }
 
+    /**
+     * Attach a causal (provenance) recorder (nullptr detaches). While
+     * attached, every schedule records its parent — the event
+     * executing at the time — plus the wait-edge tags of the active
+     * CausalScope; execution is otherwise untouched, so the recorder
+     * never perturbs event order or the determinism-audit hash. Off
+     * by default — one branch per schedule/execute when detached.
+     */
+    void
+    setCausalRecorder(CausalRecorder *recorder)
+    {
+        _causal = recorder;
+    }
+
+    CausalRecorder *causalRecorder() const { return _causal; }
+
     /** Clear all pending events and rewind time to zero. */
     void reset();
 
@@ -180,6 +197,7 @@ class EventQueue
     std::unordered_set<EventId> _cancelled;
     std::unordered_set<EventId> _weakIds;
     DesProfiler *_profiler = nullptr;
+    CausalRecorder *_causal = nullptr;
 };
 
 } // namespace mcdla

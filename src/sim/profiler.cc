@@ -6,7 +6,10 @@
 #include "sim/profiler.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <iomanip>
+
+#include "sim/json.hh"
 
 namespace mcdla
 {
@@ -54,6 +57,36 @@ DesProfiler::report(std::ostream &os, std::size_t top) const
     }
     os.unsetf(std::ios::fixed);
     os << "---------------------------------\n";
+}
+
+void
+DesProfiler::reportJson(std::ostream &os) const
+{
+    os << "{\n";
+    os << "  \"events_executed\": " << _executed << ",\n";
+    os << "  \"schedules\": " << _schedules << ",\n";
+    os << "  \"deschedules\": " << _deschedules << ",\n";
+    os << "  \"peak_heap_depth\": " << _peakHeapDepth << ",\n";
+    os << "  \"callback_wall_ms\": ";
+    jsonNumber(os, wallSeconds() * 1e3);
+    os << ",\n  \"events_per_sec\": ";
+    jsonNumber(os, eventsPerSecond());
+    // The hash is 64-bit; JSON numbers lose precision past 2^53, so
+    // emit it as a hex string like the --audit-determinism output.
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(_streamHash));
+    os << ",\n  \"stream_hash\": \"" << hash << "\",\n";
+    os << "  \"labels\": [";
+    bool first = true;
+    for (const auto &[label, stats] : topLabels()) {
+        os << (first ? "\n" : ",\n") << "    {\"label\": ";
+        jsonString(os, label);
+        os << ", \"count\": " << stats.count << ", \"wall_ns\": "
+           << stats.wallNs << "}";
+        first = false;
+    }
+    os << "\n  ]\n}\n";
 }
 
 void

@@ -127,6 +127,13 @@ class DesProfiler
     /** Human-readable report (the `--profile` output). */
     void report(std::ostream &os, std::size_t top = 20) const;
 
+    /**
+     * Machine-readable report (the `--profile-json` output): one JSON
+     * object with the aggregate counters, the stream hash, and every
+     * label's count/wall time, sorted by descending wall time.
+     */
+    void reportJson(std::ostream &os) const;
+
     void reset();
 
   private:

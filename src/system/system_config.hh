@@ -106,6 +106,14 @@ struct SystemConfig
      */
     double dmaCompressionRatio = 1.0;
 
+    /**
+     * Uniform scale on per-layer compute times (forward, backward,
+     * weight update). 1.0 = Table III timings. Used by the what-if
+     * validation path: a causal-DAG "compute:0.5" prediction is
+     * checked against an actual re-run at computeTimeScale = 0.5.
+     */
+    double computeTimeScale = 1.0;
+
     /** Collective pipeline chunk granularity. */
     double collectiveChunkBytes = 128.0 * 1024.0;
 

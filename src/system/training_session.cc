@@ -6,9 +6,11 @@
 #include "system/training_session.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "interconnect/flow.hh"
+#include "sim/causal.hh"
 #include "sim/logging.hh"
 #include "sim/simcheck.hh"
 
@@ -95,6 +97,25 @@ TrainingSession::buildSchedule()
     for (LayerId id = 0; id < layer_count; ++id)
         _timings.push_back(model.layerTiming(
             _net.layer(id), _strategy.scaling(_net.layer(id))));
+
+    // What-if validation knob: uniformly rescale compute durations
+    // (SystemConfig::computeTimeScale). Guarded so the default 1.0
+    // leaves every tick byte-identical to the unscaled schedule.
+    const double scale = _system.config().computeTimeScale;
+    if (scale != 1.0) {
+        if (scale <= 0.0)
+            fatal("computeTimeScale must be positive (got %g)", scale);
+        for (LayerTiming &timing : _timings) {
+            timing.forward = static_cast<Tick>(
+                std::llround(static_cast<double>(timing.forward)
+                             * scale));
+            timing.backward = static_cast<Tick>(
+                std::llround(static_cast<double>(timing.backward)
+                             * scale));
+            timing.weightUpdate = static_cast<Tick>(std::llround(
+                static_cast<double>(timing.weightUpdate) * scale));
+        }
+    }
 
     if (_strategy.isPipeline()) {
         buildPipelineSchedule();
@@ -771,6 +792,9 @@ TrainingSession::tryIssue(int dev)
         _stallVmem[udev] += now - ctx.readyAt;
     ctx.waitedCat = 0;
     _system.device(sysDev(dev)).occupyCompute(now, op.duration);
+    CausalScope causal_scope(
+        _system.eventQueue().causalRecorder(), WaitKind::Compute,
+        "dev" + std::to_string(sysDev(dev)));
     _system.eventQueue().scheduleAfter(
         op.duration, [this, dev] { completeOp(dev); },
         "op_complete");
@@ -790,6 +814,8 @@ TrainingSession::issueP2p(int src, const P2pSend &send)
     const Tick launched = _system.eventQueue().now();
     _syncTracker.begin(launched);
     const int dst = send.dst;
+    CausalScope causal_scope(_system.eventQueue().causalRecorder(),
+                             WaitKind::Control, CausalCtx::P2p);
     sendFlow({route}, send.bytes,
              _system.config().collectiveChunkBytes,
              [this, latch, launched, src, dst] {

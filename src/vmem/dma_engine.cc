@@ -5,6 +5,7 @@
 
 #include "vmem/dma_engine.hh"
 
+#include "sim/causal.hh"
 #include "sim/logging.hh"
 
 namespace mcdla
@@ -31,6 +32,11 @@ DmaEngine::transfer(double bytes, DmaDirection direction,
     if (!hasBackingStore())
         fatal("dma engine '%s': transfer without a backing store",
               name().c_str());
+    // Paging/virtualization traffic: degenerate completions and the
+    // chunk submissions below are DMA-subsystem edges; the channel
+    // hops they fan into inherit the context.
+    CausalScope causal_scope(eventQueue().causalRecorder(),
+                             WaitKind::Dma, CausalCtx::Dma, name());
     if (bytes <= 0.0) {
         eventQueue().scheduleAfter(0, std::move(on_done),
                                    name() + ".empty_dma");

@@ -72,11 +72,17 @@ struct Observers
     TraceSink trace;
     MetricRegistry metrics;
     DesProfiler profiler;
+    CausalRecorder causal;
     bool wantTrace = false;
     bool wantMetrics = false;
     bool wantProfile = false;
+    bool wantCausal = false;
 
-    bool any() const { return wantTrace || wantMetrics || wantProfile; }
+    bool
+    any() const
+    {
+        return wantTrace || wantMetrics || wantProfile || wantCausal;
+    }
 };
 
 void
@@ -86,7 +92,13 @@ setupObservers(const OptionParser &opts, Observers &obs)
     obs.wantMetrics = obs.wantTrace
         || !opts.getString("metrics-csv").empty()
         || !opts.getString("metrics-json").empty();
-    obs.wantProfile = opts.getFlag("profile");
+    obs.wantProfile = opts.getFlag("profile")
+        || !opts.getString("profile-json").empty();
+    obs.wantCausal = opts.getFlag("causal")
+        || !opts.getString("critical-path-csv").empty()
+        || !opts.getString("causal-json").empty()
+        || !opts.getString("slack-csv").empty()
+        || !opts.getString("whatif").empty();
 
     if (obs.wantTrace && !opts.getString("trace-categories").empty()) {
         std::vector<std::string> cats;
@@ -132,11 +144,58 @@ suffixedPath(const std::string &path, const std::string &suffix)
     return path.substr(0, dot) + "." + tag + path.substr(dot);
 }
 
-/** Write the trace/metrics files and the profiler report. */
+/** Write the trace/metrics/causal files and the profiler reports. */
 void
-writeObserverOutputs(const OptionParser &opts, const Observers &obs,
+writeObserverOutputs(const OptionParser &opts, Observers &obs,
                      const std::string &suffix = "")
 {
+    // Causal analysis runs first so the critical path can be overlaid
+    // on the timeline before the trace file is written below.
+    if (obs.wantCausal) {
+        const CausalAnalysis analysis(obs.causal);
+        if (obs.wantTrace)
+            analysis.overlayTrace(obs.trace);
+        analysis.report(std::cout);
+        if (!opts.getString("critical-path-csv").empty()) {
+            const std::string path = suffixedPath(
+                opts.getString("critical-path-csv"), suffix);
+            std::ofstream out(path);
+            analysis.criticalPathTable().writeCsv(out);
+            std::cout << "wrote " << path << " ("
+                      << analysis.criticalPath().size()
+                      << " critical-path events)\n";
+        }
+        if (!opts.getString("slack-csv").empty()) {
+            const std::string path =
+                suffixedPath(opts.getString("slack-csv"), suffix);
+            std::ofstream out(path);
+            analysis.slackTable().writeCsv(out);
+            std::cout << "wrote " << path << '\n';
+        }
+        if (!opts.getString("causal-json").empty()) {
+            const std::string path =
+                suffixedPath(opts.getString("causal-json"), suffix);
+            std::ofstream out(path);
+            analysis.writeJson(out);
+            std::cout << "wrote " << path << '\n';
+        }
+        if (!opts.getString("whatif").empty()) {
+            const std::vector<WhatIfChange> changes =
+                parseWhatIfSpec(opts.getString("whatif"));
+            const WhatIfResult result = analysis.whatIf(changes);
+            std::cout << "whatif " << opts.getString("whatif")
+                      << ": predicted makespan "
+                      << TablePrinter::num(
+                             ticksToSeconds(static_cast<Tick>(
+                                 result.predicted)) * 1e3, 3)
+                      << " ms (baseline "
+                      << TablePrinter::num(
+                             ticksToSeconds(result.baseline) * 1e3, 3)
+                      << " ms, speedup "
+                      << TablePrinter::num(result.speedup(), 3) << "x, "
+                      << result.scaledEdges << " edges rescaled)\n";
+        }
+    }
     if (obs.wantTrace) {
         const std::string path =
             suffixedPath(opts.getString("trace"), suffix);
@@ -162,8 +221,15 @@ writeObserverOutputs(const OptionParser &opts, const Observers &obs,
         metricsTable(obs.metrics).writeJson(out);
         std::cout << "wrote " << path << '\n';
     }
-    if (obs.wantProfile)
+    if (opts.getFlag("profile"))
         obs.profiler.report(std::cout);
+    if (!opts.getString("profile-json").empty()) {
+        const std::string path =
+            suffixedPath(opts.getString("profile-json"), suffix);
+        std::ofstream out(path);
+        obs.profiler.reportJson(out);
+        std::cout << "wrote " << path << '\n';
+    }
 }
 
 /** One --audit-determinism run: the event-stream digest. */
@@ -333,6 +399,27 @@ main(int argc, char **argv)
     opts.addFlag("profile",
                  "print a DES wall-clock profile (host time per event "
                  "label, events/sec, heap depth) after the run");
+    opts.addString("profile-json", "",
+                   "write the DES profile (kernel counters, stream "
+                   "hash, per-label wall time) to this JSON file");
+    opts.addFlag("causal",
+                 "record event provenance and print the "
+                 "simulated-time critical-path attribution after the "
+                 "run (execution order is unchanged)");
+    opts.addString("critical-path-csv", "",
+                   "write the critical-path steps to this CSV file "
+                   "(implies --causal)");
+    opts.addString("slack-csv", "",
+                   "write the per-channel slack histogram — measured "
+                   "safe parallel-DES lookahead — to this CSV file "
+                   "(implies --causal)");
+    opts.addString("causal-json", "",
+                   "write the causal attribution/slack/DAG summary to "
+                   "this JSON file (implies --causal)");
+    opts.addString("whatif", "",
+                   "predict the makespan under virtual speedups along "
+                   "the recorded DAG: class:factor[,class:factor...] "
+                   "e.g. compute:0.5,chan:0.8 (implies --causal)");
     opts.addFlag("stats", "dump component statistics after the run");
     opts.addFlag("list", "alias for --list-workloads");
     opts.addFlag("list-workloads",
@@ -492,6 +579,8 @@ main(int argc, char **argv)
             cfg.metrics = &obs.metrics;
         if (obs.wantProfile)
             cfg.profiler = &obs.profiler;
+        if (obs.wantCausal)
+            cfg.causal = &obs.causal;
 
         std::vector<Request> stream;
         if (!opts.getString("request-trace").empty()) {
@@ -622,6 +711,8 @@ main(int argc, char **argv)
             cfg.metrics = &obs.metrics;
         if (obs.wantProfile)
             cfg.profiler = &obs.profiler;
+        if (obs.wantCausal)
+            cfg.causal = &obs.causal;
 
         std::vector<JobSpec> jobs;
         if (!opts.getString("job-trace").empty()) {
@@ -730,12 +821,18 @@ main(int argc, char **argv)
     const bool observed = !opts.getString("trace").empty()
         || !opts.getString("metrics-csv").empty()
         || !opts.getString("metrics-json").empty()
-        || opts.getFlag("profile") || opts.getFlag("stats");
+        || opts.getFlag("profile")
+        || !opts.getString("profile-json").empty()
+        || opts.getFlag("stats") || opts.getFlag("causal")
+        || !opts.getString("critical-path-csv").empty()
+        || !opts.getString("slack-csv").empty()
+        || !opts.getString("causal-json").empty()
+        || !opts.getString("whatif").empty();
     if (observed && opts.getInt("jobs") != 1)
-        fatal("--trace/--metrics-*/--profile/--stats observe one live "
-              "serial run; drop --jobs (or set --jobs 1). With "
-              "--workload all the scenarios run serially and each "
-              "observer file gains a per-workload suffix.");
+        fatal("--trace/--metrics-*/--profile/--stats/--causal observe "
+              "one live serial run; drop --jobs (or set --jobs 1). "
+              "With --workload all the scenarios run serially and "
+              "each observer file gains a per-workload suffix.");
 
     SweepRunner runner(SweepConfig{
         observed ? 1 : static_cast<int>(opts.getInt("jobs")),
@@ -762,6 +859,8 @@ main(int argc, char **argv)
                 hooks.metrics = &obs.metrics;
             if (obs.wantProfile)
                 hooks.profiler = &obs.profiler;
+            if (obs.wantCausal)
+                hooks.causal = &obs.causal;
             iter_results.push_back(runner.simulator().run(sc, hooks));
             if (obs.wantProfile && multi)
                 std::cout << '\n' << sc.label() << ":\n";
