@@ -30,6 +30,33 @@ Channel::Channel(EventQueue &eq, std::string name, double bandwidth,
 }
 
 void
+Channel::pushQueue(Pending pending)
+{
+    if (_queueCount == _queue.size()) {
+        // Full (or never allocated): regrow to the next power of two,
+        // replaying the ring in FIFO order into the fresh storage.
+        std::vector<Pending> grown(
+            std::max<std::size_t>(8, 2 * _queue.size()));
+        for (std::size_t i = 0; i < _queueCount; ++i)
+            grown[i] = std::move(queuedAt(i));
+        _queue.swap(grown);
+        _queueHead = 0;
+    }
+    _queue[(_queueHead + _queueCount) & (_queue.size() - 1)] =
+        std::move(pending);
+    ++_queueCount;
+}
+
+Channel::Pending
+Channel::popQueue()
+{
+    Pending req = std::move(_queue[_queueHead]);
+    _queueHead = (_queueHead + 1) & (_queue.size() - 1);
+    --_queueCount;
+    return req;
+}
+
+void
 Channel::submit(double bytes, Handler on_delivered)
 {
     if (bytes <= 0.0)
@@ -39,13 +66,13 @@ Channel::submit(double bytes, Handler on_delivered)
     Pending pending{bytes, std::move(on_delivered), _busy, 0};
     if (const CausalRecorder *rec = eventQueue().causalRecorder())
         pending.causalCtx = rec->currentCtxRaw();
-    _queue.push_back(std::move(pending));
+    pushQueue(std::move(pending));
     if (simcheck::enabled())
         simcheckVerifyConservation();
     // Only count genuine waiters: on an idle channel the transfer
     // starts immediately, so an uncontended channel reports 0.
     if (_busy)
-        _peakQueueDepth = std::max(_peakQueueDepth, _queue.size());
+        _peakQueueDepth = std::max(_peakQueueDepth, _queueCount);
     else
         startNext();
 }
@@ -53,13 +80,12 @@ Channel::submit(double bytes, Handler on_delivered)
 void
 Channel::startNext()
 {
-    if (_queue.empty()) {
+    if (_queueCount == 0) {
         _busy = false;
         return;
     }
     _busy = true;
-    Pending req = std::move(_queue.front());
-    _queue.pop_front();
+    Pending req = popQueue();
     _conservedQueued -= req.bytes;
     _conservedWire += req.bytes;
 
@@ -94,9 +120,9 @@ Channel::startNext()
                       CausalScope wire_scope(
                           eventQueue().causalRecorder(),
                           WaitKind::Wire, name());
-                      eventQueue().scheduleAfter(_latency,
-                                                 std::move(handler),
-                                                 name() + ".deliver");
+                      eventQueue().scheduleAfter(
+                          _latency, std::move(handler),
+                          EventLabel::dotted(name(), "deliver"));
                   }
               }
               startNext();
@@ -146,8 +172,8 @@ Channel::simcheckVerifyConservation() const
     // Recompute the queued side from the queue itself so a drifted
     // incremental counter cannot mask a lost transfer.
     double queued = 0.0;
-    for (const Pending &req : _queue)
-        queued += req.bytes;
+    for (std::size_t i = 0; i < _queueCount; ++i)
+        queued += queuedAt(i).bytes;
     const double eps =
         1e-6 * std::max(1.0, _conservedEnqueued); // fp rounding slack
     if (std::abs(queued - _conservedQueued) > eps)

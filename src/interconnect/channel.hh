@@ -17,10 +17,9 @@
 #define MCDLA_INTERCONNECT_CHANNEL_HH
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <vector>
 
+#include "sim/inline_function.hh"
 #include "sim/sim_object.hh"
 
 namespace mcdla
@@ -30,7 +29,14 @@ namespace mcdla
 class Channel : public SimObject
 {
   public:
-    using Handler = std::function<void()>;
+    /**
+     * Delivery callback: SBO, move-only. 24 inline bytes fit the flow
+     * layer's chunk-forwarding closure (state pointer, two indices, a
+     * byte count) exactly, and the whole Handler in turn fits inside
+     * the channel's own xfer_done event without spilling the kernel's
+     * inline callback buffer. Larger captures fall back to the heap.
+     */
+    using Handler = InlineFunction<24>;
 
     /**
      * @param eq Driving event queue.
@@ -70,7 +76,7 @@ class Channel : public SimObject
     }
 
     /** Transfers currently waiting (excludes the in-flight one). */
-    std::size_t queueDepth() const { return _queue.size(); }
+    std::size_t queueDepth() const { return _queueCount; }
 
     /** Deepest backlog observed since the last stats reset (occupancy
         pressure: how many transfers were stacked behind the wire). */
@@ -103,7 +109,7 @@ class Channel : public SimObject
 
     struct Pending
     {
-        double bytes;
+        double bytes = 0.0;
         Handler onDelivered;
         /** Queued behind a busy channel (vs started immediately) —
             recorded as a chan_queue rather than chan_xfer wait. */
@@ -114,10 +120,32 @@ class Channel : public SimObject
         std::uint8_t causalCtx = 0;
     };
 
+    /** FIFO slot @p i positions behind the head. Precondition:
+        i < _queueCount. */
+    Pending &
+    queuedAt(std::size_t i)
+    {
+        return _queue[(_queueHead + i) & (_queue.size() - 1)];
+    }
+
+    const Pending &
+    queuedAt(std::size_t i) const
+    {
+        return _queue[(_queueHead + i) & (_queue.size() - 1)];
+    }
+
+    void pushQueue(Pending pending);
+    Pending popQueue();
+
     double _bandwidth;
     Tick _latency;
     bool _busy = false;
-    std::deque<Pending> _queue;
+    /** Waiting transfers: a power-of-two ring over a flat vector, so
+        steady-state submit/deliver cycles recycle slots instead of
+        paging deque blocks in and out of the allocator. */
+    std::vector<Pending> _queue;
+    std::size_t _queueHead = 0;
+    std::size_t _queueCount = 0;
 
     double _bytesTransferred = 0.0;
     Tick _busyTicks = 0;

@@ -1,6 +1,15 @@
 /**
  * @file
  * Flow helper implementation.
+ *
+ * Flow bookkeeping is pooled: one FlowState per in-flight flow carries
+ * the route copies, the chunks-outstanding join counter and the
+ * completion callback. States live on a thread-local free list (each
+ * Simulator worker thread drives its own simulations), so steady-state
+ * traffic performs no heap allocation at all — route/waiter vector
+ * capacity is recycled from earlier flows, and the per-chunk closures
+ * (state pointer, route index, hop index, byte count) fit inside the
+ * Channel::Handler inline buffer.
  */
 
 #include "interconnect/flow.hh"
@@ -16,18 +25,74 @@ namespace mcdla
 namespace
 {
 
-/** Forward a chunk from hop @p index onward. */
-void
-forwardChunk(std::shared_ptr<const Route> route, std::size_t index,
-             double bytes, std::shared_ptr<std::function<void()>> done)
+/** Pooled bookkeeping of one in-flight flow (or lone chunk). */
+struct FlowState
 {
-    Channel *ch = route->hops[index];
-    ch->submit(bytes, [route, index, bytes, done] {
-        if (index + 1 < route->hops.size()) {
-            forwardChunk(route, index + 1, bytes, done);
-        } else if (*done) {
-            (*done)();
+    std::vector<Route> routes;
+    std::uint64_t remaining = 0; ///< chunks not yet fully delivered
+    std::function<void()> done;
+};
+
+struct FlowPool
+{
+    std::vector<std::unique_ptr<FlowState>> all;
+    std::vector<FlowState *> free;
+
+    FlowState *
+    acquire()
+    {
+        if (!free.empty()) {
+            FlowState *state = free.back();
+            free.pop_back();
+            return state;
         }
+        all.push_back(std::make_unique<FlowState>());
+        return all.back().get();
+    }
+
+    void
+    release(FlowState *state)
+    {
+        state->done = nullptr;
+        free.push_back(state);
+    }
+};
+
+FlowPool &
+flowPool()
+{
+    thread_local FlowPool pool;
+    return pool;
+}
+
+void forwardChunk(FlowState *state, std::uint32_t route_index,
+                  std::uint32_t hop, double bytes);
+
+/** One chunk fully delivered; fire and recycle on the last one. */
+void
+completeChunk(FlowState *state)
+{
+    if (--state->remaining != 0)
+        return;
+    // Detach the callback and recycle *first*: the callback may start
+    // new flows (and reuse this very state) or destroy the channels.
+    std::function<void()> done = std::move(state->done);
+    flowPool().release(state);
+    if (done)
+        done();
+}
+
+/** Forward a chunk from hop @p hop of its route onward. */
+void
+forwardChunk(FlowState *state, std::uint32_t route_index,
+             std::uint32_t hop, double bytes)
+{
+    Channel *ch = state->routes[route_index].hops[hop];
+    ch->submit(bytes, [state, route_index, hop, bytes] {
+        if (hop + 1 < state->routes[route_index].hops.size())
+            forwardChunk(state, route_index, hop + 1, bytes);
+        else
+            completeChunk(state);
     });
 }
 
@@ -39,10 +104,11 @@ sendChunk(const Route &route, double bytes,
 {
     if (!route.valid())
         panic("sendChunk: empty route");
-    auto route_copy = std::make_shared<const Route>(route);
-    auto done = std::make_shared<std::function<void()>>(
-        std::move(on_delivered));
-    forwardChunk(std::move(route_copy), 0, bytes, std::move(done));
+    FlowState *state = flowPool().acquire();
+    state->routes.assign(1, route);
+    state->remaining = 1;
+    state->done = std::move(on_delivered);
+    forwardChunk(state, 0, 0, bytes);
 }
 
 void
@@ -61,19 +127,18 @@ sendFlow(const std::vector<Route> &routes, double bytes,
 
     const auto chunks = static_cast<std::uint64_t>(
         std::ceil(bytes / chunk_bytes));
-    auto remaining = std::make_shared<std::uint64_t>(chunks);
-    auto done = std::make_shared<std::function<void()>>(
-        std::move(on_done));
+    FlowState *state = flowPool().acquire();
+    state->routes.assign(routes.begin(), routes.end());
+    state->remaining = chunks;
+    state->done = std::move(on_done);
 
     double left = bytes;
     for (std::uint64_t c = 0; c < chunks; ++c) {
         const double this_chunk = std::min(chunk_bytes, left);
         left -= this_chunk;
-        const Route &route = routes[c % routes.size()];
-        sendChunk(route, this_chunk, [remaining, done] {
-            if (--*remaining == 0 && *done)
-                (*done)();
-        });
+        forwardChunk(state,
+                     static_cast<std::uint32_t>(c % routes.size()), 0,
+                     this_chunk);
     }
 }
 

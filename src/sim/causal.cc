@@ -54,19 +54,10 @@ causalCtxToken(CausalCtx ctx)
 // CausalRecorder
 // ---------------------------------------------------------------------
 
-void
-CausalRecorder::noteSchedule(EventId id, Tick when, Tick now,
-                             const std::string &name, bool weak)
+std::int64_t
+CausalRecorder::noteSchedule(Tick now, const std::string &name,
+                             bool weak)
 {
-    (void)when;
-    if (_nodes.empty())
-        _firstId = id;
-    else if (id != _firstId + _nodes.size())
-        panic("causal recorder saw non-sequential event id %llu "
-              "(expected %llu): one recorder per EventQueue",
-              static_cast<unsigned long long>(id),
-              static_cast<unsigned long long>(_firstId
-                                              + _nodes.size()));
     Node node;
     node.sched = now;
     node.parent = _current;
@@ -77,35 +68,7 @@ CausalRecorder::noteSchedule(EventId id, Tick when, Tick now,
     node.resource = _scope.resource;
     node.label = internLabel(name);
     _nodes.push_back(node);
-}
-
-void
-CausalRecorder::noteExecute(EventId id, Tick now)
-{
-    if (id < _firstId || id - _firstId >= _nodes.size()) {
-        // Scheduled before the recorder attached: executable but
-        // unknown — its children become roots.
-        _current = -1;
-        return;
-    }
-    const auto idx = static_cast<std::size_t>(id - _firstId);
-    Node &node = _nodes[idx];
-    node.fire = now;
-    node.executed = true;
-    ++_executed;
-    _current = static_cast<std::int64_t>(idx);
-}
-
-void
-CausalRecorder::noteDeschedule(EventId id)
-{
-    if (id < _firstId || id - _firstId >= _nodes.size())
-        return;
-    Node &node = _nodes[static_cast<std::size_t>(id - _firstId)];
-    if (!node.cancelled && !node.executed) {
-        node.cancelled = true;
-        ++_cancelled;
-    }
+    return static_cast<std::int64_t>(_nodes.size() - 1);
 }
 
 std::uint16_t
@@ -209,7 +172,6 @@ void
 CausalRecorder::reset()
 {
     _nodes.clear();
-    _firstId = 0;
     _current = -1;
     _executed = 0;
     _cancelled = 0;

@@ -120,13 +120,44 @@ class CausalRecorder
     };
 
     /// @name EventQueue hooks (no-ops must never reach here: the
-    /// queue guards every call on the attached pointer)
+    /// queue guards every call on the attached pointer). The queue
+    /// stores the node index returned by noteSchedule in the event's
+    /// pooled slot and hands it back on execute/deschedule; -1 means
+    /// "not recorded" (scheduled before the recorder attached) and is
+    /// ignored — such events' children become roots.
     /// @{
-    void noteSchedule(EventId id, Tick when, Tick now,
-                      const std::string &name, bool weak);
-    void noteExecute(EventId id, Tick now);
+    std::int64_t noteSchedule(Tick now, const std::string &name,
+                              bool weak);
+
+    void
+    noteExecute(std::int64_t node, Tick now)
+    {
+        if (node < 0
+            || static_cast<std::size_t>(node) >= _nodes.size()) {
+            _current = -1;
+            return;
+        }
+        Node &entry = _nodes[static_cast<std::size_t>(node)];
+        entry.fire = now;
+        entry.executed = true;
+        ++_executed;
+        _current = node;
+    }
+
     void noteExecuteEnd() { _current = -1; }
-    void noteDeschedule(EventId id);
+
+    void
+    noteDeschedule(std::int64_t node)
+    {
+        if (node < 0
+            || static_cast<std::size_t>(node) >= _nodes.size())
+            return;
+        Node &entry = _nodes[static_cast<std::size_t>(node)];
+        if (!entry.cancelled && !entry.executed) {
+            entry.cancelled = true;
+            ++_cancelled;
+        }
+    }
     /// @}
 
     /// @name Scope state (used by CausalScope and Channel)
@@ -195,8 +226,6 @@ class CausalRecorder
     std::uint32_t internLabel(const std::string &name);
 
     std::vector<Node> _nodes;
-    /** EventIds are sequential; node index = id - _firstId. */
-    EventId _firstId = 0;
     std::int64_t _current = -1; ///< Node executing now (-1 = none).
     std::uint64_t _executed = 0;
     std::uint64_t _cancelled = 0;

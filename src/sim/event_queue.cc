@@ -5,9 +5,8 @@
 
 #include "event_queue.hh"
 
-#include <chrono>
-
 #include "causal.hh"
+#include "cycle_timer.hh"
 #include "logging.hh"
 #include "profiler.hh"
 #include "simcheck.hh"
@@ -15,8 +14,29 @@
 namespace mcdla
 {
 
+EventQueue::EventQueue(EventQueueBackendKind kind)
+    : _backendKind(kind), _backend(makeEventQueueBackend(kind))
+{
+}
+
+EventQueue::~EventQueue() = default;
+
+void
+EventQueue::setBackend(EventQueueBackendKind kind)
+{
+    if (!_backend->empty() || _executed != 0 || _now != 0
+        || _live != 0)
+        panic("EventQueue::setBackend(%s) on a non-pristine queue "
+              "(%zu pending, %llu executed, now=%llu)",
+              eventQueueBackendToken(kind), _live,
+              static_cast<unsigned long long>(_executed),
+              static_cast<unsigned long long>(_now));
+    _backendKind = kind;
+    _backend = makeEventQueueBackend(kind);
+}
+
 EventId
-EventQueue::scheduleEntry(Tick when, Callback cb, std::string name,
+EventQueue::scheduleEntry(Tick when, Callback cb, EventLabel label,
                           bool weak)
 {
     if (when < _now) {
@@ -28,41 +48,79 @@ EventQueue::scheduleEntry(Tick when, Callback cb, std::string name,
             simcheck::fail("event-queue", _now,
                            "scheduling event '%s' at tick %llu before "
                            "now",
-                           name.c_str(),
+                           label.str().c_str(),
                            static_cast<unsigned long long>(when));
         warn("scheduling event '%s' at tick %llu before now (%llu); "
              "clamping to now",
-             name.c_str(), static_cast<unsigned long long>(when),
+             label.str().c_str(),
+             static_cast<unsigned long long>(when),
              static_cast<unsigned long long>(_now));
         when = _now;
     }
     if (!cb)
-        panic("scheduling event '%s' with empty callback", name.c_str());
-    const EventId id = _nextId++;
-    if (_causal)
-        _causal->noteSchedule(id, when, _now, name, weak);
-    _heap.push(Entry{when, _nextSeq++, id, std::move(cb),
-                     std::move(name), weak});
-    ++_live;
-    if (weak) {
-        ++_weakLive;
-        _weakIds.insert(id);
+        panic("scheduling event '%s' with empty callback",
+              label.str().c_str());
+    const std::uint32_t slot_index = allocSlot();
+    Slot &slot = slotAt(slot_index);
+    slot.cb = std::move(cb);
+    slot.weak = weak;
+    slot.cancelled = false;
+    slot.allocated = true;
+    slot.causalNode = -1;
+    if (_causal) {
+        _schedLabelScratch.clear();
+        label.appendTo(_schedLabelScratch);
+        slot.causalNode = _causal->noteSchedule(_now, _schedLabelScratch,
+                                                weak);
     }
+    slot.label = std::move(label);
+    _backend->push(EventItem{when, _nextSeq++, slot_index});
+    ++_live;
+    if (weak)
+        ++_weakLive;
     if (_profiler)
-        _profiler->noteSchedule(_heap.size());
-    return id;
+        _profiler->noteSchedule(_backend->size());
+    return makeId(slot.gen, slot_index);
 }
 
 EventId
-EventQueue::schedule(Tick when, Callback cb, std::string name)
+EventQueue::schedule(Tick when, Callback cb, EventLabel label)
 {
-    return scheduleEntry(when, std::move(cb), std::move(name), false);
+    return scheduleEntry(when, std::move(cb), std::move(label), false);
 }
 
 EventId
-EventQueue::scheduleWeak(Tick when, Callback cb, std::string name)
+EventQueue::scheduleWeak(Tick when, Callback cb, EventLabel label)
 {
-    return scheduleEntry(when, std::move(cb), std::move(name), true);
+    return scheduleEntry(when, std::move(cb), std::move(label), true);
+}
+
+std::uint32_t
+EventQueue::allocSlot()
+{
+    if (!_freeSlots.empty()) {
+        const std::uint32_t index = _freeSlots.back();
+        _freeSlots.pop_back();
+        return index;
+    }
+    if (_slotCount == _slotChunks.size() * kSlotChunkSize)
+        _slotChunks.push_back(std::make_unique<Slot[]>(kSlotChunkSize));
+    return static_cast<std::uint32_t>(_slotCount++);
+}
+
+void
+EventQueue::releaseSlot(std::uint32_t index)
+{
+    Slot &slot = slotAt(index);
+    slot.cb = Callback();
+    slot.label = EventLabel();
+    slot.causalNode = -1;
+    slot.weak = false;
+    slot.cancelled = false;
+    slot.allocated = false;
+    if (++slot.gen == 0)
+        slot.gen = 1; // Skip 0 on wrap: ids of gen 0 are invalid.
+    _freeSlots.push_back(index);
 }
 
 bool
@@ -70,50 +128,65 @@ EventQueue::deschedule(EventId id)
 {
     if (id == invalidEventId)
         return false;
-    // Lazy deletion: remember the id; skip the entry when popped. The heap
-    // entry itself is unreachable from here without a full rebuild.
-    if (_cancelled.insert(id).second && _live > 0) {
-        --_live;
-        if (auto wit = _weakIds.find(id); wit != _weakIds.end()) {
-            _weakIds.erase(wit);
-            --_weakLive;
-        }
-        if (_profiler)
-            _profiler->noteDeschedule();
-        if (_causal)
-            _causal->noteDeschedule(id);
-        return true;
-    }
-    return false;
+    const std::uint32_t slot_index = slotOf(id);
+    const std::uint32_t gen = genOf(id);
+    if (slot_index >= _slotCount)
+        return false;
+    Slot &slot = slotAt(slot_index);
+    // A stale handle — the event already executed (slot retired at pop
+    // time, generation bumped) or was already cancelled — is refused
+    // without touching any state.
+    if (!slot.allocated || slot.gen != gen || slot.cancelled)
+        return false;
+    // Tombstone: the backend item stays where it is and is discarded
+    // when popped; the payload is destroyed right here so captures
+    // (and the slot's share of pool memory) free immediately.
+    slot.cancelled = true;
+    slot.cb = Callback();
+    slot.label = EventLabel();
+    --_live;
+    if (slot.weak)
+        --_weakLive;
+    if (_profiler)
+        _profiler->noteDeschedule();
+    if (_causal)
+        _causal->noteDeschedule(slot.causalNode);
+    return true;
 }
 
 void
-EventQueue::executeHead()
+EventQueue::executeItem(const EventItem &item)
 {
-    Entry entry = std::move(const_cast<Entry &>(_heap.top()));
-    _heap.pop();
-    if (simcheck::enabled() && entry.when < _now)
+    Slot &slot = slotAt(item.slot);
+    if (simcheck::enabled() && item.when < _now)
         simcheck::fail("event-queue", _now,
                        "event '%s' fires at tick %llu, in the past "
                        "(time must be monotonic)",
-                       entry.name.c_str(),
-                       static_cast<unsigned long long>(entry.when));
-    _now = entry.when;
+                       slot.label.str().c_str(),
+                       static_cast<unsigned long long>(item.when));
+    _now = item.when;
     ++_executed;
-    if (_causal)
-        _causal->noteExecute(entry.id, _now);
+    // Move the payload out and retire the slot *before* invoking the
+    // callback: the callback is free to schedule (growing the pool)
+    // or to deschedule its own now-stale id (refused via the bumped
+    // generation).
+    Callback cb = std::move(slot.cb);
+    const std::int64_t causal_node = slot.causalNode;
     if (_profiler) {
-        const auto t0 = std::chrono::steady_clock::now();
-        entry.cb();
-        const auto t1 = std::chrono::steady_clock::now();
-        _profiler->noteExecute(
-            entry.name, _now,
-            static_cast<std::uint64_t>(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    t1 - t0)
-                    .count()));
+        _execLabelScratch.clear();
+        slot.label.appendTo(_execLabelScratch);
+    }
+    releaseSlot(item.slot);
+    if (_causal)
+        _causal->noteExecute(causal_node, _now);
+    if (_profiler) {
+        const std::uint64_t t0 = CycleTimer::now();
+        cb();
+        const std::uint64_t t1 = CycleTimer::now();
+        _profiler->noteExecute(_execLabelScratch, _now,
+                               CycleTimer::deltaToNs(t1 - t0));
     } else {
-        entry.cb();
+        cb();
     }
     if (_causal)
         _causal->noteExecuteEnd();
@@ -122,9 +195,10 @@ EventQueue::executeHead()
 void
 EventQueue::discardPending()
 {
-    _heap = decltype(_heap)();
-    _cancelled.clear();
-    _weakIds.clear();
+    _backend->clear();
+    for (std::size_t i = 0; i < _slotCount; ++i)
+        if (slotAt(static_cast<std::uint32_t>(i)).allocated)
+            releaseSlot(static_cast<std::uint32_t>(i));
     _live = 0;
     _weakLive = 0;
 }
@@ -132,11 +206,11 @@ EventQueue::discardPending()
 bool
 EventQueue::step()
 {
-    while (!_heap.empty()) {
-        const Entry &head = _heap.top();
-        if (auto it = _cancelled.find(head.id); it != _cancelled.end()) {
-            _cancelled.erase(it);
-            _heap.pop();
+    while (!_backend->empty()) {
+        const EventItem head = _backend->peek();
+        if (slotAt(head.slot).cancelled) {
+            _backend->pop();
+            releaseSlot(head.slot);
             continue;
         }
         if (_live == _weakLive) {
@@ -145,12 +219,11 @@ EventQueue::step()
             discardPending();
             return false;
         }
+        _backend->pop();
         --_live;
-        if (head.weak) {
-            _weakIds.erase(head.id);
+        if (slotAt(head.slot).weak)
             --_weakLive;
-        }
-        executeHead();
+        executeItem(head);
         return true;
     }
     return false;
@@ -169,11 +242,11 @@ std::uint64_t
 EventQueue::runUntil(Tick limit)
 {
     std::uint64_t n = 0;
-    while (!_heap.empty()) {
-        const Entry &head = _heap.top();
-        if (auto it = _cancelled.find(head.id); it != _cancelled.end()) {
-            _cancelled.erase(it);
-            _heap.pop();
+    while (!_backend->empty()) {
+        const EventItem head = _backend->peek();
+        if (slotAt(head.slot).cancelled) {
+            _backend->pop();
+            releaseSlot(head.slot);
             continue;
         }
         if (_live == _weakLive) {
@@ -182,12 +255,11 @@ EventQueue::runUntil(Tick limit)
         }
         if (head.when > limit)
             break;
+        _backend->pop();
         --_live;
-        if (head.weak) {
-            _weakIds.erase(head.id);
+        if (slotAt(head.slot).weak)
             --_weakLive;
-        }
-        executeHead();
+        executeItem(head);
         ++n;
     }
     if (_now < limit)
@@ -198,14 +270,10 @@ EventQueue::runUntil(Tick limit)
 void
 EventQueue::reset()
 {
-    _heap = decltype(_heap)();
-    _cancelled.clear();
-    _weakIds.clear();
+    discardPending();
     _now = 0;
     _nextSeq = 0;
     _executed = 0;
-    _live = 0;
-    _weakLive = 0;
 }
 
 } // namespace mcdla

@@ -7,6 +7,15 @@
  * scheduling order, which keeps component behaviour deterministic without
  * requiring explicit priorities.
  *
+ * The hot path is allocation-free: event payloads (an SBO callback, a
+ * lazy label, flags) live in a free-list slot pool, the priority
+ * structure orders POD (when, seq, slot) keys (see
+ * event_queue_backend.hh for the heap and calendar backends), and
+ * cancellation is a tombstone flag in the slot — no per-event heap
+ * traffic, no hash-set side-tables. Slot state is retired at pop time,
+ * so a stale EventId (already executed or cancelled) is detected by a
+ * generation check and deschedule() correctly refuses it.
+ *
  * The kernel is deliberately minimal: the heavy lifting (bandwidth
  * channels, compute streams, collectives) is built on top of it in the
  * interconnect/device/system libraries.
@@ -16,12 +25,13 @@
 #define MCDLA_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
+#include "event_label.hh"
+#include "event_queue_backend.hh"
+#include "inline_function.hh"
 #include "units.hh"
 
 namespace mcdla
@@ -30,7 +40,12 @@ namespace mcdla
 class CausalRecorder;
 class DesProfiler;
 
-/** Opaque handle identifying a scheduled event (for cancellation). */
+/**
+ * Opaque handle identifying a scheduled event (for cancellation).
+ * Encodes (generation << 32 | slot); generations start at 1, so no
+ * valid handle is ever 0 and handles of retired slots go stale
+ * instead of aliasing their successors.
+ */
 using EventId = std::uint64_t;
 
 /** Sentinel returned for invalid events. */
@@ -49,11 +64,30 @@ constexpr EventId invalidEventId = 0;
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /**
+     * Event callback: SBO, one cache line of inline capture. Sized so
+     * the hottest simulator event — a channel delivery capturing
+     * `this`, a byte count and a Channel::Handler — stays inline; a
+     * wrapped std::function (32 bytes) fits too.
+     */
+    using Callback = InlineFunction<56>;
 
-    EventQueue() = default;
+    EventQueue() : EventQueue(EventQueueBackendKind::Heap) {}
+    explicit EventQueue(EventQueueBackendKind kind);
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
+    ~EventQueue();
+
+    /**
+     * Swap the priority-structure backend. Only legal on a pristine
+     * queue (nothing pending, nothing executed, now() == 0): both
+     * backends order identically, but swapping mid-run would strand
+     * pending items. Lets members constructed as `EventQueue _eq;`
+     * apply a configured backend first thing in the owner's body.
+     */
+    void setBackend(EventQueueBackendKind kind);
+
+    EventQueueBackendKind backend() const { return _backendKind; }
 
     /** Current simulated time. */
     Tick now() const { return _now; }
@@ -65,16 +99,17 @@ class EventQueue
      *             the past is a hard error under SimCheck, and is
      *             otherwise clamped to now() with a warning.
      * @param cb Callback invoked when the event fires.
-     * @param name Optional debug label.
+     * @param label Optional debug label (lazy; see event_label.hh).
      * @return A handle usable with deschedule().
      */
-    EventId schedule(Tick when, Callback cb, std::string name = {});
+    EventId schedule(Tick when, Callback cb, EventLabel label = {});
 
     /** Schedule a callback @p delta ticks in the future. */
     EventId
-    scheduleAfter(Tick delta, Callback cb, std::string name = {})
+    scheduleAfter(Tick delta, Callback cb, EventLabel label = {})
     {
-        return schedule(_now + delta, std::move(cb), std::move(name));
+        return schedule(_now + delta, std::move(cb),
+                        std::move(label));
     }
 
     /**
@@ -86,13 +121,14 @@ class EventQueue
      * event. This lets observers self-reschedule unconditionally
      * without wedging the drain or distorting makespans.
      */
-    EventId scheduleWeak(Tick when, Callback cb, std::string name = {});
+    EventId scheduleWeak(Tick when, Callback cb, EventLabel label = {});
 
     /**
      * Cancel a pending event.
      *
      * @param id Handle returned by schedule().
-     * @return true if the event was pending and is now cancelled.
+     * @return true if the event was pending and is now cancelled;
+     *         false for stale handles (already executed or cancelled).
      */
     bool deschedule(EventId id);
 
@@ -127,6 +163,14 @@ class EventQueue
     std::uint64_t executedCount() const { return _executed; }
 
     /**
+     * Size of the payload slot pool (high-water mark of concurrently
+     * pending events). Slots are recycled through a free list, so this
+     * stays flat across reset()s and arbitrarily long drains — the
+     * regression test for the pool pins exactly that.
+     */
+    std::size_t poolSlots() const { return _slotCount; }
+
+    /**
      * Attach a wall-clock profiler (nullptr detaches). While attached,
      * executeHead times every callback and attributes the host time to
      * the event's label; schedule/deschedule counts and peak heap
@@ -157,45 +201,80 @@ class EventQueue
     void reset();
 
   private:
-    struct Entry
+    /** Pooled event payload; keys live in the backend. */
+    struct Slot
     {
-        Tick when;
-        std::uint64_t seq;
-        EventId id;
         Callback cb;
-        std::string name;
+        EventLabel label;
+        /** CausalRecorder node index; -1 = not recorded. */
+        std::int64_t causalNode = -1;
+        /** Bumped on release; stale EventIds fail the match. */
+        std::uint32_t gen = 1;
         bool weak = false;
+        bool cancelled = false;
+        bool allocated = false;
     };
 
-    struct Later
+    /** Slots live in fixed-size chunks, so growing the pool never
+        relocates live payloads (a realloc would move every pending
+        callback through its type-erased move op). */
+    static constexpr std::size_t kSlotChunkShift = 12;
+    static constexpr std::size_t kSlotChunkSize = 1u << kSlotChunkShift;
+
+    Slot &
+    slotAt(std::uint32_t index)
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+        return _slotChunks[index >> kSlotChunkShift]
+                          [index & (kSlotChunkSize - 1)];
+    }
 
-    /** Pop/execute the head entry. Precondition: a live entry exists. */
-    void executeHead();
+    static std::uint32_t
+    slotOf(EventId id)
+    {
+        return static_cast<std::uint32_t>(id & 0xffffffffu);
+    }
 
-    EventId scheduleEntry(Tick when, Callback cb, std::string name,
+    static std::uint32_t
+    genOf(EventId id)
+    {
+        return static_cast<std::uint32_t>(id >> 32);
+    }
+
+    static EventId
+    makeId(std::uint32_t gen, std::uint32_t slot)
+    {
+        return (static_cast<EventId>(gen) << 32)
+               | static_cast<EventId>(slot);
+    }
+
+    EventId scheduleEntry(Tick when, Callback cb, EventLabel label,
                           bool weak);
+
+    std::uint32_t allocSlot();
+    /** Destroy the payload, bump the generation, recycle the slot. */
+    void releaseSlot(std::uint32_t index);
+
+    /** Pop/execute one item. Precondition: live, non-cancelled. */
+    void executeItem(const EventItem &item);
 
     /** Drop every remaining (weak) entry without executing it. */
     void discardPending();
 
     Tick _now = 0;
     std::uint64_t _nextSeq = 0;
-    EventId _nextId = 1;
     std::uint64_t _executed = 0;
     std::size_t _live = 0;
     std::size_t _weakLive = 0;
-    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
-    std::unordered_set<EventId> _cancelled;
-    std::unordered_set<EventId> _weakIds;
+    EventQueueBackendKind _backendKind;
+    std::unique_ptr<EventQueueBackend> _backend;
+    std::vector<std::unique_ptr<Slot[]>> _slotChunks;
+    std::size_t _slotCount = 0;
+    std::vector<std::uint32_t> _freeSlots;
+    /** Label materialization scratch for the schedule path (causal)
+        and the execute path (profiler); separate buffers because a
+        callback schedules while its own label is still in flight. */
+    std::string _schedLabelScratch;
+    std::string _execLabelScratch;
     DesProfiler *_profiler = nullptr;
     CausalRecorder *_causal = nullptr;
 };

@@ -99,6 +99,8 @@ DesProfiler::reset()
     _streamHash = 14695981039346656037ULL;
     _peakHeapDepth = 0;
     _labels.clear();
+    _lastKey.clear();
+    _last = nullptr;
 }
 
 } // namespace mcdla

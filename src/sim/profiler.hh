@@ -19,6 +19,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/units.hh"
@@ -48,6 +49,42 @@ struct ProfiledLabel
 class DesProfiler
 {
   public:
+    DesProfiler() = default;
+
+    // The label memo points into _labels; drop it when the profiler
+    // is copied or moved so it can never reference another instance.
+    DesProfiler(const DesProfiler &other) { *this = other; }
+
+    DesProfiler &
+    operator=(const DesProfiler &other)
+    {
+        if (this != &other) {
+            copyCounters(other);
+            _labels = other._labels;
+            _lastKey.clear();
+            _last = nullptr;
+        }
+        return *this;
+    }
+
+    DesProfiler(DesProfiler &&other) noexcept
+    {
+        *this = std::move(other);
+    }
+
+    DesProfiler &
+    operator=(DesProfiler &&other) noexcept
+    {
+        if (this != &other) {
+            copyCounters(other);
+            _labels = std::move(other._labels);
+            _lastKey.clear();
+            _last = nullptr;
+            other._last = nullptr;
+        }
+        return *this;
+    }
+
     /// @name EventQueue hooks
     /// @{
     void
@@ -81,10 +118,18 @@ class DesProfiler
             hash *= 1099511628211ULL;
         }
         _streamHash = hash;
-        auto &stats =
-            _labels[label.empty() ? std::string("(unnamed)") : label];
-        ++stats.count;
-        stats.wallNs += wall_ns;
+        // Consecutive events very often share a label (chunked flows,
+        // collective steps): memoize the last map entry so the common
+        // case skips the tree lookup. std::map references are stable,
+        // so the cached pointer survives later insertions.
+        if (_last == nullptr || label != _lastKey) {
+            _lastKey = label.empty() ? std::string("(unnamed)") : label;
+            _last = &_labels[_lastKey];
+            if (label.empty())
+                _lastKey.clear(); // memo keys on the *raw* label
+        }
+        ++_last->count;
+        _last->wallNs += wall_ns;
     }
     /// @}
 
@@ -137,6 +182,17 @@ class DesProfiler
     void reset();
 
   private:
+    void
+    copyCounters(const DesProfiler &other)
+    {
+        _executed = other._executed;
+        _schedules = other._schedules;
+        _deschedules = other._deschedules;
+        _wallNs = other._wallNs;
+        _streamHash = other._streamHash;
+        _peakHeapDepth = other._peakHeapDepth;
+    }
+
     std::uint64_t _executed = 0;
     std::uint64_t _schedules = 0;
     std::uint64_t _deschedules = 0;
@@ -145,6 +201,9 @@ class DesProfiler
     std::uint64_t _streamHash = 14695981039346656037ULL;
     std::size_t _peakHeapDepth = 0;
     std::map<std::string, ProfiledLabel> _labels;
+    /** Memo of the last-touched label entry (see noteExecute). */
+    std::string _lastKey;
+    ProfiledLabel *_last = nullptr;
 };
 
 } // namespace mcdla

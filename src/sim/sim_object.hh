@@ -52,12 +52,14 @@ class SimObject
     virtual void resetStats() { _stats.reset(); }
 
   protected:
-    /** Convenience: schedule a member callback @p delta ticks from now. */
+    /** Convenience: schedule a member callback @p delta ticks from now.
+        The "name.label" text is captured lazily (no concatenation
+        unless a profiler or causal recorder is attached). */
     EventId
     after(Tick delta, EventQueue::Callback cb, const char *label = "")
     {
         return _eq.scheduleAfter(delta, std::move(cb),
-                                 _name + "." + label);
+                                 EventLabel::dotted(_name, label));
     }
 
   private:

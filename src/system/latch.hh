@@ -49,6 +49,18 @@ class Latch
             _waiters.push_back(std::move(cb));
     }
 
+    /**
+     * Rearm for reuse (latch pooling). Drops any unfired waiters —
+     * callers reset only at epoch boundaries where simcheck has
+     * already asserted quiescence. Keeps the waiter vector's capacity.
+     */
+    void
+    reset()
+    {
+        _done = false;
+        _waiters.clear();
+    }
+
   private:
     bool _done = false;
     std::vector<Callback> _waiters;

@@ -11,6 +11,7 @@
 #include "interconnect/fabric_config.hh"
 #include "memory/address_map.hh"
 #include "memory/memory_node.hh"
+#include "sim/event_queue_backend.hh"
 #include "vmem/offload_plan.hh"
 #include "vmem/paging/paging_config.hh"
 
@@ -113,6 +114,15 @@ struct SystemConfig
      * checked against an actual re-run at computeTimeScale = 0.5.
      */
     double computeTimeScale = 1.0;
+
+    /**
+     * Priority structure of the driving EventQueue (`--event-queue`).
+     * Both backends produce identical event order and outputs; the
+     * calendar queue trades worst-case O(log n) bounds for O(1)
+     * amortized push/pop on uniform tick distributions.
+     */
+    EventQueueBackendKind eventQueueBackend =
+        EventQueueBackendKind::Heap;
 
     /** Collective pipeline chunk granularity. */
     double collectiveChunkBytes = 128.0 * 1024.0;

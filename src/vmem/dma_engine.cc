@@ -11,6 +11,51 @@
 namespace mcdla
 {
 
+namespace
+{
+
+/** Pooled join of one transfer's per-path flows (thread-local free
+    list, same ownership discipline as the flow layer's FlowState). */
+struct DmaJoin
+{
+    std::size_t remaining = 0;
+    DmaEngine::Handler done;
+};
+
+struct DmaJoinPool
+{
+    std::vector<std::unique_ptr<DmaJoin>> all;
+    std::vector<DmaJoin *> free;
+
+    DmaJoin *
+    acquire()
+    {
+        if (!free.empty()) {
+            DmaJoin *join = free.back();
+            free.pop_back();
+            return join;
+        }
+        all.push_back(std::make_unique<DmaJoin>());
+        return all.back().get();
+    }
+
+    void
+    release(DmaJoin *join)
+    {
+        join->done = nullptr;
+        free.push_back(join);
+    }
+};
+
+DmaJoinPool &
+dmaJoinPool()
+{
+    thread_local DmaJoinPool pool;
+    return pool;
+}
+
+} // anonymous namespace
+
 DmaEngine::DmaEngine(EventQueue &eq, std::string name,
                      const std::vector<VmemPath> &paths,
                      double chunk_bytes)
@@ -38,8 +83,9 @@ DmaEngine::transfer(double bytes, DmaDirection direction,
     CausalScope causal_scope(eventQueue().causalRecorder(),
                              WaitKind::Dma, CausalCtx::Dma, name());
     if (bytes <= 0.0) {
-        eventQueue().scheduleAfter(0, std::move(on_done),
-                                   name() + ".empty_dma");
+        eventQueue().scheduleAfter(
+            0, std::move(on_done),
+            EventLabel::dotted(name(), "empty_dma"));
         return;
     }
     if (!fractions.empty() && fractions.size() != _paths.size())
@@ -65,13 +111,15 @@ DmaEngine::transfer(double bytes, DmaDirection direction,
             ++active;
     }
     if (active == 0) {
-        eventQueue().scheduleAfter(0, std::move(on_done),
-                                   name() + ".zero_fraction_dma");
+        eventQueue().scheduleAfter(
+            0, std::move(on_done),
+            EventLabel::dotted(name(), "zero_fraction_dma"));
         return;
     }
 
-    auto remaining = std::make_shared<std::size_t>(active);
-    auto done = std::make_shared<Handler>(std::move(on_done));
+    DmaJoin *join = dmaJoinPool().acquire();
+    join->remaining = active;
+    join->done = std::move(on_done);
     for (std::size_t i = 0; i < _paths.size(); ++i) {
         const double f = fractions.empty()
             ? 1.0 / static_cast<double>(_paths.size())
@@ -81,9 +129,15 @@ DmaEngine::transfer(double bytes, DmaDirection direction,
         const auto &routes = direction == DmaDirection::LocalToRemote
             ? _paths[i].writeRoutes
             : _paths[i].readRoutes;
-        sendFlow(routes, bytes * f, _chunkBytes, [remaining, done] {
-            if (--*remaining == 0 && *done)
-                (*done)();
+        sendFlow(routes, bytes * f, _chunkBytes, [join] {
+            if (--join->remaining != 0)
+                return;
+            // Detach and recycle before firing: the completion may
+            // issue the next DMA and reuse this join immediately.
+            DmaEngine::Handler done = std::move(join->done);
+            dmaJoinPool().release(join);
+            if (done)
+                done();
         });
     }
 }

@@ -32,14 +32,23 @@ FaultHandler::beginIteration(TraceSink *trace,
     _trace = trace;
     _traceTrack = std::move(trace_track);
     _writebackIssued.clear();
-    _writebackLatch.clear();
-    _fillLatch.clear();
+    ++_epoch;
+    const std::size_t groups = _wireBytes.size();
+    _writebackLatches.resize(groups);
+    _fillLatches.resize(groups);
+    _writebackArmed.assign(groups, 0);
+    _fillRequested.assign(groups, 0);
+    for (std::size_t g = 0; g < groups; ++g) {
+        _writebackLatches[g].reset();
+        _fillLatches[g].reset();
+    }
     if (precreate_writeback_latches) {
         // Static-plan fills chain on writebacks that may not have been
-        // issued yet, so every offloaded layer's latch exists up front.
+        // issued yet, so every offloaded layer's latch is armed up
+        // front.
         for (const auto &[layer, ptr] : _remotePtrs) {
             (void)ptr;
-            _writebackLatch.emplace(layer, std::make_shared<Latch>());
+            _writebackArmed.at(static_cast<std::size_t>(layer)) = 1;
         }
     }
 }
@@ -142,15 +151,17 @@ FaultHandler::whenDmaIdle(Handler cb)
 void
 FaultHandler::writeback(LayerId layer, Handler on_drain)
 {
-    auto it = _writebackLatch.find(layer);
-    if (it == _writebackLatch.end())
+    const auto idx = static_cast<std::size_t>(layer);
+    if (idx >= _writebackArmed.size() || !_writebackArmed[idx])
         panic("offload of layer %d lacks a pre-created latch", layer);
-    auto latch = it->second;
+    Latch *latch = &_writebackLatches[idx];
+    const std::uint64_t epoch = _epoch;
     transfer(layer, DmaDirection::LocalToRemote, "offload ",
-             [latch, on_drain = std::move(on_drain)] {
+             [this, latch, epoch, on_drain = std::move(on_drain)] {
                  if (on_drain)
                      on_drain();
-                 latch->complete();
+                 if (epoch == _epoch)
+                     latch->complete();
              });
 }
 
@@ -158,29 +169,30 @@ bool
 FaultHandler::fill(LayerId layer, bool demand, Handler on_issue,
                    Handler on_drain)
 {
-    if (_fillLatch.count(layer))
+    const auto idx = static_cast<std::size_t>(layer);
+    if (idx < _fillRequested.size() && _fillRequested[idx])
         return false;
-    auto latch = std::make_shared<Latch>();
-    _fillLatch.emplace(layer, latch);
-
-    auto wb = _writebackLatch.find(layer);
-    if (wb == _writebackLatch.end())
+    if (idx >= _writebackArmed.size() || !_writebackArmed[idx])
         panic("prefetch of layer %d before its offload latch exists",
               layer);
+    _fillRequested[idx] = 1;
+    Latch *latch = &_fillLatches[idx];
+    const std::uint64_t epoch = _epoch;
 
     // Write-before-read: the fill DMA starts only once the writeback
     // of the same group has fully drained.
-    wb->second->whenDone([this, layer, demand, latch,
-                          on_issue = std::move(on_issue),
-                          on_drain = std::move(on_drain)] {
+    _writebackLatches[idx].whenDone([this, layer, demand, latch, epoch,
+                                     on_issue = std::move(on_issue),
+                                     on_drain = std::move(on_drain)] {
         if (on_issue)
             on_issue();
         transfer(layer, DmaDirection::RemoteToLocal,
                  demand ? "fault " : "prefetch ",
-                 [latch, on_drain] {
+                 [this, latch, epoch, on_drain] {
                      if (on_drain)
                          on_drain();
-                     latch->complete();
+                     if (epoch == _epoch)
+                         latch->complete();
                  });
     });
     return true;
@@ -189,8 +201,10 @@ FaultHandler::fill(LayerId layer, bool demand, Handler on_issue,
 Latch *
 FaultHandler::fillLatch(LayerId layer) const
 {
-    auto it = _fillLatch.find(layer);
-    return it == _fillLatch.end() ? nullptr : it->second.get();
+    const auto idx = static_cast<std::size_t>(layer);
+    if (idx >= _fillRequested.size() || !_fillRequested[idx])
+        return nullptr;
+    return const_cast<Latch *>(&_fillLatches[idx]);
 }
 
 void

@@ -162,8 +162,23 @@ class FaultHandler
      */
     std::map<LayerId, Tick> _writebackIssued;
 
-    std::map<LayerId, std::shared_ptr<Latch>> _writebackLatch;
-    std::map<LayerId, std::shared_ptr<Latch>> _fillLatch;
+    /**
+     * Per-group latches, pooled: flat vectors indexed by group id,
+     * rearmed (Latch::reset()) every beginIteration instead of being
+     * reallocated through per-iteration shared_ptr maps. The armed /
+     * requested flags carry the old maps' presence semantics —
+     * writeback() and fill() still panic on a group whose offload
+     * latch was never pre-created, and fill() still reports an
+     * already-requested fill by returning false.
+     */
+    std::vector<Latch> _writebackLatches;
+    std::vector<char> _writebackArmed;
+    std::vector<Latch> _fillLatches;
+    std::vector<char> _fillRequested;
+    /** Bumped every beginIteration; a drain completion from a previous
+        epoch (possible only if quiescence was violated) must not
+        complete the recycled latch of the current one. */
+    std::uint64_t _epoch = 0;
     /** In-flight transfers (writebacks can trail the compute program). */
     std::uint64_t _outstanding = 0;
     std::vector<Handler> _idleWaiters;
